@@ -1,0 +1,128 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"justintime/internal/sqldb"
+)
+
+// runE8 measures database-substrate scale: bulk-ingest throughput at
+// Lending-Club-like row counts and canned-query latency as the candidates
+// table grows.
+func runE8(quick bool) error {
+	ingestSizes := []int{10_000, 100_000, 1_000_000}
+	querySizes := []int{1_000, 10_000, 100_000}
+	if quick {
+		ingestSizes = []int{10_000, 50_000}
+		querySizes = []int{1_000, 5_000}
+	}
+
+	fmt.Printf("%-12s %-12s %s\n", "rows", "ingest", "rows/sec")
+	for _, n := range ingestSizes {
+		db := sqldb.New()
+		db.MustExec("CREATE TABLE applications (era INT, age FLOAT, income FLOAT, debt FLOAT, amount FLOAT, label INT)")
+		rows := syntheticRows(n, 42)
+		start := time.Now()
+		if err := db.InsertRows("applications", rows); err != nil {
+			return err
+		}
+		dur := time.Since(start)
+		fmt.Printf("%-12d %-12v %.0f\n", n, dur.Round(time.Millisecond), float64(n)/dur.Seconds())
+	}
+
+	fmt.Printf("\n%-12s", "query")
+	for _, n := range querySizes {
+		fmt.Printf(" %-12s", fmt.Sprintf("%d rows", n))
+	}
+	fmt.Println()
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"Q1 min-filter", "SELECT MIN(time) FROM candidates WHERE diff = 0"},
+		{"Q2 order-limit", "SELECT * FROM candidates ORDER BY gap, diff LIMIT 1"},
+		{"Q4 aggregate", "SELECT MIN(diff) FROM candidates"},
+		{"Q5 top-conf", "SELECT * FROM candidates ORDER BY p DESC LIMIT 1"},
+		{"group-by", "SELECT time, COUNT(*), MAX(p) FROM candidates GROUP BY time"},
+		{"join", "SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON c.time = ti.time"},
+	}
+	// Pre-build one database per size.
+	dbs := make([]*sqldb.DB, len(querySizes))
+	for i, n := range querySizes {
+		dbs[i] = candidatesDB(n, 64)
+	}
+	for _, q := range queries {
+		fmt.Printf("%-12s", q.name)
+		for i := range querySizes {
+			start := time.Now()
+			const reps = 5
+			for r := 0; r < reps; r++ {
+				if _, err := dbs[i].Query(q.sql); err != nil {
+					return fmt.Errorf("%s: %w", q.name, err)
+				}
+			}
+			fmt.Printf(" %-12v", (time.Since(start) / reps).Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape: ingest scales linearly; scan-bound queries grow linearly with table size")
+	return nil
+}
+
+// syntheticRows builds loan-application-like rows for ingest benchmarks.
+func syntheticRows(n int, seed int64) [][]sqldb.Value {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]sqldb.Value, n)
+	for i := range rows {
+		label := int64(0)
+		if rng.Float64() < 0.4 {
+			label = 1
+		}
+		rows[i] = []sqldb.Value{
+			sqldb.Int(int64(rng.Intn(12))),
+			sqldb.Float(21 + rng.Float64()*50),
+			sqldb.Float(rng.Float64() * 200000),
+			sqldb.Float(rng.Float64() * 8000),
+			sqldb.Float(rng.Float64() * 80000),
+			sqldb.Int(label),
+		}
+	}
+	return rows
+}
+
+// candidatesDB builds a candidates/temporal_inputs pair with n candidate
+// rows spread over `times` time points.
+func candidatesDB(n, times int) *sqldb.DB {
+	rng := rand.New(rand.NewSource(7))
+	db := sqldb.New()
+	db.MustExec("CREATE TABLE candidates (time INT, income FLOAT, debt FLOAT, diff FLOAT, gap INT, p FLOAT)")
+	db.MustExec("CREATE TABLE temporal_inputs (time INT, income FLOAT, debt FLOAT)")
+	tiRows := make([][]sqldb.Value, times)
+	for t := 0; t < times; t++ {
+		tiRows[t] = []sqldb.Value{sqldb.Int(int64(t)), sqldb.Float(48000), sqldb.Float(1900)}
+	}
+	if err := db.InsertRows("temporal_inputs", tiRows); err != nil {
+		panic(err)
+	}
+	rows := make([][]sqldb.Value, n)
+	for i := range rows {
+		diff := rng.Float64() * 20000
+		if rng.Intn(50) == 0 {
+			diff = 0
+		}
+		rows[i] = []sqldb.Value{
+			sqldb.Int(int64(rng.Intn(times))),
+			sqldb.Float(40000 + rng.Float64()*40000),
+			sqldb.Float(rng.Float64() * 4000),
+			sqldb.Float(diff),
+			sqldb.Int(int64(rng.Intn(4))),
+			sqldb.Float(rng.Float64()),
+		}
+	}
+	if err := db.InsertRows("candidates", rows); err != nil {
+		panic(err)
+	}
+	return db
+}

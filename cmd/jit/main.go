@@ -1,0 +1,138 @@
+// Command jit runs the JustInTime demonstration end-to-end in the terminal:
+// it trains the model sequence on the synthetic loan history, replays one of
+// the five rejected applicants (or a profile given via flags), applies the
+// user's constraints, generates the candidates database, and prints the
+// answer to every canned question plus the raw tables an expert would
+// inspect.
+//
+// Usage:
+//
+//	jit [-profile 0..4] [-method ki] [-horizon 3] [-k 8]
+//	    [-constraint "income <= old(income) * 1.3"]...
+//	    [-feature income] [-alpha 0.7] [-sql "SELECT ..."]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"justintime"
+)
+
+// constraintList collects repeated -constraint flags.
+type constraintList []string
+
+func (c *constraintList) String() string { return strings.Join(*c, "; ") }
+func (c *constraintList) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	profileIdx := flag.Int("profile", 0, "demo applicant index (0..4; 0 is John)")
+	method := flag.String("method", "ki", "future-model generator: edd, ki, last, pooled")
+	horizon := flag.Int("horizon", 3, "future time points T")
+	k := flag.Int("k", 8, "candidates per time point")
+	eras := flag.Int("eras", 12, "history eras")
+	rows := flag.Int("rows", 1200, "applications per era")
+	seed := flag.Int64("seed", 1, "random seed")
+	feature := flag.String("feature", "income", "feature for the dominant-feature question")
+	alpha := flag.Float64("alpha", 0.7, "confidence level for the turning-point question")
+	sql := flag.String("sql", "", "optional expert SQL to run at the end")
+	var userConstraints constraintList
+	flag.Var(&userConstraints, "constraint", "user constraint (repeatable)")
+	flag.Parse()
+
+	cfg := justintime.DefaultLoanDemoConfig()
+	cfg.Method = *method
+	cfg.T = *horizon
+	cfg.K = *k
+	cfg.Eras = *eras
+	cfg.RowsPerEra = *rows
+	cfg.Seed = *seed
+
+	fmt.Printf("JustInTime - temporal insights for altering model decisions\n")
+	fmt.Printf("training %d future models (%s) on %d eras x %d applications\n\n", *horizon+1, *method, *eras, *rows)
+	demo, err := justintime.NewLoanDemo(cfg)
+	if err != nil {
+		log.Fatalf("building system: %v", err)
+	}
+	sys := demo.System
+
+	profiles := justintime.RejectedProfiles()
+	if *profileIdx < 0 || *profileIdx >= len(profiles) {
+		log.Fatalf("profile index %d outside 0..%d", *profileIdx, len(profiles)-1)
+	}
+	profile := profiles[*profileIdx]
+	schema := sys.Schema()
+	fmt.Printf("applicant profile: %s\n", schema.Format(profile))
+	m0 := sys.Models()[0]
+	fmt.Printf("present decision:  score %.3f vs threshold %.3f -> %s\n\n",
+		m0.Model.Predict(profile), m0.Threshold, verdict(m0.Model.Predict(profile) > m0.Threshold))
+
+	prefs := justintime.NewConstraintSet()
+	for _, src := range userConstraints {
+		c, err := justintime.ParseConstraint(src)
+		if err != nil {
+			log.Fatalf("constraint %q: %v", src, err)
+		}
+		prefs.Add(c)
+	}
+	if len(userConstraints) > 0 {
+		fmt.Printf("your preferences:  %s\n\n", prefs)
+	}
+
+	fmt.Println("generating candidates for every time point ...")
+	sess, err := sys.NewSession(profile, prefs)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+	n, err := sess.CandidateCount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %d decision-altering candidates\n\n", n)
+
+	insights, err := sess.AskAll(*feature, *alpha)
+	if err != nil {
+		log.Fatalf("questions: %v", err)
+	}
+	fmt.Println("=== Plans and Insights ===")
+	for i, ins := range insights {
+		fmt.Printf("%d) [%s]\n   %s\n", i+1, ins.Question.Kind, ins.Text)
+	}
+
+	fmt.Println("\n=== Behind the scenes: temporal inputs ===")
+	res, err := sess.SQL("SELECT * FROM temporal_inputs ORDER BY time")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+
+	fmt.Println("\n=== Behind the scenes: best candidate per time point ===")
+	res, err = sess.SQL(`SELECT time, diff, gap, p FROM candidates c
+WHERE p = (SELECT MAX(p) FROM candidates c2 WHERE c2.time = c.time) ORDER BY time`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format())
+
+	if *sql != "" {
+		fmt.Printf("\n=== Expert SQL: %s ===\n", *sql)
+		res, err := sess.SQL(*sql)
+		if err != nil {
+			log.Fatalf("expert SQL: %v", err)
+		}
+		fmt.Print(res.Format())
+	}
+}
+
+func verdict(approved bool) string {
+	if approved {
+		return "APPROVED"
+	}
+	return "REJECTED"
+}

@@ -1,0 +1,57 @@
+// Command jitd serves the JustInTime demonstration as a JSON HTTP API (the
+// backend behind the paper's three-screen demo UI).
+//
+// Usage:
+//
+//	jitd [-addr :8080] [-method ki] [-eras 12] [-rows 1200] [-horizon 3] [-k 8]
+//
+// Endpoints:
+//
+//	GET  /api/schema                 feature schema
+//	GET  /api/models                 the (M_t, delta_t) sequence
+//	GET  /api/profiles               the five demo rejected applicants
+//	GET  /api/questions              canned question catalog
+//	POST /api/sessions               {"profile": {...}, "constraints": [...]}
+//	GET  /api/sessions/{id}/inputs   temporal inputs x_0..x_T
+//	GET  /api/sessions/{id}/plan     structured best plan per time point
+//	POST /api/sessions/{id}/ask      {"kind": "...", "feature": "...", "alpha": 0.7}
+//	POST /api/sessions/{id}/sql      {"query": "SELECT ..."}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"justintime"
+	"justintime/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	method := flag.String("method", "ki", "future-model generator: edd, ki, last, pooled")
+	eras := flag.Int("eras", 12, "history eras (years)")
+	rows := flag.Int("rows", 1200, "applications per era")
+	horizon := flag.Int("horizon", 3, "future time points T")
+	k := flag.Int("k", 8, "candidates per time point")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := justintime.DefaultLoanDemoConfig()
+	cfg.Method = *method
+	cfg.Eras = *eras
+	cfg.RowsPerEra = *rows
+	cfg.T = *horizon
+	cfg.K = *k
+	cfg.Seed = *seed
+
+	log.Printf("training %d models (%s) on %d eras x %d rows ...", *horizon+1, *method, *eras, *rows)
+	demo, err := justintime.NewLoanDemo(cfg)
+	if err != nil {
+		log.Fatalf("building demo system: %v", err)
+	}
+	log.Printf("jitd listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, server.New(demo.System)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Expertsql demonstrates the expert path of the paper: composing free-form
+// SQL directly against the session's candidates database, including the six
+// Figure-2 queries verbatim and a few richer analytical queries the canned
+// interface cannot express.
+//
+// Run with: go run ./examples/expertsql
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"justintime"
+)
+
+func main() {
+	cfg := justintime.DefaultLoanDemoConfig()
+	cfg.Eras = 6
+	cfg.RowsPerEra = 600
+	cfg.T = 3
+
+	demo, err := justintime.NewLoanDemo(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := demo.System.NewSession(justintime.RejectedProfiles()[2], nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []struct {
+		title string
+		sql   string
+	}{
+		{"Fig.2 Q1 - no modification", `SELECT Min(time) FROM candidates WHERE diff = 0`},
+		{"Fig.2 Q2 - minimal features set", `SELECT * FROM candidates ORDER BY gap LIMIT 1`},
+		{"Fig.2 Q3 - dominant feature (income)", `SELECT distinct time as t
+FROM candidates
+WHERE EXISTS
+(SELECT *
+ FROM candidates as cnd
+ INNER JOIN temporal_inputs as ti
+ ON ti.time = cnd.time
+ WHERE cnd.time = t
+ AND ((gap = 0) OR (gap = 1 AND cnd.income != ti.income)))`},
+		{"Fig.2 Q4 - minimal overall modification", `SELECT Min(diff) FROM candidates`},
+		{"Fig.2 Q5 - maximal confidence", `SELECT * FROM candidates ORDER BY p DESC LIMIT 1`},
+		{"Fig.2 Q6 - turning point (alpha = 0.7)", `SELECT Min(time) FROM candidates WHERE p > 0.7 AND time > ALL
+(SELECT ti.time FROM temporal_inputs ti WHERE NOT EXISTS
+ (SELECT * FROM candidates c WHERE c.time = ti.time AND c.p > 0.7))`},
+		{"expert: cheapest strong candidate per time point", `SELECT time, MIN(diff) AS cheapest
+FROM candidates WHERE p > 0.6 GROUP BY time ORDER BY time`},
+		{"expert: how much income do plans add, on average?", `SELECT AVG(c.income - ti.income) AS avg_income_increase
+FROM candidates c INNER JOIN temporal_inputs ti ON ti.time = c.time
+WHERE c.income != ti.income`},
+		{"expert: plan mix by number of touched features", `SELECT gap, COUNT(*) AS plans, AVG(p) AS avg_conf
+FROM candidates GROUP BY gap ORDER BY gap`},
+		{"expert: does waiting help? best confidence by time", `SELECT time, MAX(p) AS best FROM candidates GROUP BY time ORDER BY time`},
+	}
+
+	for _, q := range queries {
+		fmt.Printf("\n-- %s\n%s\n", q.title, q.sql)
+		res, err := sess.SQL(q.sql)
+		if err != nil {
+			log.Fatalf("query failed: %v", err)
+		}
+		fmt.Print(res.Format())
+	}
+}

@@ -1,0 +1,124 @@
+// Loanapp reenacts the paper's demonstration (Section III): five real-life
+// style loan applications that were denied, each with its own preferences
+// and limitations, walked through the three demo screens - Personal
+// Preferences, Queries, and Plans & Insights - plus the behind-the-scenes
+// inspection of temporal inputs and generated candidates.
+//
+// Run with: go run ./examples/loanapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"justintime"
+)
+
+// applicant pairs a rejected profile with their stated preferences.
+type applicant struct {
+	name        string
+	constraints []string
+	dominant    string  // feature for the dominant-feature question
+	alpha       float64 // confidence bar for the turning-point question
+}
+
+func main() {
+	cfg := justintime.DefaultLoanDemoConfig()
+	cfg.Eras = 8
+	cfg.RowsPerEra = 800
+	cfg.T = 3
+
+	fmt.Println("training the model sequence (this is the admin's one-time setup) ...")
+	demo, err := justintime.NewLoanDemo(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := demo.System
+
+	applicants := []applicant{
+		{
+			name: "John (29, high debt, Example I.1)",
+			constraints: []string{
+				"income <= old(income) * 1.2", // modest raises only
+			},
+			dominant: "debt",
+			alpha:    0.7,
+		},
+		{
+			name:        "Dana (27, thin file, big ask)",
+			constraints: []string{"amount = old(amount)"}, // needs the full amount
+			dominant:    "income",
+			alpha:       0.6,
+		},
+		{
+			name:        "Omar (41, heavy debt load)",
+			constraints: []string{"debt >= old(debt) * 0.5", "gap <= 2"},
+			dominant:    "debt",
+			alpha:       0.7,
+		},
+		{
+			name:        "Ruth (38, modest ask, patient)",
+			constraints: nil, // open to anything
+			dominant:    "amount",
+			alpha:       0.8,
+		},
+		{
+			name:        "Lev (33, large household, short tenure)",
+			constraints: []string{"income <= old(income) * 1.3"},
+			dominant:    "income",
+			alpha:       0.7,
+		},
+	}
+
+	profiles := justintime.RejectedProfiles()
+	for i, a := range applicants {
+		fmt.Printf("\n======== applicant %d: %s ========\n", i, a.name)
+		fmt.Println("profile      :", sys.Schema().Format(profiles[i]))
+
+		// Screen 1: Personal Preferences.
+		prefs := justintime.NewConstraintSet()
+		for _, src := range a.constraints {
+			prefs.Add(justintime.MustParseConstraint(src))
+		}
+		if len(a.constraints) > 0 {
+			fmt.Println("preferences  :", prefs)
+		} else {
+			fmt.Println("preferences  : (none)")
+		}
+
+		sess, err := sys.NewSession(profiles[i], prefs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := sess.CandidateCount()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("candidates   : %d stored across %d time points\n", n, sys.Horizon()+1)
+
+		// Screen 2+3: Queries and Insights.
+		insights, err := sess.AskAll(a.dominant, a.alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ins := range insights {
+			fmt.Printf("  [%s]\n    %s\n", ins.Question.Kind, ins.Text)
+		}
+
+		// Behind the scenes, for the first applicant only.
+		if i == 0 {
+			fmt.Println("\n-- behind the scenes: temporal inputs --")
+			res, err := sess.SQL("SELECT * FROM temporal_inputs ORDER BY time")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Format())
+			fmt.Println("\n-- behind the scenes: candidates per time point --")
+			res, err = sess.SQL("SELECT time, COUNT(*) AS n, MIN(diff) AS closest, MAX(p) AS best FROM candidates GROUP BY time ORDER BY time")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Format())
+		}
+	}
+}

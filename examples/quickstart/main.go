@@ -1,0 +1,51 @@
+// Quickstart: build the loan-demo system, replay John (the rejected
+// applicant of the paper's Example I.1), state one personal constraint, and
+// ask all six canned questions.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"justintime"
+)
+
+func main() {
+	// A small configuration so the quickstart runs in seconds.
+	cfg := justintime.DefaultLoanDemoConfig()
+	cfg.Eras = 6
+	cfg.RowsPerEra = 600
+	cfg.T = 3
+
+	demo, err := justintime.NewLoanDemo(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := demo.System
+
+	// John: 29 years old, $48k income, $1.9k monthly debt, asking $30k.
+	john := justintime.RejectedProfiles()[0]
+	fmt.Println("profile:", sys.Schema().Format(john))
+
+	// John cannot raise his income by more than 30%, and he prefers plans
+	// touching at most two features.
+	prefs := justintime.NewConstraintSet(
+		justintime.MustParseConstraint("income <= old(income) * 1.3"),
+		justintime.MustParseConstraint("gap <= 2"),
+	)
+
+	sess, err := sys.NewSession(john, prefs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	insights, err := sess.AskAll("income", 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ins := range insights {
+		fmt.Printf("\n[%s]\n%s\n", ins.Question.Kind, ins.Text)
+	}
+}

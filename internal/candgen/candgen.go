@@ -1,0 +1,533 @@
+// Package candgen generates Decision Altering Candidates (Definition II.3):
+// modifications x' of an input x_t with x' ∈ C_t(x_t) and M_t(x') > δ_t.
+//
+// It adapts the constraints-based explanation algorithm of Deutch & Frost
+// (ICDE 2019) as described in the paper's Section II-A: an iterative search
+// with model-dependent move heuristics (split-threshold crossings for tree
+// ensembles, gradient steps for logistic models, scaled coordinate moves for
+// any model), run as a beam search of width k that prunes the least
+// promising states, extended with the diverse objectives diff / gap /
+// confidence, and concluded by a maximal-marginal-relevance selection of a
+// small diverse top-k.
+package candgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"justintime/internal/constraints"
+	"justintime/internal/feature"
+	"justintime/internal/mlmodel"
+)
+
+// Candidate is one decision-altering candidate with its paper-visible
+// properties.
+type Candidate struct {
+	// X is the modified feature vector x'.
+	X []float64
+	// Diff is the l2 distance from the temporal input.
+	Diff float64
+	// Gap is the number of modified attributes.
+	Gap int
+	// Confidence is the model score M_t(x').
+	Confidence float64
+}
+
+// Problem describes one candidate-generation task (one time point).
+type Problem struct {
+	Schema      *feature.Schema
+	Model       mlmodel.Model
+	Threshold   float64 // δ_t: candidates need Confidence > Threshold
+	Input       []float64
+	Constraints *constraints.Set // may be nil (unconstrained beyond schema)
+	Time        int
+}
+
+// Config tunes the search.
+type Config struct {
+	// K is the number of candidates to return (top-k).
+	K int
+	// BeamWidth is the number of states kept per iteration; 0 selects
+	// max(2*K, 8).
+	BeamWidth int
+	// MaxIters bounds beam iterations; 0 selects 25.
+	MaxIters int
+	// Patience is the number of non-improving iterations before the beam
+	// stops; 0 selects 3.
+	Patience int
+	// DiversityPenalty is the MMR trade-off λ in [0, 1): 0 selects
+	// greedily by quality alone (the ablation baseline); larger values
+	// prefer mutually distant candidates. Default 0.5 when negative.
+	DiversityPenalty float64
+	// Weights scalarizes the objectives when ranking feasible candidates.
+	Weights Weights
+	// Seed drives random coordinate moves.
+	Seed int64
+}
+
+// Weights balances the three optimization objectives of Section II-A. All
+// must be non-negative; zeros fall back to defaults (1, 1, 1).
+type Weights struct {
+	Diff       float64 // prefer small l2 modification
+	Gap        float64 // prefer few modified attributes
+	Confidence float64 // prefer high model score
+}
+
+// DefaultConfig returns the configuration used by the pipeline: top-8
+// diverse candidates from a width-16 beam.
+func DefaultConfig() Config {
+	return Config{K: 8, BeamWidth: 16, MaxIters: 25, Patience: 3, DiversityPenalty: 0.5, Weights: Weights{1, 1, 1}}
+}
+
+func (c Config) withDefaults() Config {
+	if c.BeamWidth == 0 {
+		c.BeamWidth = 2 * c.K
+		if c.BeamWidth < 8 {
+			c.BeamWidth = 8
+		}
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 25
+	}
+	if c.Patience == 0 {
+		c.Patience = 3
+	}
+	if c.DiversityPenalty < 0 {
+		c.DiversityPenalty = 0.5
+	}
+	if c.Weights == (Weights{}) {
+		c.Weights = Weights{1, 1, 1}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("candgen: K must be >= 1, got %d", c.K)
+	}
+	if c.BeamWidth < 0 || c.MaxIters < 0 || c.Patience < 0 {
+		return fmt.Errorf("candgen: negative search parameter")
+	}
+	if c.DiversityPenalty >= 1 {
+		return fmt.Errorf("candgen: DiversityPenalty must be < 1, got %g", c.DiversityPenalty)
+	}
+	if c.Weights.Diff < 0 || c.Weights.Gap < 0 || c.Weights.Confidence < 0 {
+		return fmt.Errorf("candgen: negative objective weight")
+	}
+	return nil
+}
+
+// Stats reports how the search behaved, feeding the convergence experiment
+// (the paper: "the algorithm converges after a small number of iterations").
+type Stats struct {
+	// Iterations is the number of beam iterations executed.
+	Iterations int
+	// FirstFeasibleIter is the iteration at which the first decision-
+	// altering candidate appeared (0 when the axis probes or the
+	// unmodified input already alter the decision; -1 if none was found).
+	FirstFeasibleIter int
+	// Evaluations counts model evaluations.
+	Evaluations int
+	// Converged is true when the beam stopped by patience rather than by
+	// the iteration cap.
+	Converged bool
+	// PoolSize is the number of distinct feasible candidates discovered.
+	PoolSize int
+}
+
+// Generate runs the search and returns at most cfg.K diverse decision-
+// altering candidates, ordered by scalarized quality (best first).
+func Generate(p Problem, cfg Config) ([]Candidate, Stats, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if p.Schema == nil || p.Model == nil {
+		return nil, Stats{}, fmt.Errorf("candgen: Problem needs Schema and Model")
+	}
+	if err := p.Schema.Validate(p.Input); err != nil {
+		return nil, Stats{}, fmt.Errorf("candgen: input: %w", err)
+	}
+	if p.Constraints == nil {
+		p.Constraints = constraints.NewSet()
+	}
+
+	s := &search{
+		p:      p,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		box:    p.Constraints.Box(p.Schema, p.Input, p.Time),
+		scales: p.Schema.Scales(),
+		pool:   make(map[string]Candidate),
+		stats:  Stats{FirstFeasibleIter: -1},
+	}
+
+	// Phase 0: the unmodified input (diff = 0, the Q1 "no modification"
+	// candidate) and per-axis probes (gap = 1 candidates).
+	s.consider(p.Input, 0)
+	s.axisProbes()
+
+	// Phase 1: beam search with model-dependent moves.
+	s.beam()
+
+	// Phase 2: shrink feasible candidates toward the input to reduce diff.
+	s.shrinkPool()
+
+	// Phase 3: diverse top-k selection.
+	out := s.selectTopK()
+	s.stats.PoolSize = len(s.pool)
+	return out, s.stats, nil
+}
+
+type search struct {
+	p      Problem
+	cfg    Config
+	rng    *rand.Rand
+	box    constraints.Box
+	scales []float64
+	pool   map[string]Candidate
+	stats  Stats
+}
+
+// feasible evaluates x fully; when it is a decision-altering candidate it is
+// recorded in the pool. Returns the model score either way.
+func (s *search) consider(x []float64, iter int) (float64, bool) {
+	x = s.p.Schema.Clamp(x)
+	s.stats.Evaluations++
+	conf := s.p.Model.Predict(x)
+	if conf <= s.p.Threshold {
+		return conf, false
+	}
+	ctx := &constraints.Context{
+		Schema:     s.p.Schema,
+		Original:   s.p.Input,
+		Candidate:  x,
+		Time:       s.p.Time,
+		Confidence: conf,
+	}
+	ok, err := s.p.Constraints.Eval(ctx)
+	if err != nil || !ok {
+		return conf, false
+	}
+	c := Candidate{
+		X:          x,
+		Diff:       feature.Diff(x, s.p.Input),
+		Gap:        feature.Gap(x, s.p.Input),
+		Confidence: conf,
+	}
+	k := s.key(x)
+	if prev, exists := s.pool[k]; !exists || s.quality(c) > s.quality(prev) {
+		s.pool[k] = c
+	}
+	if s.stats.FirstFeasibleIter == -1 {
+		s.stats.FirstFeasibleIter = iter
+	}
+	return conf, true
+}
+
+// key buckets candidates by rounding each coordinate to 1/1000 of its range,
+// deduplicating near-identical pool entries.
+func (s *search) key(x []float64) string {
+	var b strings.Builder
+	for i, v := range x {
+		scale := s.scales[i]
+		if scale <= 0 {
+			scale = 1
+		}
+		b.WriteString(strconv.FormatInt(int64(math.Round(v/scale*1000)), 36))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// quality is the scalarized objective for ranking feasible candidates:
+// higher is better.
+func (s *search) quality(c Candidate) float64 {
+	w := s.cfg.Weights
+	normDiff := feature.ScaledDiff(c.X, s.p.Input, s.scales) / math.Sqrt(float64(len(c.X)))
+	normGap := float64(c.Gap) / float64(len(c.X))
+	return w.Confidence*c.Confidence - w.Diff*normDiff - w.Gap*normGap
+}
+
+// axisProbes binary-searches each mutable feature axis for the smallest
+// single-feature modification that alters the decision, in both directions.
+func (s *search) axisProbes() {
+	for _, i := range s.p.Schema.MutableIndices() {
+		for _, dir := range []float64{1, -1} {
+			lo := s.p.Input[i]
+			hi := lo
+			if dir > 0 {
+				hi = s.box.Hi[i]
+			} else {
+				hi = s.box.Lo[i]
+			}
+			if hi == lo || math.IsInf(hi, 0) {
+				continue
+			}
+			// Is the far end feasible at all?
+			probe := feature.Clone(s.p.Input)
+			probe[i] = hi
+			if _, ok := s.consider(probe, 0); !ok {
+				continue
+			}
+			// Binary search for the closest feasible point on the axis.
+			a, b := lo, hi
+			for step := 0; step < 24; step++ {
+				mid := (a + b) / 2
+				probe[i] = mid
+				if _, ok := s.consider(probe, 0); ok {
+					b = mid
+				} else {
+					a = mid
+				}
+			}
+		}
+	}
+}
+
+// beamState is one state of the beam with its cached score.
+type beamState struct {
+	x    []float64
+	conf float64
+}
+
+func (s *search) beam() {
+	start := s.p.Schema.Clamp(s.p.Input)
+	beam := []beamState{{x: start, conf: s.p.Model.Predict(start)}}
+	s.stats.Evaluations++
+	seen := map[string]bool{s.key(start): true}
+
+	bestObjective := math.Inf(-1)
+	sincImprove := 0
+	for iter := 1; iter <= s.cfg.MaxIters; iter++ {
+		s.stats.Iterations = iter
+		var next []beamState
+		for _, st := range beam {
+			for _, mv := range s.proposeMoves(st.x) {
+				mv = s.box.Clamp(s.p.Schema.Clamp(mv))
+				k := s.key(mv)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				conf, _ := s.consider(mv, iter)
+				next = append(next, beamState{x: mv, conf: conf})
+			}
+		}
+		if len(next) == 0 {
+			s.stats.Converged = true
+			return
+		}
+		// Rank: infeasible states climb by confidence; feasible states by
+		// quality (plus a constant to dominate infeasible ones).
+		rank := func(st beamState) float64 {
+			if st.conf > s.p.Threshold {
+				return 10 + s.quality(Candidate{
+					X: st.x, Confidence: st.conf,
+					Diff: feature.Diff(st.x, s.p.Input),
+					Gap:  feature.Gap(st.x, s.p.Input),
+				})
+			}
+			return st.conf
+		}
+		sort.Slice(next, func(a, b int) bool { return rank(next[a]) > rank(next[b]) })
+		if len(next) > s.cfg.BeamWidth {
+			next = next[:s.cfg.BeamWidth]
+		}
+		beam = next
+		if top := rank(beam[0]); top > bestObjective+1e-9 {
+			bestObjective = top
+			sincImprove = 0
+		} else {
+			sincImprove++
+			if sincImprove >= s.cfg.Patience {
+				s.stats.Converged = true
+				return
+			}
+		}
+	}
+}
+
+// proposeMoves generates neighbor states with the model-dependent heuristics
+// of Section II-A.
+func (s *search) proposeMoves(x []float64) [][]float64 {
+	var moves [][]float64
+	mutable := s.p.Schema.MutableIndices()
+
+	// Tree-ensemble heuristic: cross the nearest split thresholds.
+	type thresholder interface{ Thresholds() map[int][]float64 }
+	if tm, ok := s.p.Model.(thresholder); ok {
+		thr := tm.Thresholds()
+		for _, i := range mutable {
+			moves = append(moves, s.thresholdMoves(x, i, thr[i])...)
+		}
+	}
+
+	// Logistic heuristic: step along the probability gradient.
+	type gradient interface{ Gradient(x []float64) []float64 }
+	if gm, ok := s.p.Model.(gradient); ok {
+		g := gm.Gradient(x)
+		for _, frac := range []float64{0.02, 0.08, 0.2} {
+			mv := feature.Clone(x)
+			// Normalize per-feature by range so one step moves each
+			// feature a comparable fraction of its domain.
+			norm := 0.0
+			for _, i := range mutable {
+				norm += math.Abs(g[i]) * s.scales[i]
+			}
+			if norm < 1e-18 {
+				break
+			}
+			for _, i := range mutable {
+				mv[i] += frac * g[i] * s.scales[i] * s.scales[i] / norm
+			}
+			moves = append(moves, mv)
+		}
+	}
+
+	// Generic coordinate moves: ± a fraction of the feature range.
+	for _, i := range mutable {
+		for _, frac := range []float64{0.02, 0.1, 0.3} {
+			step := frac * s.scales[i]
+			if step <= 0 {
+				continue
+			}
+			up := feature.Clone(x)
+			up[i] += step
+			down := feature.Clone(x)
+			down[i] -= step
+			moves = append(moves, up, down)
+		}
+	}
+
+	// A couple of random two-feature moves to escape plateaus.
+	if len(mutable) >= 2 {
+		for k := 0; k < 2; k++ {
+			mv := feature.Clone(x)
+			i := mutable[s.rng.Intn(len(mutable))]
+			j := mutable[s.rng.Intn(len(mutable))]
+			mv[i] += (s.rng.Float64() - 0.5) * 0.2 * s.scales[i]
+			mv[j] += (s.rng.Float64() - 0.5) * 0.2 * s.scales[j]
+			moves = append(moves, mv)
+		}
+	}
+	return moves
+}
+
+// thresholdMoves proposes crossing the nearest ensemble split thresholds on
+// feature i, in both directions.
+func (s *search) thresholdMoves(x []float64, i int, thrs []float64) [][]float64 {
+	if len(thrs) == 0 {
+		return nil
+	}
+	eps := s.scales[i] * 1e-3
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	var moves [][]float64
+	// The nearest 2 thresholds above and below the current value.
+	above, below := 0, 0
+	j := sort.SearchFloat64s(thrs, x[i])
+	for u := j; u < len(thrs) && above < 2; u++ {
+		if thrs[u] > x[i] {
+			mv := feature.Clone(x)
+			mv[i] = thrs[u] + eps
+			moves = append(moves, mv)
+			above++
+		}
+	}
+	for d := j - 1; d >= 0 && below < 2; d-- {
+		if thrs[d] < x[i] {
+			mv := feature.Clone(x)
+			mv[i] = thrs[d] - eps
+			moves = append(moves, mv)
+			below++
+		}
+	}
+	return moves
+}
+
+// shrinkPool walks each feasible candidate back toward the input by binary
+// search along the connecting segment, keeping feasibility, to reduce diff.
+func (s *search) shrinkPool() {
+	originals := make([]Candidate, 0, len(s.pool))
+	for _, c := range s.pool {
+		originals = append(originals, c)
+	}
+	// Deterministic iteration order.
+	sort.Slice(originals, func(a, b int) bool {
+		return s.key(originals[a].X) < s.key(originals[b].X)
+	})
+	for _, c := range originals {
+		if c.Diff == 0 {
+			continue
+		}
+		lo, hi := 0.0, 1.0 // fraction of the way from input to candidate
+		for step := 0; step < 12; step++ {
+			mid := (lo + hi) / 2
+			x := make([]float64, len(c.X))
+			for i := range x {
+				x[i] = s.p.Input[i] + mid*(c.X[i]-s.p.Input[i])
+			}
+			if _, ok := s.consider(x, s.stats.Iterations); ok {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+	}
+}
+
+// selectTopK picks K pool candidates by maximal marginal relevance:
+// quality minus λ times similarity to the already-selected set.
+func (s *search) selectTopK() []Candidate {
+	all := make([]Candidate, 0, len(s.pool))
+	for _, c := range s.pool {
+		all = append(all, c)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		qa, qb := s.quality(all[a]), s.quality(all[b])
+		if qa != qb {
+			return qa > qb
+		}
+		return s.key(all[a].X) < s.key(all[b].X)
+	})
+	if len(all) <= s.cfg.K {
+		return all
+	}
+	lambda := s.cfg.DiversityPenalty
+	if lambda == 0 {
+		return all[:s.cfg.K]
+	}
+	sqrtD := math.Sqrt(float64(s.p.Schema.Dim()))
+	similarity := func(a, b Candidate) float64 {
+		d := feature.ScaledDiff(a.X, b.X, s.scales) / sqrtD
+		return 1 / (1 + 10*d)
+	}
+	selected := []Candidate{all[0]}
+	remaining := all[1:]
+	for len(selected) < s.cfg.K && len(remaining) > 0 {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		for i, c := range remaining {
+			maxSim := 0.0
+			for _, sel := range selected {
+				if sim := similarity(c, sel); sim > maxSim {
+					maxSim = sim
+				}
+			}
+			score := (1-lambda)*s.quality(c) - lambda*maxSim
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		selected = append(selected, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	// Present best-quality first.
+	sort.Slice(selected, func(a, b int) bool { return s.quality(selected[a]) > s.quality(selected[b]) })
+	return selected
+}

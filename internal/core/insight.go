@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"justintime/internal/feature"
+	"justintime/internal/sqldb"
+)
+
+// Insight is the answer to a canned question: the SQL that was run, the raw
+// result, and a verbal rendering for non-expert users (the paper's "Plans
+// and Insights" screen).
+type Insight struct {
+	Question Question
+	SQL      string
+	Result   *sqldb.Result
+	Text     string
+}
+
+// Ask answers one canned question against the session database.
+func (sess *Session) Ask(q Question) (*Insight, error) {
+	query, err := sess.questionSQL(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.db.Query(query)
+	if err != nil {
+		return nil, fmt.Errorf("core: question %s: %w", q.Kind, err)
+	}
+	ins := &Insight{Question: q, SQL: query, Result: res}
+	ins.Text, err = sess.renderInsight(q, res)
+	if err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+// AskAll answers every default canned question, parameterized by the given
+// dominant feature and turning-point alpha.
+func (sess *Session) AskAll(dominantFeature string, alpha float64) ([]*Insight, error) {
+	var out []*Insight
+	for _, q := range Questions(dominantFeature, alpha) {
+		ins, err := sess.Ask(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}
+
+func (sess *Session) renderInsight(q Question, res *sqldb.Result) (string, error) {
+	sys := sess.sys
+	switch q.Kind {
+	case QNoModification:
+		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+			return "Reapplying without any modification is never approved within the covered horizon.", nil
+		}
+		t, _ := res.Rows[0][0].AsInt()
+		return fmt.Sprintf("Reapplying without any modification is first approved %s.", sys.TimeLabel(int(t))), nil
+	case QMinimalFeatures:
+		if len(res.Rows) == 0 {
+			return "No decision-altering modification satisfies your constraints within the covered horizon.", nil
+		}
+		return sess.describeCandidateRow(res, 0, "The smallest change that flips the decision"), nil
+	case QDominantFeature:
+		times := make([]int, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			t, _ := row[0].AsInt()
+			times = append(times, int(t))
+		}
+		all := len(times) == sys.cfg.T+1
+		f := strings.ToLower(strings.TrimSpace(q.Feature))
+		switch {
+		case all:
+			return fmt.Sprintf("Yes: modifying %s alone can lead to approval at every covered time point (%s through %s).",
+				f, sys.TimeLabel(0), sys.TimeLabel(sys.cfg.T)), nil
+		case len(times) == 0:
+			return fmt.Sprintf("No: modifying %s alone never suffices at any covered time point.", f), nil
+		default:
+			labels := make([]string, len(times))
+			for i, t := range times {
+				labels[i] = sys.TimeLabel(t)
+			}
+			return fmt.Sprintf("Partially: modifying %s alone suffices only %s.", f, strings.Join(labels, ", ")), nil
+		}
+	case QMinimalOverall:
+		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+			return "No decision-altering modification satisfies your constraints within the covered horizon.", nil
+		}
+		d, _ := res.Rows[0][0].AsFloat()
+		if d == 0 {
+			return "The minimal overall modification is no modification at all - waiting suffices (see the no-modification question for when).", nil
+		}
+		return fmt.Sprintf("The minimal overall modification has distance %.2f from your (time-adjusted) profile.", d), nil
+	case QMaximalConfidence:
+		if len(res.Rows) == 0 {
+			return "No decision-altering modification satisfies your constraints within the covered horizon.", nil
+		}
+		return sess.describeCandidateRow(res, 0, "The modification maximizing approval confidence"), nil
+	case QTurningPoint:
+		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+			return fmt.Sprintf("There is no time point after which approval confidence above %.2f is always achievable.", q.Alpha), nil
+		}
+		t, _ := res.Rows[0][0].AsInt()
+		return fmt.Sprintf("From %s onward, some modification always achieves approval confidence above %.2f.",
+			sys.TimeLabel(int(t)), q.Alpha), nil
+	default:
+		return "", fmt.Errorf("core: unknown question kind %d", q.Kind)
+	}
+}
+
+// describeCandidateRow renders a full candidates row (time, features, diff,
+// gap, p) as an actionable sentence.
+func (sess *Session) describeCandidateRow(res *sqldb.Result, rowIdx int, prefix string) string {
+	schema := sess.sys.cfg.Schema
+	row := res.Rows[rowIdx]
+	t64, _ := row[0].AsInt()
+	t := int(t64)
+	x := make([]float64, schema.Dim())
+	for i := range x {
+		f, _ := row[1+i].AsFloat()
+		x[i] = f
+	}
+	gap64, _ := row[1+schema.Dim()+1].AsInt()
+	p, _ := row[1+schema.Dim()+2].AsFloat()
+
+	input := sess.inputs[t]
+	changed := schema.ChangedFields(input, x)
+	var changes []string
+	for _, name := range changed {
+		i, _ := schema.Index(name)
+		changes = append(changes, fmt.Sprintf("%s: %s -> %s",
+			name, formatFieldValue(schema, i, input[i]), formatFieldValue(schema, i, x[i])))
+	}
+	when := sess.sys.TimeLabel(t)
+	if len(changes) == 0 {
+		return fmt.Sprintf("%s: reapply unchanged %s (approval confidence %.2f).", prefix, when, p)
+	}
+	return fmt.Sprintf("%s (%d feature(s)): %s; reapply %s (approval confidence %.2f).",
+		prefix, gap64, strings.Join(changes, ", "), when, p)
+}
+
+func formatFieldValue(schema *feature.Schema, i int, v float64) string {
+	f := schema.Field(i)
+	var s string
+	if f.Kind == feature.Continuous {
+		s = fmt.Sprintf("%.0f", v)
+		if v != float64(int64(v)) && v < 1000 {
+			s = fmt.Sprintf("%.2f", v)
+		}
+	} else {
+		s = fmt.Sprintf("%.0f", v)
+	}
+	if f.Unit != "" {
+		s += f.Unit
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"justintime/internal/drift"
+	"justintime/internal/mlmodel"
+)
+
+// approveAll is a stub generator whose models approve everything with high
+// confidence, exercising the positive branches of every insight.
+type approveAll struct{}
+
+func (approveAll) Name() string { return "approve-all" }
+func (approveAll) Generate(history []drift.Era, horizon int) ([]drift.TimedModel, error) {
+	out := make([]drift.TimedModel, horizon+1)
+	for t := range out {
+		out[t] = drift.TimedModel{Model: mlmodel.ConstantModel{P: 0.9}, Threshold: 0.5}
+	}
+	return out, nil
+}
+
+// rejectUntil approves only from era `from` onward, for turning-point tests.
+type rejectUntil struct{ from int }
+
+func (rejectUntil) Name() string { return "reject-until" }
+func (g rejectUntil) Generate(history []drift.Era, horizon int) ([]drift.TimedModel, error) {
+	out := make([]drift.TimedModel, horizon+1)
+	for t := range out {
+		p := 0.1
+		if t >= g.from {
+			p = 0.9
+		}
+		out[t] = drift.TimedModel{Model: mlmodel.ConstantModel{P: p}, Threshold: 0.5}
+	}
+	return out, nil
+}
+
+func stubSystem(t *testing.T, g drift.Generator) *System {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Generator = g
+	sys, err := NewSystem(cfg, testHistory(t, 3, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestInsightsWhenAlwaysApproved(t *testing.T) {
+	sys := stubSystem(t, approveAll{})
+	sess, err := sys.NewSession([]float64{29, 1, 70000, 1800, 4, 25000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ins, err := sess.Ask(Question{Kind: QNoModification})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ins.Text, "first approved now") {
+		t.Errorf("Q1 text = %q", ins.Text)
+	}
+
+	ins, err = sess.Ask(Question{Kind: QMinimalOverall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ins.Text, "no modification at all") {
+		t.Errorf("Q4 text = %q", ins.Text)
+	}
+
+	// With gap=0 candidates at every time point, any feature is dominant.
+	ins, err = sess.Ask(Question{Kind: QDominantFeature, Feature: "income"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ins.Text, "Yes") {
+		t.Errorf("Q3 text = %q", ins.Text)
+	}
+
+	ins, err = sess.Ask(Question{Kind: QTurningPoint, Alpha: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ins.Text, "From now onward") {
+		t.Errorf("Q6 text = %q", ins.Text)
+	}
+
+	// The minimal-features answer should report an unchanged reapplication.
+	ins, err = sess.Ask(Question{Kind: QMinimalFeatures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ins.Text, "reapply unchanged") {
+		t.Errorf("Q2 text = %q", ins.Text)
+	}
+}
+
+func TestTurningPointMidHorizon(t *testing.T) {
+	sys := stubSystem(t, rejectUntil{from: 2})
+	sess, err := sys.NewSession([]float64{29, 1, 70000, 1800, 4, 25000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := sess.Ask(Question{Kind: QTurningPoint, Alpha: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ins.Text, "From in 2 years") {
+		t.Errorf("Q6 text = %q", ins.Text)
+	}
+	// Q1 fires at the same time point (unmodified inputs are approved).
+	ins, err = sess.Ask(Question{Kind: QNoModification})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ins.Text, "in 2 years") {
+		t.Errorf("Q1 text = %q", ins.Text)
+	}
+}
+
+func TestDominantFeaturePartial(t *testing.T) {
+	// Approvals only at t >= 1: income-only candidates exist there but not
+	// at t=0, so dominance is partial.
+	sys := stubSystem(t, rejectUntil{from: 1})
+	sess, err := sys.NewSession([]float64{29, 1, 70000, 1800, 4, 25000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := sess.Ask(Question{Kind: QDominantFeature, Feature: "income"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ins.Text, "Partially") {
+		t.Errorf("Q3 text = %q", ins.Text)
+	}
+}

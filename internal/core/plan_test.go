@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanStructured(t *testing.T) {
+	sys := testSystem(t)
+	sess, err := sys.NewSession(rejectedProfile(t, sys), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sess.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	models := sys.Models()
+	for _, step := range plan {
+		if step.Time < 0 || step.Time > sys.Horizon() {
+			t.Errorf("step time %d out of range", step.Time)
+		}
+		if step.Confidence <= models[step.Time].Threshold {
+			t.Errorf("step at t=%d is not decision-altering: %.3f", step.Time, step.Confidence)
+		}
+		if step.Gap != len(step.Changes) {
+			t.Errorf("step gap %d but %d changes", step.Gap, len(step.Changes))
+		}
+		if step.When == "" {
+			t.Error("step missing label")
+		}
+		// Changes must name real schema fields and actually differ.
+		for _, c := range step.Changes {
+			if _, ok := sys.Schema().Index(c.Field); !ok {
+				t.Errorf("unknown field %q in plan", c.Field)
+			}
+			if c.From == c.To {
+				t.Errorf("no-op change on %s", c.Field)
+			}
+		}
+		if s := step.String(); s == "" || !strings.Contains(s, "confidence") {
+			t.Errorf("step String() = %q", s)
+		}
+	}
+	// Plan steps are ordered by time and unique per time.
+	for i := 1; i < len(plan); i++ {
+		if plan[i].Time <= plan[i-1].Time {
+			t.Error("plan not ordered by time")
+		}
+	}
+}
+
+func TestBestPlanAt(t *testing.T) {
+	sys := testSystem(t)
+	sess, err := sys.NewSession(rejectedProfile(t, sys), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := sess.BestPlanAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step == nil {
+		t.Skip("no candidates at t=0 for this model seed")
+	}
+	// Best-at must match the SQL Q5-style answer restricted to t=0.
+	res, err := sess.SQL("SELECT MAX(p) FROM candidates WHERE time = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := res.Rows[0][0].AsFloat()
+	if step.Confidence != want {
+		t.Errorf("BestPlanAt confidence %.4f, SQL says %.4f", step.Confidence, want)
+	}
+	if _, err := sess.BestPlanAt(-1); err == nil {
+		t.Error("negative time should fail")
+	}
+	if _, err := sess.BestPlanAt(99); err == nil {
+		t.Error("out-of-range time should fail")
+	}
+}
+
+func TestPlanStepStringUnchanged(t *testing.T) {
+	s := PlanStep{When: "now", Confidence: 0.9}
+	if got := s.String(); !strings.Contains(got, "unchanged") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"justintime/internal/candgen"
+	"justintime/internal/constraints"
+	"justintime/internal/feature"
+	"justintime/internal/sqldb"
+)
+
+// Session is one user's interaction: their profile, preferences, temporal
+// inputs, and the generated candidates database ready for querying.
+type Session struct {
+	sys     *System
+	profile []float64
+	user    *constraints.Set
+	inputs  [][]float64 // x_0..x_T
+	db      *sqldb.DB
+	stats   []candgen.Stats
+}
+
+// NewSession runs the temporal candidates generation phase of Section II-B
+// for one applicant: it computes the temporal inputs, runs the T+1
+// independent candidate generators (in parallel, bounded by Config.Workers)
+// under the conjunction of domain and user constraints, and loads the
+// results into a fresh relational database.
+func (s *System) NewSession(profile []float64, user *constraints.Set) (*Session, error) {
+	if err := s.cfg.Schema.Validate(profile); err != nil {
+		return nil, fmt.Errorf("core: profile: %w", err)
+	}
+	merged := constraints.Merge(s.cfg.Domain, user)
+	inputs, err := s.updater.Sequence(profile, s.cfg.T)
+	if err != nil {
+		return nil, err
+	}
+
+	sess := &Session{
+		sys:     s,
+		profile: feature.Clone(profile),
+		user:    user,
+		inputs:  inputs,
+		stats:   make([]candgen.Stats, s.cfg.T+1),
+	}
+
+	// Run the candidate generators; they are independent of each other
+	// (Section II-B) and can execute concurrently.
+	results := make([][]candgen.Candidate, s.cfg.T+1)
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = s.cfg.T + 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for t := 0; t <= s.cfg.T; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := s.cfg.CandGen
+			cfg.Seed = cfg.Seed*31 + int64(t) // deterministic, distinct per t
+			cands, st, err := candgen.Generate(candgen.Problem{
+				Schema:      s.cfg.Schema,
+				Model:       s.models[t].Model,
+				Threshold:   s.models[t].Threshold,
+				Input:       inputs[t],
+				Constraints: merged,
+				Time:        t,
+			}, cfg)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: generator at t=%d: %w", t, err)
+				}
+				mu.Unlock()
+				return
+			}
+			results[t] = cands
+			sess.stats[t] = st
+		}(t)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	if err := sess.loadDatabase(results); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// loadDatabase creates and fills the session's temporal_inputs and
+// candidates tables.
+func (sess *Session) loadDatabase(results [][]candgen.Candidate) error {
+	schema := sess.sys.cfg.Schema
+	db := sqldb.New()
+
+	var cols strings.Builder
+	for _, name := range schema.Names() {
+		fmt.Fprintf(&cols, ", %s FLOAT", name)
+	}
+	if _, err := db.Exec(fmt.Sprintf("CREATE TABLE temporal_inputs (time INT%s)", cols.String())); err != nil {
+		return err
+	}
+	if _, err := db.Exec(fmt.Sprintf("CREATE TABLE candidates (time INT%s, diff FLOAT, gap INT, p FLOAT)", cols.String())); err != nil {
+		return err
+	}
+
+	tiRows := make([][]sqldb.Value, len(sess.inputs))
+	for t, x := range sess.inputs {
+		row := make([]sqldb.Value, 0, 1+len(x))
+		row = append(row, sqldb.Int(int64(t)))
+		for _, v := range x {
+			row = append(row, sqldb.Float(v))
+		}
+		tiRows[t] = row
+	}
+	if err := db.InsertRows("temporal_inputs", tiRows); err != nil {
+		return err
+	}
+
+	var candRows [][]sqldb.Value
+	for t, cands := range results {
+		for _, c := range cands {
+			row := make([]sqldb.Value, 0, 4+len(c.X))
+			row = append(row, sqldb.Int(int64(t)))
+			for _, v := range c.X {
+				row = append(row, sqldb.Float(v))
+			}
+			row = append(row, sqldb.Float(c.Diff), sqldb.Int(int64(c.Gap)), sqldb.Float(c.Confidence))
+			candRows = append(candRows, row)
+		}
+	}
+	if err := db.InsertRows("candidates", candRows); err != nil {
+		return err
+	}
+	sess.db = db
+	return nil
+}
+
+// Profile returns the applicant's original feature vector.
+func (sess *Session) Profile() []float64 { return feature.Clone(sess.profile) }
+
+// TemporalInput returns x_t, the profile advanced to time t.
+func (sess *Session) TemporalInput(t int) []float64 {
+	return feature.Clone(sess.inputs[t])
+}
+
+// GenStats returns per-time-point search statistics (for the convergence
+// experiment).
+func (sess *Session) GenStats() []candgen.Stats {
+	out := make([]candgen.Stats, len(sess.stats))
+	copy(out, sess.stats)
+	return out
+}
+
+// CandidateCount returns the total number of stored candidates.
+func (sess *Session) CandidateCount() (int, error) {
+	res, err := sess.db.Query("SELECT COUNT(*) FROM candidates")
+	if err != nil {
+		return 0, err
+	}
+	n, _ := res.Rows[0][0].AsInt()
+	return int(n), nil
+}
+
+// SQL is the expert interface: run any SELECT over the session database.
+func (sess *Session) SQL(query string) (*sqldb.Result, error) {
+	return sess.db.Query(query)
+}
+
+// DB exposes the underlying session database (used by the demo server's
+// inspection screens).
+func (sess *Session) DB() *sqldb.DB { return sess.db }

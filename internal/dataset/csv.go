@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams the dataset in a stable textual format: a header row with
+// era, label and the schema's field names, followed by one row per example in
+// era order. It mirrors the shape of the Lending Club CSV dump so examples
+// can demonstrate file-based ingestion.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"era", "label"}, d.Schema.Names()...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for t := range d.eras {
+		for _, e := range d.eras[t] {
+			row[0] = strconv.Itoa(e.T)
+			if e.Label {
+				row[1] = "1"
+			} else {
+				row[1] = "0"
+			}
+			for i, v := range e.X {
+				row[2+i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("dataset: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously produced by WriteCSV. The header must
+// match the loan schema exactly.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	schema := LoanSchema()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2 + schema.Dim()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	want := append([]string{"era", "label"}, schema.Names()...)
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, header[i], want[i])
+		}
+	}
+	var eras [][]Example
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read row: %w", err)
+		}
+		t, err := strconv.Atoi(rec[0])
+		if err != nil || t < 0 {
+			return nil, fmt.Errorf("dataset: bad era %q", rec[0])
+		}
+		label := rec[1] == "1"
+		if rec[1] != "0" && rec[1] != "1" {
+			return nil, fmt.Errorf("dataset: bad label %q", rec[1])
+		}
+		x := make([]float64, schema.Dim())
+		for i := range x {
+			v, err := strconv.ParseFloat(rec[2+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: bad value %q in column %s: %w", rec[2+i], schema.Field(i).Name, err)
+			}
+			x[i] = v
+		}
+		if err := schema.Validate(x); err != nil {
+			return nil, err
+		}
+		for len(eras) <= t {
+			eras = append(eras, nil)
+		}
+		eras[t] = append(eras[t], Example{X: x, Label: label, T: t})
+	}
+	return &Dataset{Schema: schema, eras: eras}, nil
+}

@@ -1,0 +1,291 @@
+// Package dataset provides a deterministic synthetic substitute for the
+// Lending Club loan-application data the paper demonstrates on. The public
+// Kaggle dump (~1M applications, 2007-2018) is not available offline, so the
+// generator below produces timestamped labeled loan applications over the six
+// features of the paper's running example, with explicit, controllable
+// temporal drift:
+//
+//   - incomes inflate year over year;
+//   - for applicants aged 30+, income requirements relax while debt
+//     requirements tighten as time passes (exactly John's story in Example
+//     I.1 of the paper);
+//   - the global approval bar drifts slowly stricter.
+//
+// Because the drift is known in closed form (TruthScore), experiments can
+// measure how well predicted future models track the *actual* future rule —
+// something the raw Kaggle dump cannot support offline.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"justintime/internal/feature"
+)
+
+// Feature indices of the loan schema, in schema order.
+const (
+	FAge = iota
+	FHousehold
+	FIncome
+	FDebt
+	FSeniority
+	FAmount
+)
+
+// BaseYear is the calendar year of era 0, matching the paper's dataset span
+// (2007-2018).
+const BaseYear = 2007
+
+// LoanSchema returns the six-feature schema of the paper's running example:
+// Age, Household status, Annual Income, Monthly Debt, Job Seniority and the
+// requested Loan Amount.
+func LoanSchema() *feature.Schema {
+	return feature.MustSchema(
+		feature.Field{Name: "age", Kind: feature.Integer, Min: 18, Max: 100, Temporal: true, Immutable: true, Unit: "y"},
+		feature.Field{Name: "household", Kind: feature.Ordinal, Min: 0, Max: 4},
+		feature.Field{Name: "income", Kind: feature.Continuous, Min: 0, Max: 500000, Unit: "$"},
+		feature.Field{Name: "debt", Kind: feature.Continuous, Min: 0, Max: 20000, Unit: "$"},
+		feature.Field{Name: "seniority", Kind: feature.Integer, Min: 0, Max: 60, Temporal: true, Immutable: true, Unit: "y"},
+		feature.Field{Name: "amount", Kind: feature.Continuous, Min: 500, Max: 100000, Unit: "$"},
+	)
+}
+
+// Example is one labeled loan application. T is the era index (0 = BaseYear).
+type Example struct {
+	X     []float64
+	Label bool
+	T     int
+}
+
+// Dataset holds labeled examples grouped by era.
+type Dataset struct {
+	Schema *feature.Schema
+	eras   [][]Example
+}
+
+// Config parameterizes the generator. The zero value is not usable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// Seed drives all randomness; equal seeds give byte-identical data.
+	Seed int64
+	// Eras is the number of yearly eras to generate (12 covers 2007-2018).
+	Eras int
+	// RowsPerEra is the number of applications per era.
+	RowsPerEra int
+	// LabelNoise is the probability of flipping the ground-truth label,
+	// modeling underwriting inconsistency. Must be in [0, 0.5).
+	LabelNoise float64
+	// DriftScale multiplies the temporal drift terms. 1 reproduces the
+	// default drift; 0 produces a stationary world (useful as an
+	// experimental control).
+	DriftScale float64
+}
+
+// DefaultConfig returns the configuration used by the examples and
+// experiments: 12 eras of 2000 rows with mild label noise.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Eras: 12, RowsPerEra: 2000, LabelNoise: 0.05, DriftScale: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Eras <= 0 {
+		return fmt.Errorf("dataset: Eras must be positive, got %d", c.Eras)
+	}
+	if c.RowsPerEra <= 0 {
+		return fmt.Errorf("dataset: RowsPerEra must be positive, got %d", c.RowsPerEra)
+	}
+	if c.LabelNoise < 0 || c.LabelNoise >= 0.5 {
+		return fmt.Errorf("dataset: LabelNoise must be in [0, 0.5), got %g", c.LabelNoise)
+	}
+	if c.DriftScale < 0 {
+		return fmt.Errorf("dataset: DriftScale must be non-negative, got %g", c.DriftScale)
+	}
+	return nil
+}
+
+// Generate produces a full dataset according to cfg.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	schema := LoanSchema()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eras := make([][]Example, cfg.Eras)
+	for t := 0; t < cfg.Eras; t++ {
+		rows := make([]Example, cfg.RowsPerEra)
+		for i := range rows {
+			x := sampleProfile(rng, t, cfg.DriftScale)
+			x = schema.Clamp(x)
+			label := TruthLabel(x, t, cfg.DriftScale)
+			if cfg.LabelNoise > 0 && rng.Float64() < cfg.LabelNoise {
+				label = !label
+			}
+			rows[i] = Example{X: x, Label: label, T: t}
+		}
+		eras[t] = rows
+	}
+	return &Dataset{Schema: schema, eras: eras}, nil
+}
+
+// MustGenerate is Generate for known-good configurations; it panics on error.
+func MustGenerate(cfg Config) *Dataset {
+	d, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Eras returns the number of eras in the dataset.
+func (d *Dataset) Eras() int { return len(d.eras) }
+
+// Era returns the examples of era t. The returned slice is shared; callers
+// must not modify it.
+func (d *Dataset) Era(t int) []Example {
+	if t < 0 || t >= len(d.eras) {
+		panic(fmt.Sprintf("dataset: era %d out of range [0,%d)", t, len(d.eras)))
+	}
+	return d.eras[t]
+}
+
+// All returns every example across all eras in era order.
+func (d *Dataset) All() []Example {
+	var out []Example
+	for _, era := range d.eras {
+		out = append(out, era...)
+	}
+	return out
+}
+
+// PositiveRate returns the fraction of positive labels in era t.
+func (d *Dataset) PositiveRate(t int) float64 {
+	era := d.Era(t)
+	if len(era) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range era {
+		if e.Label {
+			n++
+		}
+	}
+	return float64(n) / float64(len(era))
+}
+
+// sampleProfile draws one applicant profile for era t. Marginals drift with
+// time: incomes inflate ~3%/year and requested amounts follow.
+func sampleProfile(rng *rand.Rand, t int, driftScale float64) []float64 {
+	age := 21 + rng.ExpFloat64()*12
+	if age > 75 {
+		age = 75
+	}
+	household := float64(rng.Intn(5))
+	inflation := math.Pow(1.03, float64(t)*driftScale)
+	// Log-normal income centered near $55k at era 0, growing with age up
+	// to midlife.
+	ageBoost := 1 + 0.012*math.Min(age-21, 25)
+	income := math.Exp(rng.NormFloat64()*0.5+10.9) * inflation * ageBoost
+	// Monthly debt correlated with income and household size.
+	debt := income / 12 * (0.1 + 0.35*rng.Float64()) * (1 + 0.08*household)
+	// Seniority grows with age, noisy.
+	sen := math.Max(0, (age-20)*0.55+rng.NormFloat64()*3)
+	if sen > age-16 {
+		sen = math.Max(0, age-16)
+	}
+	// Requested amount roughly 10-60% of annual income.
+	amount := income * (0.1 + 0.5*rng.Float64())
+	return []float64{age, household, income, debt, sen, amount}
+}
+
+// TruthScore is the latent underwriting score used to label era-t
+// applications. Higher is better; approval corresponds to TruthScore > 0.
+// The score drifts with t, reproducing the dynamics of the paper's Example
+// I.1: for applicants aged 30+, the income weight relaxes while the debt
+// weight tightens as t grows, and the overall bar rises slowly. Age credit
+// and seniority reward waiting, so for some borderline applicants simply
+// reapplying later flips the decision.
+func TruthScore(x []float64, t int, driftScale float64) float64 {
+	ts := float64(t) * driftScale
+	age := x[FAge]
+	over30 := 0.0
+	if age >= 30 {
+		over30 = 1
+	}
+	income := math.Max(x[FIncome], 1)
+	inflation := math.Pow(1.03, ts)
+	incomeN := x[FIncome] / (80000 * inflation) // inflation-adjusted
+	dti := x[FDebt] * 12 / income               // debt-to-income
+	lti := x[FAmount] / income                  // loan-to-income
+	senN := x[FSeniority] / 10
+	hhN := x[FHousehold] / 4
+	ageCredit := 0.03 * math.Min(age-22, 20)
+
+	wInc := 1.6 - 0.05*ts*over30
+	wDebt := 1.6 * (1.0 + 0.06*ts*over30)
+	wSen := 0.45 + 0.015*ts // stability is rewarded more as underwriting matures
+	bias := -1.05 - 0.012*ts
+
+	return bias + wInc*incomeN - wDebt*dti - 0.7*lti + wSen*senN + 0.15*hhN + ageCredit
+}
+
+// TruthProb maps the latent score to an approval probability via a sigmoid.
+func TruthProb(x []float64, t int, driftScale float64) float64 {
+	return 1 / (1 + math.Exp(-4*TruthScore(x, t, driftScale)))
+}
+
+// TruthLabel is the noiseless ground-truth approval decision at era t.
+func TruthLabel(x []float64, t int, driftScale float64) bool {
+	return TruthScore(x, t, driftScale) > 0
+}
+
+// RatioFeatures lifts a raw loan profile into an engineered feature space by
+// appending the two underwriting ratios that drive real credit decisions:
+// debt-to-income (annualized) and loan-to-income. Linear models trained on
+// this space can represent the latent rule far better than on raw features;
+// pass it to drift.KI's Features option for the ablation in E4.
+func RatioFeatures(x []float64) []float64 {
+	income := math.Max(x[FIncome], 1)
+	out := make([]float64, len(x), len(x)+2)
+	copy(out, x)
+	return append(out, x[FDebt]*12/income, x[FAmount]/income)
+}
+
+// Split partitions examples into train and test subsets with the given test
+// fraction, shuffled deterministically by seed.
+func Split(examples []Example, testFrac float64, seed int64) (train, test []Example) {
+	if testFrac < 0 || testFrac > 1 {
+		panic(fmt.Sprintf("dataset: testFrac %g outside [0,1]", testFrac))
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(len(examples))
+	nTest := int(float64(len(examples)) * testFrac)
+	test = make([]Example, 0, nTest)
+	train = make([]Example, 0, len(examples)-nTest)
+	for i, j := range idx {
+		if i < nTest {
+			test = append(test, examples[j])
+		} else {
+			train = append(train, examples[j])
+		}
+	}
+	return train, test
+}
+
+// RejectedProfiles returns five canonical rejected-applicant profiles used by
+// the demonstration reenactment (Section III of the paper). Each is rejected
+// by the ground-truth rule of the last demo era (era 11, i.e. 2018) but is
+// borderline enough that plausible modifications — or, for some, simply
+// waiting — can flip the decision. The first is "John", the 29-year-old of
+// Example I.1.
+func RejectedProfiles() [][]float64 {
+	return [][]float64{
+		// age, household, income, debt, seniority, amount
+		{29, 1, 70000, 1800, 4, 25000}, // John: high debt, decent income, about to turn 30
+		{27, 0, 68000, 600, 3, 30000},  // young, thin file
+		{41, 3, 78000, 2000, 9, 35000}, // mid-career, heavy debt load
+		{38, 2, 40000, 500, 12, 12000}, // modest ask, low debt: waiting (age+seniority) helps
+		{33, 4, 72000, 1400, 3, 28000}, // large household, short tenure
+	}
+}

@@ -1,0 +1,280 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"eras", func(c *Config) { c.Eras = 0 }},
+		{"rows", func(c *Config) { c.RowsPerEra = -1 }},
+		{"noise", func(c *Config) { c.LabelNoise = 0.5 }},
+		{"negnoise", func(c *Config) { c.LabelNoise = -0.1 }},
+		{"drift", func(c *Config) { c.DriftScale = -1 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		c.mut(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Eras: 3, RowsPerEra: 50, LabelNoise: 0.05, DriftScale: 1}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	for e := 0; e < 3; e++ {
+		ea, eb := a.Era(e), b.Era(e)
+		if len(ea) != 50 {
+			t.Fatalf("era %d has %d rows", e, len(ea))
+		}
+		for i := range ea {
+			if ea[i].Label != eb[i].Label {
+				t.Fatalf("labels diverge at era %d row %d", e, i)
+			}
+			for j := range ea[i].X {
+				if ea[i].X[j] != eb[i].X[j] {
+					t.Fatalf("values diverge at era %d row %d", e, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedVectorsValid(t *testing.T) {
+	d := MustGenerate(Config{Seed: 7, Eras: 4, RowsPerEra: 200, LabelNoise: 0, DriftScale: 1})
+	for _, e := range d.All() {
+		if err := d.Schema.Validate(e.X); err != nil {
+			t.Fatalf("invalid example: %v", err)
+		}
+	}
+}
+
+func TestPositiveRateReasonable(t *testing.T) {
+	d := MustGenerate(Config{Seed: 3, Eras: 12, RowsPerEra: 1500, LabelNoise: 0, DriftScale: 1})
+	for e := 0; e < d.Eras(); e++ {
+		r := d.PositiveRate(e)
+		if r < 0.08 || r > 0.92 {
+			t.Errorf("era %d positive rate %.3f is degenerate", e, r)
+		}
+	}
+}
+
+// The headline drift property: for a fixed 30+ high-debt profile, approval
+// gets harder over time (John's story); income weight relaxes.
+func TestDriftDirection(t *testing.T) {
+	highDebt := []float64{41, 2, 60000, 3000, 8, 30000}
+	if s0, s8 := TruthScore(highDebt, 0, 1), TruthScore(highDebt, 8, 1); s8 >= s0 {
+		t.Errorf("debt penalty should tighten for 30+: score t=0 %.3f, t=8 %.3f", s0, s8)
+	}
+	// With DriftScale=0 the world is stationary except there is still the
+	// constant part — score must be identical across t.
+	if s0, s8 := TruthScore(highDebt, 0, 0), TruthScore(highDebt, 8, 0); s0 != s8 {
+		t.Errorf("DriftScale=0 should freeze the rule: %.3f vs %.3f", s0, s8)
+	}
+	// Under-30 profiles see only the slow global bias drift, not the
+	// debt-weight drift: the drop must be much smaller.
+	young := []float64{25, 2, 60000, 3000, 2, 30000}
+	dropYoung := TruthScore(young, 0, 1) - TruthScore(young, 8, 1)
+	dropOld := TruthScore(highDebt, 0, 1) - TruthScore(highDebt, 8, 1)
+	if dropOld <= dropYoung {
+		t.Errorf("30+ drift (%.3f) should exceed under-30 drift (%.3f)", dropOld, dropYoung)
+	}
+}
+
+func TestTruthProbMonotoneInScore(t *testing.T) {
+	lo := []float64{29, 1, 20000, 4000, 1, 50000}
+	hi := []float64{29, 1, 150000, 500, 10, 20000}
+	if TruthProb(lo, 0, 1) >= TruthProb(hi, 0, 1) {
+		t.Error("higher score must give higher probability")
+	}
+	f := func(inc, debt float64) bool {
+		x := []float64{35, 1, math.Abs(math.Mod(inc, 400000)), math.Abs(math.Mod(debt, 15000)), 5, 25000}
+		p := TruthProb(x, 3, 1)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRejectedProfilesAreRejected(t *testing.T) {
+	schema := LoanSchema()
+	// The demo's "present" is the last of the 12 yearly eras (2018).
+	const presentEra = 11
+	for i, x := range RejectedProfiles() {
+		if err := schema.Validate(x); err != nil {
+			t.Errorf("profile %d invalid: %v", i, err)
+		}
+		if TruthLabel(x, presentEra, 1) {
+			t.Errorf("profile %d is approved at the present era; want rejected", i)
+		}
+	}
+}
+
+// TestRejectedProfilesAreFixable pins the demo promise: every canonical
+// profile has a plausible modification (cut debt to near zero, raise income
+// by at most 40%, trim the requested amount) that the present ground-truth
+// rule approves.
+func TestRejectedProfilesAreFixable(t *testing.T) {
+	const presentEra = 11
+	for i, x := range RejectedProfiles() {
+		fixed := append([]float64(nil), x...)
+		fixed[FDebt] = 100
+		fixed[FIncome] = x[FIncome] * 1.35
+		fixed[FAmount] = x[FAmount] * 0.8
+		if !TruthLabel(fixed, presentEra, 1) {
+			t.Errorf("profile %d is not fixable (score %.3f)", i, TruthScore(fixed, presentEra, 1))
+		}
+	}
+}
+
+// TestWaitingHelpsProfile pins the temporal story: profile 3 is rejected now
+// but, with age and seniority advancing and nothing else changing, the
+// ground truth approves it within a few years.
+func TestWaitingHelpsProfile(t *testing.T) {
+	x := RejectedProfiles()[3]
+	if TruthLabel(x, 11, 1) {
+		t.Fatal("profile 3 should start rejected")
+	}
+	approved := false
+	for dt := 1; dt <= 4; dt++ {
+		future := append([]float64(nil), x...)
+		future[FAge] += float64(dt)
+		future[FSeniority] += float64(dt)
+		if TruthLabel(future, 11+dt, 1) {
+			approved = true
+			break
+		}
+	}
+	if !approved {
+		t.Error("waiting should eventually approve profile 3")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := MustGenerate(Config{Seed: 11, Eras: 1, RowsPerEra: 100, LabelNoise: 0, DriftScale: 1})
+	train, test := Split(d.Era(0), 0.25, 5)
+	if len(test) != 25 || len(train) != 75 {
+		t.Fatalf("split sizes %d/%d, want 75/25", len(train), len(test))
+	}
+	// Deterministic for a fixed seed.
+	train2, _ := Split(d.Era(0), 0.25, 5)
+	if train[0].X[FIncome] != train2[0].X[FIncome] {
+		t.Error("split not deterministic")
+	}
+	// No overlap and full coverage.
+	seen := map[float64]int{}
+	for _, e := range train {
+		seen[e.X[FIncome]]++
+	}
+	for _, e := range test {
+		seen[e.X[FIncome]]++
+	}
+	if len(seen) < 95 { // incomes are continuous; collisions are ~impossible
+		t.Errorf("expected ~100 distinct incomes, got %d", len(seen))
+	}
+}
+
+func TestSplitPanicsOnBadFrac(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Split(nil, 1.5, 0)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := MustGenerate(Config{Seed: 9, Eras: 2, RowsPerEra: 30, LabelNoise: 0.1, DriftScale: 1})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Eras() != 2 {
+		t.Fatalf("round trip eras = %d", got.Eras())
+	}
+	for e := 0; e < 2; e++ {
+		a, b := d.Era(e), got.Era(e)
+		if len(a) != len(b) {
+			t.Fatalf("era %d: %d vs %d rows", e, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Label != b[i].Label {
+				t.Fatalf("era %d row %d label mismatch", e, i)
+			}
+			for j := range a[i].X {
+				if a[i].X[j] != b[i].X[j] {
+					t.Fatalf("era %d row %d value mismatch", e, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"era,label,wrong,header,row,x,y,z\n",
+		"era,label,age,household,income,debt,seniority,amount\nnope,1,30,1,5,5,5,600\n",
+		"era,label,age,household,income,debt,seniority,amount\n0,2,30,1,5,5,5,600\n",
+		"era,label,age,household,income,debt,seniority,amount\n0,1,30,1,bad,5,5,600\n",
+		"era,label,age,household,income,debt,seniority,amount\n0,1,5,1,5,5,5,600\n", // age below min
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestEraOutOfRangePanics(t *testing.T) {
+	d := MustGenerate(Config{Seed: 1, Eras: 1, RowsPerEra: 1, DriftScale: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Era(5)
+}
+
+func TestRatioFeatures(t *testing.T) {
+	x := []float64{29, 1, 60000, 1000, 4, 30000}
+	f := RatioFeatures(x)
+	if len(f) != 8 {
+		t.Fatalf("len = %d, want 8", len(f))
+	}
+	if f[6] != 1000*12.0/60000 {
+		t.Errorf("dti = %g", f[6])
+	}
+	if f[7] != 0.5 {
+		t.Errorf("lti = %g", f[7])
+	}
+	// Raw prefix preserved; input not mutated.
+	for i := range x {
+		if f[i] != x[i] {
+			t.Errorf("raw feature %d changed", i)
+		}
+	}
+	// Zero income must not divide by zero.
+	z := RatioFeatures([]float64{29, 1, 0, 1000, 4, 30000})
+	if math.IsInf(z[6], 0) || math.IsNaN(z[6]) {
+		t.Errorf("dti with zero income = %g", z[6])
+	}
+}

@@ -1,0 +1,394 @@
+package drift
+
+import (
+	"fmt"
+	"math/rand"
+
+	"justintime/internal/kernel"
+	"justintime/internal/mlmodel"
+)
+
+// EDD extrapolates the distribution dynamics in the style of Lampert (CVPR
+// 2015). Each era's joint distribution over (x, y) is embedded into an RKHS
+// by its kernel mean; a ridge regression learned on consecutive embedding
+// pairs advances the last embedding into the future; a weighted-resampling
+// pre-image step materializes a training set whose empirical embedding
+// matches the predicted one, on which the final classifier is trained.
+//
+// Labels are handled by augmenting each point with a +-1 label coordinate
+// before embedding, so the extrapolation tracks the evolution of the
+// *labeled* distribution (and hence of the decision rule), not just the
+// covariates.
+type EDD struct {
+	// Trainer fits the per-time-point classifier (typically ForestTrainer).
+	Trainer Trainer
+	// Kernel is the embedding kernel; nil selects an RBF with the median
+	// heuristic bandwidth on standardized data.
+	Kernel kernel.Kernel
+	// Lambda is the ridge regularizer of the embedding regression
+	// (default 0.1).
+	Lambda float64
+	// MaxPerEra caps the per-era sample size used for embeddings and
+	// resampling (default 300); larger values are quadratically slower.
+	MaxPerEra int
+	// SampleSize is the size of each materialized future training set
+	// (default: the capped size of the last era).
+	SampleSize int
+	// LabelWeight is the magnitude of the label coordinate in the
+	// augmented embedding space (default 1).
+	LabelWeight float64
+	// Preimage selects how a sample set is materialized from the
+	// predicted embedding: PreimageHerd (default) runs kernel herding with
+	// the signed regression coefficients, which can extrapolate beyond a
+	// convex combination of past eras; PreimageResample draws a weighted
+	// resample with negative coefficients truncated (ablation baseline).
+	Preimage PreimageMethod
+	// Seed drives subsampling and resampling.
+	Seed int64
+}
+
+// PreimageMethod selects the embedding pre-image strategy of EDD.
+type PreimageMethod int
+
+const (
+	// PreimageHerd greedily selects pool points whose empirical embedding
+	// tracks the predicted one (Lampert's herding step).
+	PreimageHerd PreimageMethod = iota
+	// PreimageResample draws a weighted resample over eras with negative
+	// coefficients truncated to zero.
+	PreimageResample
+)
+
+// Name implements Generator.
+func (EDD) Name() string { return "edd" }
+
+// Generate implements Generator.
+func (g EDD) Generate(history []Era, horizon int) ([]TimedModel, error) {
+	if err := checkHistory(history, horizon); err != nil {
+		return nil, err
+	}
+	lambda := g.Lambda
+	if lambda <= 0 {
+		lambda = 0.1
+	}
+	maxPerEra := g.MaxPerEra
+	if maxPerEra <= 0 {
+		maxPerEra = 300
+	}
+	labelWeight := g.LabelWeight
+	if labelWeight <= 0 {
+		labelWeight = 1
+	}
+
+	H := len(history)
+	// The embedding regression needs at least two transitions; with less
+	// history the method degenerates to the Last baseline.
+	if H < 3 {
+		return Last{Trainer: g.Trainer}.Generate(history, horizon)
+	}
+
+	rng := rand.New(rand.NewSource(g.Seed))
+
+	// Subsample each era and standardize jointly so that the RBF kernel
+	// sees comparable scales across features.
+	sub := make([]Era, H)
+	var pooled [][]float64
+	for s := range history {
+		sub[s] = subsample(history[s], maxPerEra, rng)
+		pooled = append(pooled, sub[s].X...)
+	}
+	scaler, err := mlmodel.FitScaler(pooled)
+	if err != nil {
+		return nil, fmt.Errorf("drift: edd scaler: %w", err)
+	}
+	// Augmented, standardized points per era: z = (scale(x), +-labelWeight).
+	aug := make([][][]float64, H)
+	for s := range sub {
+		aug[s] = make([][]float64, len(sub[s].X))
+		for i, x := range sub[s].X {
+			z := scaler.Transform(x)
+			lbl := -labelWeight
+			if sub[s].Y[i] {
+				lbl = labelWeight
+			}
+			aug[s][i] = append(z, lbl)
+		}
+	}
+
+	k := g.Kernel
+	if k == nil {
+		var all [][]float64
+		for s := range aug {
+			all = append(all, aug[s]...)
+		}
+		k = kernel.RBF{Gamma: kernel.MedianHeuristicGamma(all, 2000)}
+	}
+
+	// Era-embedding Gram matrix: gramFull[s][t] = <mu_s, mu_t>.
+	gramFull := kernel.NewMatrix(H, H)
+	for s := 0; s < H; s++ {
+		for t := s; t < H; t++ {
+			v := kernel.MeanEmbeddingInner(k, aug[s], aug[t])
+			gramFull.Set(s, t, v)
+			gramFull.Set(t, s, v)
+		}
+	}
+	coeffs, err := extrapolationCoefficients(gramFull, horizon, lambda)
+	if err != nil {
+		return nil, err
+	}
+
+	sampleSize := g.SampleSize
+	if sampleSize <= 0 {
+		sampleSize = len(sub[H-1].X)
+	}
+
+	out := make([]TimedModel, horizon+1)
+	// t = 0 is the observed present: train directly on the last era.
+	if out[0], err = fitTimed(g.Trainer, sub[H-1].X, sub[H-1].Y); err != nil {
+		return nil, err
+	}
+	var h *herder
+	if g.Preimage == PreimageHerd {
+		h = newHerder(k, sub, aug)
+	}
+	for t := 1; t <= horizon; t++ {
+		var X [][]float64
+		var y []bool
+		if g.Preimage == PreimageResample {
+			X, y = weightedResample(sub, coeffs[t], sampleSize, rng)
+		} else {
+			X, y = h.materialize(coeffs[t], sampleSize)
+		}
+		if out[t], err = fitTimed(g.Trainer, X, y); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// herder materializes sample sets approximating predicted embeddings
+// mu_hat = sum_e c[e] mu_e by kernel herding: it repeatedly picks the pool
+// point z maximizing <phi(z), mu_hat> - (1/(m+1)) sum_selected k(z, z_j).
+// Unlike weighted resampling this honors *signed* coefficients, so the
+// selected set can over-represent the direction the distribution is moving
+// in. The era-similarity table is computed once and shared by every horizon
+// step.
+type herder struct {
+	k       kernel.Kernel
+	eras    []Era
+	poolEra []int       // era of each pool point
+	poolIdx []int       // index within its era
+	poolAug [][]float64 // augmented standardized coordinates
+	eraSim  [][]float64 // eraSim[p][e] = mean_i k(z_p, aug_e_i)
+}
+
+func newHerder(k kernel.Kernel, eras []Era, aug [][][]float64) *herder {
+	h := &herder{k: k, eras: eras}
+	for e := range aug {
+		for i := range aug[e] {
+			h.poolEra = append(h.poolEra, e)
+			h.poolIdx = append(h.poolIdx, i)
+			h.poolAug = append(h.poolAug, aug[e][i])
+		}
+	}
+	h.eraSim = make([][]float64, len(h.poolAug))
+	for p := range h.poolAug {
+		row := make([]float64, len(aug))
+		for e := range aug {
+			var s float64
+			for _, z := range aug[e] {
+				s += k.Eval(h.poolAug[p], z)
+			}
+			row[e] = s / float64(len(aug[e]))
+		}
+		h.eraSim[p] = row
+	}
+	return h
+}
+
+// materialize greedily selects n labeled pool points tracking the embedding
+// with era coefficients c.
+func (h *herder) materialize(c []float64, n int) ([][]float64, []bool) {
+	base := make([]float64, len(h.poolAug))
+	for p := range base {
+		var v float64
+		for e, ce := range c {
+			if ce != 0 {
+				v += ce * h.eraSim[p][e]
+			}
+		}
+		base[p] = v
+	}
+	simSum := make([]float64, len(h.poolAug)) // sum over selected of k(z_p, z_sel)
+	X := make([][]float64, 0, n)
+	y := make([]bool, 0, n)
+	for m := 0; m < n; m++ {
+		best, bestScore := -1, 0.0
+		for p := range base {
+			score := base[p] - simSum[p]/float64(m+1)
+			if best == -1 || score > bestScore {
+				best, bestScore = p, score
+			}
+		}
+		X = append(X, h.eras[h.poolEra[best]].X[h.poolIdx[best]])
+		y = append(y, h.eras[h.poolEra[best]].Y[h.poolIdx[best]])
+		for p := range simSum {
+			simSum[p] += h.k.Eval(h.poolAug[p], h.poolAug[best])
+		}
+	}
+	return X, y
+}
+
+// extrapolationCoefficients learns the RKHS transition operator by ridge
+// regression over the era embeddings and iterates it from the last observed
+// embedding. The regression runs on *centered* embeddings dev_s = mu_s - mu
+// (mu the mean embedding): within-era spread makes the raw embeddings nearly
+// collinear, which would smooth the prediction toward a pooled average,
+// whereas the deviations isolate the drift signal. One operator application
+// solves (Gc + lambda' I) w = [<dev_s, dev_hat>]_{s=0..H-2} with Gc the
+// centered Gram over source eras and lambda' = lambda * mean diag(Gc), then
+// sets dev_hat' = sum_s w[s] dev_{s+1} (the representer-theorem form of
+// A = argmin sum_s ||A dev_s - dev_{s+1}||^2 + lambda ||A||^2).
+//
+// The returned coefficient vectors express the predicted embedding over the
+// *uncentered* era embeddings, mu_hat = sum_e c[e] mu_e, and always have
+// unit mass: mu_hat = mu + dev_hat with sum of deviation weights cancelling.
+func extrapolationCoefficients(gramFull *kernel.Matrix, horizon int, lambda float64) ([][]float64, error) {
+	H := gramFull.Rows
+	// Double-center the Gram: gramC[s][t] = <dev_s, dev_t>.
+	rowMean := make([]float64, H)
+	grand := 0.0
+	for s := 0; s < H; s++ {
+		for t := 0; t < H; t++ {
+			rowMean[s] += gramFull.At(s, t)
+		}
+		rowMean[s] /= float64(H)
+		grand += rowMean[s]
+	}
+	grand /= float64(H)
+	gramC := kernel.NewMatrix(H, H)
+	for s := 0; s < H; s++ {
+		for t := 0; t < H; t++ {
+			gramC.Set(s, t, gramFull.At(s, t)-rowMean[s]-rowMean[t]+grand)
+		}
+	}
+
+	reg := kernel.NewMatrix(H-1, H-1)
+	diagMean := 0.0
+	for s := 0; s < H-1; s++ {
+		for t := 0; t < H-1; t++ {
+			reg.Set(s, t, gramC.At(s, t))
+		}
+		diagMean += gramC.At(s, s)
+	}
+	diagMean /= float64(H - 1)
+	if diagMean <= 0 {
+		diagMean = 1e-12
+	}
+	reg.AddDiagonal(lambda * diagMean)
+
+	// d expresses the predicted deviation over observed deviations:
+	// dev_hat = sum_e d[e] dev_e.
+	coeffs := make([][]float64, horizon+1)
+	d := make([]float64, H)
+	d[H-1] = 1 // present distribution
+	coeffs[0] = devToCoeffs(d)
+	for t := 1; t <= horizon; t++ {
+		rhs := make([]float64, H-1)
+		for s := 0; s < H-1; s++ {
+			var v float64
+			for e := 0; e < H; e++ {
+				if d[e] != 0 {
+					v += d[e] * gramC.At(s, e)
+				}
+			}
+			rhs[s] = v
+		}
+		w, err := reg.SolveSPD(rhs)
+		if err != nil {
+			// Centered Grams are PSD; with the ridge this should not
+			// happen, but fall back to the general solver.
+			if w, err = reg.Solve(rhs); err != nil {
+				return nil, fmt.Errorf("drift: edd embedding regression: %w", err)
+			}
+		}
+		next := make([]float64, H)
+		for s := 0; s < H-1; s++ {
+			next[s+1] += w[s]
+		}
+		d = next
+		coeffs[t] = devToCoeffs(d)
+	}
+	return coeffs, nil
+}
+
+// devToCoeffs converts deviation weights d (dev_hat = sum d_e dev_e) into
+// unit-mass coefficients over the raw era embeddings:
+// mu_hat = mu + dev_hat = sum_e (1/H + d_e - sum(d)/H) mu_e.
+func devToCoeffs(d []float64) []float64 {
+	H := len(d)
+	var sum float64
+	for _, v := range d {
+		sum += v
+	}
+	out := make([]float64, H)
+	for e := range out {
+		out[e] = 1/float64(H) + d[e] - sum/float64(H)
+	}
+	return out
+}
+
+// subsample returns at most maxN examples of the era, chosen uniformly
+// without replacement.
+func subsample(e Era, maxN int, rng *rand.Rand) Era {
+	if len(e.X) <= maxN {
+		return e
+	}
+	idx := rng.Perm(len(e.X))[:maxN]
+	out := Era{X: make([][]float64, maxN), Y: make([]bool, maxN)}
+	for i, j := range idx {
+		out.X[i] = e.X[j]
+		out.Y[i] = e.Y[j]
+	}
+	return out
+}
+
+// weightedResample draws n labeled examples from the eras with per-era
+// probability proportional to max(c[e], 0) (negative regression coefficients
+// carry no mass in the pre-image; this is the standard herding-style
+// truncation). Falls back to the last era when every coefficient is
+// non-positive.
+func weightedResample(eras []Era, c []float64, n int, rng *rand.Rand) ([][]float64, []bool) {
+	weights := make([]float64, len(eras))
+	var total float64
+	for e := range eras {
+		if c[e] > 0 {
+			weights[e] = c[e]
+			total += c[e]
+		}
+	}
+	if total <= 0 {
+		weights[len(eras)-1] = 1
+		total = 1
+	}
+	cum := make([]float64, len(weights))
+	run := 0.0
+	for e, w := range weights {
+		run += w / total
+		cum[e] = run
+	}
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		e := 0
+		for e < len(cum)-1 && u > cum[e] {
+			e++
+		}
+		j := rng.Intn(len(eras[e].X))
+		X[i] = eras[e].X[j]
+		y[i] = eras[e].Y[j]
+	}
+	return X, y
+}

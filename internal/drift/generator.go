@@ -1,0 +1,279 @@
+// Package drift implements the Models Generator of JustInTime: given past
+// labeled data with timestamps, it produces the sequence of pairs
+// (M_t, delta_t) for t = 0..T that the paper's Section II-B requires, where
+// M_t approximates the decision rule t intervals after the last observed era.
+//
+// Two drift-aware methods are provided, mirroring the paper's references:
+//
+//   - EDD follows Lampert, "Predicting the future behavior of a time-varying
+//     probability distribution" (CVPR 2015): kernel mean embeddings of each
+//     era's distribution, a vector-valued ridge regression that extrapolates
+//     the embedding dynamics, and a weighted-resampling pre-image step that
+//     materializes a predicted future training set.
+//   - KI follows Kumagai & Iwata, "Learning future classifiers without
+//     additional data" (AAAI 2016): per-era logistic models with a shared
+//     scaler whose parameter trajectories are extrapolated by polynomial
+//     regression.
+//
+// Two drift-oblivious baselines (Last, Pooled) and a test-only upper bound
+// (Oracle) support the experiments.
+package drift
+
+import (
+	"fmt"
+
+	"justintime/internal/mlmodel"
+)
+
+// Era is one time slice of labeled training data.
+type Era struct {
+	X [][]float64
+	Y []bool
+}
+
+// Validate reports whether the era is well-formed and non-empty.
+func (e Era) Validate() error {
+	if len(e.X) == 0 {
+		return fmt.Errorf("drift: empty era")
+	}
+	if len(e.X) != len(e.Y) {
+		return fmt.Errorf("drift: era has %d rows but %d labels", len(e.X), len(e.Y))
+	}
+	return nil
+}
+
+// TimedModel is the pair (M_t, delta_t) of Definition II.3: a model and the
+// decision threshold above which inputs are classified positively.
+type TimedModel struct {
+	Model     mlmodel.Model
+	Threshold float64
+}
+
+// Generator produces the model sequence for future time points. Generate
+// returns horizon+1 models: index 0 approximates the present rule (the last
+// observed era) and index t the rule t intervals later.
+type Generator interface {
+	Name() string
+	Generate(history []Era, horizon int) ([]TimedModel, error)
+}
+
+// Trainer abstracts the underlying model family so every generator can train
+// forests, trees or logistic models interchangeably.
+type Trainer func(X [][]float64, y []bool) (mlmodel.Model, error)
+
+// ForestTrainer returns a Trainer that fits a random forest with the given
+// configuration — the model family the paper's demo uses (H2O random forest).
+func ForestTrainer(cfg mlmodel.ForestConfig) Trainer {
+	return func(X [][]float64, y []bool) (mlmodel.Model, error) {
+		return trainOrConstant(X, y, func() (mlmodel.Model, error) {
+			return mlmodel.TrainForest(X, y, cfg)
+		})
+	}
+}
+
+// TreeTrainer returns a Trainer that fits a single CART tree.
+func TreeTrainer(cfg mlmodel.TreeConfig) Trainer {
+	return func(X [][]float64, y []bool) (mlmodel.Model, error) {
+		return trainOrConstant(X, y, func() (mlmodel.Model, error) {
+			return mlmodel.TrainTree(X, y, cfg)
+		})
+	}
+}
+
+// LogisticTrainer returns a Trainer that fits logistic regression.
+func LogisticTrainer(cfg mlmodel.LogisticConfig) Trainer {
+	return func(X [][]float64, y []bool) (mlmodel.Model, error) {
+		return trainOrConstant(X, y, func() (mlmodel.Model, error) {
+			return mlmodel.TrainLogistic(X, y, cfg)
+		})
+	}
+}
+
+// trainOrConstant short-circuits single-class training sets to a constant
+// model, which keeps downstream calibration well-defined.
+func trainOrConstant(X [][]float64, y []bool, train func() (mlmodel.Model, error)) (mlmodel.Model, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("drift: empty training set")
+	}
+	pos := 0
+	for _, v := range y {
+		if v {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return mlmodel.ConstantModel{P: 0}, nil
+	}
+	if pos == len(y) {
+		return mlmodel.ConstantModel{P: 1}, nil
+	}
+	return train()
+}
+
+func checkHistory(history []Era, horizon int) error {
+	if len(history) == 0 {
+		return fmt.Errorf("drift: empty history")
+	}
+	if horizon < 0 {
+		return fmt.Errorf("drift: negative horizon %d", horizon)
+	}
+	for i, e := range history {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("drift: era %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// fitTimed trains a model on (X, y) and calibrates its F1-optimal threshold
+// on the same data, producing the (M_t, delta_t) pair.
+func fitTimed(trainer Trainer, X [][]float64, y []bool) (TimedModel, error) {
+	m, err := trainer(X, y)
+	if err != nil {
+		return TimedModel{}, err
+	}
+	return TimedModel{Model: m, Threshold: mlmodel.CalibrateThreshold(m, X, y)}, nil
+}
+
+// Last is the drift-oblivious baseline that trains once on the most recent
+// era and reuses that model for every future time point — exactly what the
+// single-model explanation tools of the paper's introduction do.
+type Last struct {
+	Trainer Trainer
+}
+
+// Name implements Generator.
+func (Last) Name() string { return "last" }
+
+// Generate implements Generator.
+func (g Last) Generate(history []Era, horizon int) ([]TimedModel, error) {
+	if err := checkHistory(history, horizon); err != nil {
+		return nil, err
+	}
+	last := history[len(history)-1]
+	tm, err := fitTimed(g.Trainer, last.X, last.Y)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TimedModel, horizon+1)
+	for t := range out {
+		out[t] = tm
+	}
+	return out, nil
+}
+
+// Window trains a single model on the union of the most recent W eras and
+// reuses it for every future time point — the standard sliding-window
+// compromise between Last (W=1) and Pooled (W=len(history)).
+type Window struct {
+	Trainer Trainer
+	// W is the number of most recent eras pooled; values < 1 or beyond
+	// the history length are clamped.
+	W int
+}
+
+// Name implements Generator.
+func (g Window) Name() string { return fmt.Sprintf("window%d", g.W) }
+
+// Generate implements Generator.
+func (g Window) Generate(history []Era, horizon int) ([]TimedModel, error) {
+	if err := checkHistory(history, horizon); err != nil {
+		return nil, err
+	}
+	w := g.W
+	if w < 1 {
+		w = 1
+	}
+	if w > len(history) {
+		w = len(history)
+	}
+	var X [][]float64
+	var y []bool
+	for _, e := range history[len(history)-w:] {
+		X = append(X, e.X...)
+		y = append(y, e.Y...)
+	}
+	tm, err := fitTimed(g.Trainer, X, y)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TimedModel, horizon+1)
+	for t := range out {
+		out[t] = tm
+	}
+	return out, nil
+}
+
+// Pooled trains a single model on the union of all history and reuses it —
+// the other standard drift-oblivious baseline.
+type Pooled struct {
+	Trainer Trainer
+}
+
+// Name implements Generator.
+func (Pooled) Name() string { return "pooled" }
+
+// Generate implements Generator.
+func (g Pooled) Generate(history []Era, horizon int) ([]TimedModel, error) {
+	if err := checkHistory(history, horizon); err != nil {
+		return nil, err
+	}
+	var X [][]float64
+	var y []bool
+	for _, e := range history {
+		X = append(X, e.X...)
+		y = append(y, e.Y...)
+	}
+	tm, err := fitTimed(g.Trainer, X, y)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TimedModel, horizon+1)
+	for t := range out {
+		out[t] = tm
+	}
+	return out, nil
+}
+
+// Oracle trains each future model on the *actual* future era supplied by
+// Future. It is an experimental upper bound only: a production system cannot
+// see the future. Future(t) must return the era t intervals after the last
+// history era; Future(0) is ignored (the present model is trained on the last
+// history era).
+type Oracle struct {
+	Trainer Trainer
+	Future  func(t int) (Era, error)
+}
+
+// Name implements Generator.
+func (Oracle) Name() string { return "oracle" }
+
+// Generate implements Generator.
+func (g Oracle) Generate(history []Era, horizon int) ([]TimedModel, error) {
+	if err := checkHistory(history, horizon); err != nil {
+		return nil, err
+	}
+	if g.Future == nil {
+		return nil, fmt.Errorf("drift: Oracle requires a Future provider")
+	}
+	out := make([]TimedModel, horizon+1)
+	last := history[len(history)-1]
+	tm, err := fitTimed(g.Trainer, last.X, last.Y)
+	if err != nil {
+		return nil, err
+	}
+	out[0] = tm
+	for t := 1; t <= horizon; t++ {
+		era, err := g.Future(t)
+		if err != nil {
+			return nil, fmt.Errorf("drift: oracle future era %d: %w", t, err)
+		}
+		if err := era.Validate(); err != nil {
+			return nil, fmt.Errorf("drift: oracle future era %d: %w", t, err)
+		}
+		if out[t], err = fitTimed(g.Trainer, era.X, era.Y); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

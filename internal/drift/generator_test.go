@@ -1,0 +1,367 @@
+package drift
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"justintime/internal/mlmodel"
+)
+
+// driftingEra draws n points uniform in [0,1]^2 labeled by x0 > theta(s),
+// theta(s) = 0.25 + 0.05*s: a decision boundary that moves right over time.
+func driftingEra(s, n int, seed int64) Era {
+	rng := rand.New(rand.NewSource(seed + int64(s)*1000))
+	theta := 0.25 + 0.05*float64(s)
+	e := Era{X: make([][]float64, n), Y: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		e.X[i] = []float64{rng.Float64(), rng.Float64()}
+		e.Y[i] = e.X[i][0] > theta
+	}
+	return e
+}
+
+func driftingHistory(H, n int, seed int64) []Era {
+	out := make([]Era, H)
+	for s := range out {
+		out[s] = driftingEra(s, n, seed)
+	}
+	return out
+}
+
+func smallForestTrainer() Trainer {
+	return ForestTrainer(mlmodel.ForestConfig{Trees: 12, MaxDepth: 6, MinLeaf: 2, Seed: 1})
+}
+
+func TestEraValidate(t *testing.T) {
+	if err := (Era{}).Validate(); err == nil {
+		t.Error("empty era should fail")
+	}
+	if err := (Era{X: [][]float64{{1}}, Y: []bool{true, false}}).Validate(); err == nil {
+		t.Error("mismatched era should fail")
+	}
+	if err := (Era{X: [][]float64{{1}}, Y: []bool{true}}).Validate(); err != nil {
+		t.Errorf("valid era rejected: %v", err)
+	}
+}
+
+func TestCheckHistoryErrors(t *testing.T) {
+	good := driftingHistory(3, 20, 1)
+	for _, g := range []Generator{Last{smallForestTrainer()}, Pooled{smallForestTrainer()}} {
+		if _, err := g.Generate(nil, 2); err == nil {
+			t.Errorf("%s: empty history should fail", g.Name())
+		}
+		if _, err := g.Generate(good, -1); err == nil {
+			t.Errorf("%s: negative horizon should fail", g.Name())
+		}
+		if _, err := g.Generate([]Era{{}}, 1); err == nil {
+			t.Errorf("%s: invalid era should fail", g.Name())
+		}
+	}
+}
+
+func TestLastAndPooledShapes(t *testing.T) {
+	hist := driftingHistory(4, 150, 2)
+	for _, g := range []Generator{Last{smallForestTrainer()}, Pooled{smallForestTrainer()}} {
+		ms, err := g.Generate(hist, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if len(ms) != 4 {
+			t.Fatalf("%s: got %d models, want 4", g.Name(), len(ms))
+		}
+		// Drift-oblivious generators reuse the same model at every t.
+		x := []float64{0.5, 0.5}
+		for i := 1; i < len(ms); i++ {
+			if ms[i].Model.Predict(x) != ms[0].Model.Predict(x) {
+				t.Errorf("%s: model changes over time", g.Name())
+			}
+		}
+	}
+}
+
+func TestTrainersSingleClassFallback(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	allPos := []bool{true, true, true}
+	allNeg := []bool{false, false, false}
+	for name, tr := range map[string]Trainer{
+		"forest":   smallForestTrainer(),
+		"tree":     TreeTrainer(mlmodel.DefaultTreeConfig()),
+		"logistic": LogisticTrainer(mlmodel.DefaultLogisticConfig()),
+	} {
+		m, err := tr(X, allPos)
+		if err != nil {
+			t.Fatalf("%s all-positive: %v", name, err)
+		}
+		if p := m.Predict([]float64{1}); p != 1 {
+			t.Errorf("%s all-positive predicts %g", name, p)
+		}
+		m, err = tr(X, allNeg)
+		if err != nil {
+			t.Fatalf("%s all-negative: %v", name, err)
+		}
+		if p := m.Predict([]float64{1}); p != 0 {
+			t.Errorf("%s all-negative predicts %g", name, p)
+		}
+		if _, err := tr(nil, nil); err == nil {
+			t.Errorf("%s: empty data should fail", name)
+		}
+	}
+}
+
+func TestOracle(t *testing.T) {
+	hist := driftingHistory(4, 200, 3)
+	g := Oracle{
+		Trainer: smallForestTrainer(),
+		Future:  func(t int) (Era, error) { return driftingEra(3+t, 200, 3), nil },
+	}
+	ms, err := g.Generate(hist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d models", len(ms))
+	}
+	// Oracle model at t=2 must score well on the actual t=2 future.
+	fut := driftingEra(5, 400, 99)
+	acc := mlmodel.Accuracy(ms[2].Model, fut.X, fut.Y, ms[2].Threshold)
+	if acc < 0.9 {
+		t.Errorf("oracle accuracy %.3f at horizon 2, want >= 0.9", acc)
+	}
+	if _, err := (Oracle{Trainer: smallForestTrainer()}).Generate(hist, 1); err == nil {
+		t.Error("oracle without Future should fail")
+	}
+	bad := Oracle{Trainer: smallForestTrainer(), Future: func(int) (Era, error) { return Era{}, nil }}
+	if _, err := bad.Generate(hist, 1); err == nil {
+		t.Error("oracle with invalid future era should fail")
+	}
+	failing := Oracle{Trainer: smallForestTrainer(), Future: func(int) (Era, error) { return Era{}, fmt.Errorf("boom") }}
+	if _, err := failing.Generate(hist, 1); err == nil {
+		t.Error("oracle future error should propagate")
+	}
+}
+
+// futureAccuracy evaluates each generator's horizon-t model on the actual
+// future era and returns accuracy at the generator's threshold.
+func futureAccuracy(t *testing.T, g Generator, hist []Era, horizon int, seed int64) float64 {
+	t.Helper()
+	ms, err := g.Generate(hist, horizon)
+	if err != nil {
+		t.Fatalf("%s: %v", g.Name(), err)
+	}
+	fut := driftingEra(len(hist)-1+horizon, 600, seed+777)
+	return mlmodel.Accuracy(ms[horizon].Model, fut.X, fut.Y, ms[horizon].Threshold)
+}
+
+func TestKITracksLinearDrift(t *testing.T) {
+	hist := driftingHistory(8, 400, 4)
+	const horizon = 4
+	ki := futureAccuracy(t, KI{Degree: 1}, hist, horizon, 4)
+	last := futureAccuracy(t, Last{LogisticTrainer(mlmodel.DefaultLogisticConfig())}, hist, horizon, 4)
+	if ki < last {
+		t.Errorf("KI accuracy %.3f should beat Last %.3f under linear drift", ki, last)
+	}
+	if ki < 0.9 {
+		t.Errorf("KI accuracy %.3f, want >= 0.9 on linear drift", ki)
+	}
+}
+
+func TestKIDegreeValidation(t *testing.T) {
+	hist := driftingHistory(6, 100, 5)
+	if _, err := (KI{Degree: 7}).Generate(hist, 1); err == nil {
+		t.Error("degree 7 should fail")
+	}
+	if _, err := (KI{Degree: -1}).Generate(hist, 1); err == nil {
+		t.Error("negative degree should fail")
+	}
+}
+
+func TestKIShortHistoryFallsBack(t *testing.T) {
+	hist := driftingHistory(2, 150, 6)
+	ms, err := KI{Degree: 1}.Generate(hist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("got %d models", len(ms))
+	}
+	// Fallback reuses one model for all t.
+	x := []float64{0.4, 0.5}
+	if ms[0].Model.Predict(x) != ms[3].Model.Predict(x) {
+		t.Error("short-history KI should be constant over time")
+	}
+}
+
+func TestEDDShapesAndFallback(t *testing.T) {
+	hist := driftingHistory(6, 150, 7)
+	g := EDD{Trainer: smallForestTrainer(), MaxPerEra: 80, SampleSize: 80, Seed: 1}
+	ms, err := g.Generate(hist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("got %d models", len(ms))
+	}
+	// Two eras is below the minimum for the embedding regression.
+	short := driftingHistory(2, 100, 8)
+	ms, err = g.Generate(short, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("fallback got %d models", len(ms))
+	}
+}
+
+func TestEDDBeatsNothingButStaysReasonable(t *testing.T) {
+	// EDD's future models must remain sane classifiers on the future era:
+	// no worse than a few points below the drift-oblivious baseline, and
+	// well above chance.
+	hist := driftingHistory(8, 200, 9)
+	const horizon = 3
+	edd := futureAccuracy(t, EDD{Trainer: smallForestTrainer(), MaxPerEra: 100, SampleSize: 100, Seed: 2}, hist, horizon, 9)
+	if edd < 0.75 {
+		t.Errorf("EDD horizon-%d accuracy %.3f, want >= 0.75", horizon, edd)
+	}
+}
+
+func TestEDDResamplePreimage(t *testing.T) {
+	hist := driftingHistory(6, 120, 10)
+	g := EDD{Trainer: smallForestTrainer(), MaxPerEra: 60, SampleSize: 60, Seed: 3, Preimage: PreimageResample}
+	ms, err := g.Generate(hist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := driftingEra(7, 300, 11)
+	if acc := mlmodel.Accuracy(ms[2].Model, fut.X, fut.Y, ms[2].Threshold); acc < 0.7 {
+		t.Errorf("resample preimage accuracy %.3f, want >= 0.7", acc)
+	}
+}
+
+func TestPolyFit(t *testing.T) {
+	// Exact quadratic recovery: y = 2 - x + 3x^2.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 - x + 3*x*x
+	}
+	p, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{2, -1, 3} {
+		if diff := p[i] - want; diff > 1e-8 || diff < -1e-8 {
+			t.Errorf("p[%d] = %g, want %g", i, p[i], want)
+		}
+	}
+	if v := PolyEval(p, 10); v-(2-10+300) > 1e-6 || v-(2-10+300) < -1e-6 {
+		t.Errorf("PolyEval = %g", v)
+	}
+	if _, err := PolyFit(xs, ys[:3], 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := PolyFit(xs[:2], ys[:2], 2); err == nil {
+		t.Error("too few points should fail")
+	}
+	if _, err := PolyFit(xs, ys, -1); err == nil {
+		t.Error("negative degree should fail")
+	}
+}
+
+func TestWeightedResampleFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	eras := []Era{driftingEra(0, 20, 12), driftingEra(1, 20, 12)}
+	// All non-positive coefficients: fall back to the last era only.
+	X, y := weightedResample(eras, []float64{-1, 0}, 30, rng)
+	if len(X) != 30 || len(y) != 30 {
+		t.Fatalf("resample size %d/%d", len(X), len(y))
+	}
+	seen := map[float64]bool{}
+	for _, x := range X {
+		seen[x[0]] = true
+	}
+	for _, x := range eras[0].X {
+		if seen[x[0]] {
+			// Could collide with era-1 values only by chance of equal
+			// floats, which is essentially impossible.
+			t.Fatal("fallback drew from a non-last era")
+		}
+	}
+}
+
+func TestSubsampleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := driftingEra(0, 50, 13)
+	s := subsample(e, 10, rng)
+	if len(s.X) != 10 || len(s.Y) != 10 {
+		t.Fatalf("subsample size %d", len(s.X))
+	}
+	s2 := subsample(e, 100, rng)
+	if len(s2.X) != 50 {
+		t.Fatalf("subsample should return whole era when under cap, got %d", len(s2.X))
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	for _, g := range []Generator{Last{}, Pooled{}, Oracle{}, EDD{}, KI{}} {
+		if g.Name() == "" {
+			t.Errorf("%T has empty name", g)
+		}
+	}
+}
+
+func TestWindowGenerator(t *testing.T) {
+	hist := driftingHistory(6, 150, 20)
+	g := Window{Trainer: smallForestTrainer(), W: 2}
+	ms, err := g.Generate(hist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("models = %d", len(ms))
+	}
+	if g.Name() != "window2" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	// W clamping: both extremes still work.
+	if _, err := (Window{Trainer: smallForestTrainer(), W: 0}).Generate(hist, 1); err != nil {
+		t.Errorf("W=0 should clamp: %v", err)
+	}
+	if _, err := (Window{Trainer: smallForestTrainer(), W: 99}).Generate(hist, 1); err != nil {
+		t.Errorf("W=99 should clamp: %v", err)
+	}
+	if _, err := (Window{Trainer: smallForestTrainer(), W: 2}).Generate(nil, 1); err == nil {
+		t.Error("empty history should fail")
+	}
+}
+
+func TestKIWithFeatures(t *testing.T) {
+	hist := driftingHistory(8, 300, 21)
+	feats := func(x []float64) []float64 {
+		return []float64{x[0], x[1], x[0] * x[1]}
+	}
+	g := KI{Degree: 1, Features: feats, FeaturesLabel: "prod"}
+	if g.Name() != "ki+feats" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	ms, err := g.Generate(hist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("models = %d", len(ms))
+	}
+	// The wrapped model must still accept raw 2-D inputs.
+	p := ms[2].Model.Predict([]float64{0.9, 0.5})
+	if p < 0 || p > 1 {
+		t.Errorf("prediction %g outside [0,1]", p)
+	}
+	if ms[0].Model.Name() != "prod+logistic" {
+		t.Errorf("model name = %q", ms[0].Model.Name())
+	}
+	// Accuracy on the actual future era should remain strong.
+	fut := driftingEra(9, 400, 22)
+	if acc := mlmodel.Accuracy(ms[2].Model, fut.X, fut.Y, ms[2].Threshold); acc < 0.85 {
+		t.Errorf("ki+feats accuracy %.3f", acc)
+	}
+}

@@ -1,0 +1,138 @@
+package feature
+
+import "math"
+
+// Epsilon is the tolerance under which two coordinates are considered equal
+// when computing the l0 distance ("gap"). Modifications smaller than Epsilon
+// are treated as no modification at all.
+const Epsilon = 1e-9
+
+// Clone returns a fresh copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Equal reports whether a and b have the same length and are coordinate-wise
+// equal within Epsilon.
+func Equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > Epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the l2 (Euclidean) distance between a and b — the paper's
+// "diff" property. It panics if the lengths differ.
+func Diff(a, b []float64) float64 {
+	mustSameLen(a, b)
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Gap returns the l0 distance between a and b — the paper's "gap" property:
+// the number of coordinates on which they differ by more than Epsilon.
+func Gap(a, b []float64) int {
+	mustSameLen(a, b)
+	n := 0
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > Epsilon {
+			n++
+		}
+	}
+	return n
+}
+
+// ScaledDiff returns the l2 distance between a and b after dividing each
+// coordinate difference by the corresponding scale (feature range). Scales
+// that are zero or negative are treated as 1 so that degenerate fields do not
+// produce NaNs. Used by the candidate generator so that dollar-valued and
+// year-valued features contribute comparably to the objective.
+func ScaledDiff(a, b, scale []float64) float64 {
+	mustSameLen(a, b)
+	mustSameLen(a, scale)
+	var sum float64
+	for i := range a {
+		s := scale[i]
+		if s <= 0 {
+			s = 1
+		}
+		d := (a[i] - b[i]) / s
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Scales returns the per-field value ranges (Max-Min) of the schema, for use
+// with ScaledDiff.
+func (s *Schema) Scales() []float64 {
+	out := make([]float64, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = f.Max - f.Min
+	}
+	return out
+}
+
+// Add returns a + b as a new vector.
+func Add(a, b []float64) []float64 {
+	mustSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a - b as a new vector.
+func Sub(a, b []float64) []float64 {
+	mustSameLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Scale returns c*x as a new vector.
+func Scale(x []float64, c float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = c * x[i]
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	mustSameLen(a, b)
+	var sum float64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Norm returns the l2 norm of x.
+func Norm(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+func mustSameLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic("feature: vector length mismatch")
+	}
+}

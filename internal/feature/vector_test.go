@@ -1,0 +1,127 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiffGapBasics(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{3, 4, 0}
+	if d := Diff(a, b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Diff = %g, want 5", d)
+	}
+	if g := Gap(a, b); g != 2 {
+		t.Errorf("Gap = %d, want 2", g)
+	}
+	if g := Gap(a, a); g != 0 {
+		t.Errorf("Gap(a,a) = %d, want 0", g)
+	}
+}
+
+func TestGapIgnoresSubEpsilon(t *testing.T) {
+	a := []float64{1}
+	b := []float64{1 + Epsilon/2}
+	if g := Gap(a, b); g != 0 {
+		t.Errorf("Gap below epsilon = %d, want 0", g)
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, -1}
+	if got := Add(a, b); !Equal(got, []float64{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(a, b); !Equal(got, []float64{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(a, 2); !Equal(got, []float64{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Dot(a, b); got != 1 {
+		t.Errorf("Dot = %g, want 1", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+}
+
+func TestScaledDiff(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{10, 100}
+	scale := []float64{10, 100}
+	if d := ScaledDiff(a, b, scale); math.Abs(d-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("ScaledDiff = %g, want sqrt(2)", d)
+	}
+	// zero scale treated as 1
+	if d := ScaledDiff([]float64{0}, []float64{2}, []float64{0}); d != 2 {
+		t.Errorf("ScaledDiff zero-scale = %g, want 2", d)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float64{1, 2, 3}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases input")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Diff([]float64{1}, []float64{1, 2})
+}
+
+// Property: Diff is a metric on clean inputs — symmetry, identity, triangle
+// inequality.
+func TestDiffMetricProperties(t *testing.T) {
+	clean := func(xs []float64) []float64 {
+		out := make([]float64, 3)
+		for i := range out {
+			if i < len(xs) && !math.IsNaN(xs[i]) && !math.IsInf(xs[i], 0) {
+				out[i] = math.Mod(xs[i], 1e6)
+			}
+		}
+		return out
+	}
+	f := func(xa, xb, xc []float64) bool {
+		a, b, c := clean(xa), clean(xb), clean(xc)
+		if math.Abs(Diff(a, b)-Diff(b, a)) > 1e-9 {
+			return false
+		}
+		if Diff(a, a) != 0 {
+			return false
+		}
+		return Diff(a, c) <= Diff(a, b)+Diff(b, c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gap is bounded by the dimension and symmetric.
+func TestGapProperties(t *testing.T) {
+	f := func(xa, xb [4]float64) bool {
+		a, b := xa[:], xb[:]
+		for i := range a {
+			if math.IsNaN(a[i]) {
+				a[i] = 0
+			}
+			if math.IsNaN(b[i]) {
+				b[i] = 0
+			}
+		}
+		g := Gap(a, b)
+		return g >= 0 && g <= 4 && g == Gap(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

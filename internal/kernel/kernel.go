@@ -1,0 +1,135 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kernel is a positive-definite similarity function on R^d.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Name identifies the kernel for logs.
+	Name() string
+}
+
+// RBF is the Gaussian kernel exp(-gamma * ||a-b||^2).
+type RBF struct {
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-k.Gamma * d2)
+}
+
+// Name implements Kernel.
+func (k RBF) Name() string { return fmt.Sprintf("rbf(gamma=%.4g)", k.Gamma) }
+
+// Linear is the inner-product kernel a·b.
+type Linear struct{}
+
+// Eval implements Kernel.
+func (Linear) Eval(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Name implements Kernel.
+func (Linear) Name() string { return "linear" }
+
+// Polynomial is (a·b + C)^Degree.
+type Polynomial struct {
+	Degree int
+	C      float64
+}
+
+// Eval implements Kernel.
+func (k Polynomial) Eval(a, b []float64) float64 {
+	return math.Pow(Linear{}.Eval(a, b)+k.C, float64(k.Degree))
+}
+
+// Name implements Kernel.
+func (k Polynomial) Name() string { return fmt.Sprintf("poly(%d,%.2g)", k.Degree, k.C) }
+
+// Gram computes the matrix K with K[i][j] = k(A[i], B[j]).
+func Gram(k Kernel, A, B [][]float64) *Matrix {
+	m := NewMatrix(len(A), len(B))
+	for i, a := range A {
+		for j, b := range B {
+			m.Set(i, j, k.Eval(a, b))
+		}
+	}
+	return m
+}
+
+// MedianHeuristicGamma returns the standard RBF bandwidth choice
+// gamma = 1 / (2 * median(||x_i - x_j||)^2) over at most maxPairs sampled
+// pairs (deterministic stride sampling). Returns 1 for degenerate inputs.
+func MedianHeuristicGamma(X [][]float64, maxPairs int) float64 {
+	if len(X) < 2 {
+		return 1
+	}
+	if maxPairs <= 0 {
+		maxPairs = 1000
+	}
+	var dists []float64
+	// Deterministic stride over the upper triangle.
+	total := len(X) * (len(X) - 1) / 2
+	stride := total/maxPairs + 1
+	count := 0
+	for i := 0; i < len(X) && len(dists) < maxPairs; i++ {
+		for j := i + 1; j < len(X) && len(dists) < maxPairs; j++ {
+			if count%stride == 0 {
+				var d2 float64
+				for t := range X[i] {
+					d := X[i][t] - X[j][t]
+					d2 += d * d
+				}
+				dists = append(dists, math.Sqrt(d2))
+			}
+			count++
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	sort.Float64s(dists)
+	med := dists[len(dists)/2]
+	if med < 1e-12 {
+		return 1
+	}
+	return 1 / (2 * med * med)
+}
+
+// MeanEmbeddingInner returns the inner product of the kernel mean embeddings
+// of the two sample sets: (1/(|A||B|)) sum_ij k(A[i], B[j]). This is the only
+// primitive the distribution-dynamics extrapolator needs about embeddings.
+func MeanEmbeddingInner(k Kernel, A, B [][]float64) float64 {
+	if len(A) == 0 || len(B) == 0 {
+		return 0
+	}
+	var s float64
+	for _, a := range A {
+		for _, b := range B {
+			s += k.Eval(a, b)
+		}
+	}
+	return s / float64(len(A)*len(B))
+}
+
+// MMD2 returns the squared maximum mean discrepancy between the empirical
+// distributions of A and B: ||mu_A - mu_B||^2 in the kernel's RKHS. It is
+// non-negative up to floating-point error and zero iff the embeddings match.
+func MMD2(k Kernel, A, B [][]float64) float64 {
+	return MeanEmbeddingInner(k, A, A) - 2*MeanEmbeddingInner(k, A, B) + MeanEmbeddingInner(k, B, B)
+}

@@ -1,0 +1,267 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Errorf("At = %g, want 7", m.At(0, 1))
+	}
+	c := m.Clone()
+	c.Set(0, 1, 0)
+	if m.At(0, 1) != 7 {
+		t.Error("Clone aliases data")
+	}
+	v := m.MulVec([]float64{1, 2, 3})
+	if v[0] != 14 || v[1] != 0 {
+		t.Errorf("MulVec = %v", v)
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	x, err := m.Solve([]float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero top-left pivot forces a row swap.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	x, err := m.Solve([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Errorf("Solve = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := m.Solve([]float64{1, 2}); err == nil {
+		t.Error("singular system should fail")
+	}
+	if _, err := NewMatrix(2, 3).Solve([]float64{1, 2}); err == nil {
+		t.Error("non-square should fail")
+	}
+	if _, err := NewMatrix(2, 2).Solve([]float64{1}); err == nil {
+		t.Error("wrong rhs dim should fail")
+	}
+}
+
+func TestSolveDoesNotMutate(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 2)
+	b := []float64{4, 6}
+	if _, err := m.Solve(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 2 || b[0] != 4 {
+		t.Error("Solve mutated inputs")
+	}
+}
+
+func TestCholeskyAndSolveSPD(t *testing.T) {
+	// SPD matrix [[4,2],[2,3]].
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 4)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 3)
+	l, err := m.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L = [[2,0],[1,sqrt(2)]]
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 || math.Abs(l.At(1, 1)-math.Sqrt2) > 1e-12 {
+		t.Errorf("Cholesky = [[%g %g][%g %g]]", l.At(0, 0), l.At(0, 1), l.At(1, 0), l.At(1, 1))
+	}
+	x, err := m.SolveSPD([]float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Solve([]float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-want[0]) > 1e-10 || math.Abs(x[1]-want[1]) > 1e-10 {
+		t.Errorf("SolveSPD = %v, Solve = %v", x, want)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, -1)
+	if _, err := m.Cholesky(); err == nil {
+		t.Error("indefinite matrix should fail")
+	}
+}
+
+func TestSolveRandomSPDSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		// Build SPD as A^T A + I.
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		spd := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += a.At(k, i) * a.At(k, j)
+				}
+				spd.Set(i, j, s)
+			}
+		}
+		spd.AddDiagonal(1)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := spd.MulVec(want)
+		got, err := spd.SolveSPD(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKernelValues(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if v := (RBF{Gamma: 0.5}).Eval(a, a); v != 1 {
+		t.Errorf("RBF(a,a) = %g, want 1", v)
+	}
+	if v := (RBF{Gamma: 0.5}).Eval(a, b); math.Abs(v-math.Exp(-1)) > 1e-12 {
+		t.Errorf("RBF(a,b) = %g, want e^-1", v)
+	}
+	if v := (Linear{}).Eval([]float64{1, 2}, []float64{3, 4}); v != 11 {
+		t.Errorf("Linear = %g, want 11", v)
+	}
+	if v := (Polynomial{Degree: 2, C: 1}).Eval([]float64{1}, []float64{2}); v != 9 {
+		t.Errorf("Poly = %g, want 9", v)
+	}
+	for _, k := range []Kernel{RBF{Gamma: 1}, Linear{}, Polynomial{Degree: 2, C: 1}} {
+		if k.Name() == "" {
+			t.Error("empty kernel name")
+		}
+	}
+}
+
+func TestRBFSymmetricBounded(t *testing.T) {
+	k := RBF{Gamma: 0.3}
+	f := func(a, b [3]float64) bool {
+		va, vb := a[:], b[:]
+		for i := range va {
+			if math.IsNaN(va[i]) {
+				va[i] = 0
+			}
+			if math.IsNaN(vb[i]) {
+				vb[i] = 0
+			}
+		}
+		x, y := k.Eval(va, vb), k.Eval(vb, va)
+		return x == y && x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGram(t *testing.T) {
+	A := [][]float64{{0}, {1}}
+	B := [][]float64{{0}, {1}, {2}}
+	g := Gram(Linear{}, A, B)
+	if g.Rows != 2 || g.Cols != 3 {
+		t.Fatalf("Gram shape %dx%d", g.Rows, g.Cols)
+	}
+	if g.At(1, 2) != 2 || g.At(0, 1) != 0 {
+		t.Errorf("Gram values wrong: %g %g", g.At(1, 2), g.At(0, 1))
+	}
+}
+
+func TestMedianHeuristicGamma(t *testing.T) {
+	// All pairwise distances are 1 => gamma = 1/2.
+	X := [][]float64{{0}, {1}}
+	if g := MedianHeuristicGamma(X, 100); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("gamma = %g, want 0.5", g)
+	}
+	if g := MedianHeuristicGamma(nil, 100); g != 1 {
+		t.Errorf("degenerate gamma = %g, want 1", g)
+	}
+	if g := MedianHeuristicGamma([][]float64{{1}, {1}, {1}}, 100); g != 1 {
+		t.Errorf("zero-distance gamma = %g, want 1", g)
+	}
+}
+
+func TestMMD2Properties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := func(shift float64) [][]float64 {
+		out := make([][]float64, 80)
+		for i := range out {
+			out[i] = []float64{rng.NormFloat64() + shift, rng.NormFloat64()}
+		}
+		return out
+	}
+	k := RBF{Gamma: 0.5}
+	A, B, C := sample(0), sample(0), sample(3)
+	if v := MMD2(k, A, A); math.Abs(v) > 1e-10 {
+		t.Errorf("MMD2(A,A) = %g, want 0", v)
+	}
+	near, far := MMD2(k, A, B), MMD2(k, A, C)
+	if near < -1e-10 {
+		t.Errorf("MMD2 negative: %g", near)
+	}
+	if far <= near {
+		t.Errorf("shifted distribution should be farther: near=%g far=%g", near, far)
+	}
+	if MeanEmbeddingInner(k, nil, A) != 0 {
+		t.Error("empty embedding inner should be 0")
+	}
+}

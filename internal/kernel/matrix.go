@@ -1,0 +1,184 @@
+// Package kernel provides the small linear-algebra and kernel-method toolbox
+// used by the future-model generators: a dense matrix type, positive-definite
+// solvers, RBF/linear/polynomial kernels, Gram matrices and kernel mean
+// embeddings (the core machinery of Lampert's "Predicting the future behavior
+// of a time-varying probability distribution", CVPR 2015).
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("kernel: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.Cols+j] = v }
+
+// Add accumulates m[i,j] += v.
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// AddDiagonal adds v to every diagonal entry (ridge regularization).
+func (m *Matrix) AddDiagonal(v float64) {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		m.data[i*m.Cols+i] += v
+	}
+}
+
+// MulVec returns m * v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("kernel: MulVec dim %d, want %d", len(v), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Solve solves m * x = b by Gaussian elimination with partial pivoting,
+// without modifying m or b. It returns an error when the system is singular
+// to working precision.
+func (m *Matrix) Solve(b []float64) ([]float64, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("kernel: Solve needs a square matrix, have %dx%d", m.Rows, m.Cols)
+	}
+	if len(b) != m.Rows {
+		return nil, fmt.Errorf("kernel: Solve rhs dim %d, want %d", len(b), m.Rows)
+	}
+	n := m.Rows
+	a := m.Clone()
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("kernel: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				tmp := a.At(col, j)
+				a.Set(col, j, a.At(pivot, j))
+				a.Set(pivot, j, tmp)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Add(r, j, -f*a.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// Cholesky computes the lower-triangular factor L with m = L L^T. The input
+// must be symmetric positive definite; otherwise an error is returned.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("kernel: Cholesky needs a square matrix")
+	}
+	n := m.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("kernel: matrix not positive definite at row %d", i)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves m * x = b for symmetric positive-definite m via Cholesky.
+func (m *Matrix) SolveSPD(b []float64) ([]float64, error) {
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != m.Rows {
+		return nil, fmt.Errorf("kernel: SolveSPD rhs dim %d, want %d", len(b), m.Rows)
+	}
+	n := m.Rows
+	// Forward solve L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward solve L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,164 @@
+package mlmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (>= 1).
+	Trees int
+	// MaxDepth and MinLeaf are per-tree CART parameters.
+	MaxDepth int
+	MinLeaf  int
+	// MaxFeatures is the per-split feature sample size; 0 selects
+	// round(sqrt(d)), the standard random-forest default.
+	MaxFeatures int
+	// Seed drives bootstrap sampling and per-tree feature sampling.
+	Seed int64
+	// Workers bounds training parallelism; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// DefaultForestConfig mirrors common random-forest defaults at a size that
+// trains quickly on the synthetic loan data.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{Trees: 40, MaxDepth: 8, MinLeaf: 5}
+}
+
+func (c ForestConfig) validate(dim int) error {
+	if c.Trees < 1 {
+		return fmt.Errorf("mlmodel: Trees must be >= 1, got %d", c.Trees)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("mlmodel: Workers must be >= 0, got %d", c.Workers)
+	}
+	tc := TreeConfig{MaxDepth: c.MaxDepth, MinLeaf: c.MinLeaf, MaxFeatures: c.MaxFeatures}
+	return tc.validate(dim)
+}
+
+// Forest is a bagged ensemble of CART trees with per-split feature
+// subsampling — the model family the paper's Models Generator trains for each
+// future time span.
+type Forest struct {
+	trees []*Tree
+	dim   int
+}
+
+// TrainForest fits a random forest on (X, y). Trees are trained in parallel
+// on bootstrap resamples; the result is deterministic for a fixed seed
+// regardless of worker count.
+func TrainForest(X [][]float64, y []bool, cfg ForestConfig) (*Forest, error) {
+	dim, err := checkTrainingData(X, y)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(dim); err != nil {
+		return nil, err
+	}
+	maxFeatures := cfg.MaxFeatures
+	if maxFeatures == 0 {
+		maxFeatures = int(math.Round(math.Sqrt(float64(dim))))
+		if maxFeatures < 1 {
+			maxFeatures = 1
+		}
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Pre-derive an independent seed per tree so that parallel scheduling
+	// cannot change the outcome.
+	seeds := make([]int64, cfg.Trees)
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range seeds {
+		seeds[i] = seedRng.Int63()
+	}
+
+	f := &Forest{trees: make([]*Tree, cfg.Trees), dim: dim}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, workers)
+	for i := 0; i < cfg.Trees; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(seeds[i]))
+			bx := make([][]float64, len(X))
+			by := make([]bool, len(y))
+			for j := range bx {
+				k := rng.Intn(len(X))
+				bx[j] = X[k]
+				by[j] = y[k]
+			}
+			tree, err := TrainTree(bx, by, TreeConfig{
+				MaxDepth:    cfg.MaxDepth,
+				MinLeaf:     cfg.MinLeaf,
+				MaxFeatures: maxFeatures,
+				Seed:        seeds[i] ^ 0x5851f42d4c957f2d,
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			f.trees[i] = tree
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return f, nil
+}
+
+// Predict returns the mean leaf probability across the ensemble.
+func (f *Forest) Predict(x []float64) float64 {
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Name implements Model.
+func (f *Forest) Name() string { return fmt.Sprintf("forest(%d)", len(f.trees)) }
+
+// Dim returns the input dimensionality.
+func (f *Forest) Dim() int { return f.dim }
+
+// TreeCount returns the ensemble size.
+func (f *Forest) TreeCount() int { return len(f.trees) }
+
+// Thresholds returns, per feature, the sorted deduplicated split thresholds
+// used anywhere in the ensemble. The candidate generator's model-dependent
+// heuristic proposes moves that cross these values.
+func (f *Forest) Thresholds() map[int][]float64 {
+	m := make(map[int][]float64)
+	for _, t := range f.trees {
+		t.Thresholds(m)
+	}
+	for k, vs := range m {
+		sort.Float64s(vs)
+		out := vs[:0]
+		for i, v := range vs {
+			if i == 0 || v != vs[i-1] {
+				out = append(out, v)
+			}
+		}
+		m[k] = out
+	}
+	return m
+}

@@ -1,0 +1,165 @@
+package mlmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrainLogisticValidation(t *testing.T) {
+	X, y := linearData(20, 1)
+	if _, err := TrainLogistic(nil, nil, DefaultLogisticConfig()); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := TrainLogistic(X, y, LogisticConfig{Epochs: 0, LearningRate: 0.1}); err == nil {
+		t.Error("Epochs=0 should fail")
+	}
+	if _, err := TrainLogistic(X, y, LogisticConfig{Epochs: 10, LearningRate: 0}); err == nil {
+		t.Error("LearningRate=0 should fail")
+	}
+	if _, err := TrainLogistic(X, y, LogisticConfig{Epochs: 10, LearningRate: 0.1, L2: -1}); err == nil {
+		t.Error("negative L2 should fail")
+	}
+	bad := &Scaler{Mean: []float64{0}, Std: []float64{1}}
+	if _, err := TrainLogistic(X, y, LogisticConfig{Epochs: 10, LearningRate: 0.1, Scaler: bad}); err == nil {
+		t.Error("scaler dim mismatch should fail")
+	}
+}
+
+func TestLogisticLearnsLinearRule(t *testing.T) {
+	X, y := linearData(1000, 20)
+	m, err := TrainLogistic(X[:800], y[:800], DefaultLogisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, X[800:], y[800:], 0.5); acc < 0.95 {
+		t.Errorf("logistic accuracy %.3f on linear rule, want >= 0.95", acc)
+	}
+	// Both weights should be positive and comparable (the rule is symmetric).
+	if m.W[0] <= 0 || m.W[1] <= 0 {
+		t.Errorf("weights %v should both be positive", m.W)
+	}
+	if r := m.W[0] / m.W[1]; r < 0.5 || r > 2 {
+		t.Errorf("weight ratio %.2f, want near 1", r)
+	}
+}
+
+func TestLogisticFailsOnXOR(t *testing.T) {
+	// Sanity check that XOR really distinguishes model families.
+	X, y := xorData(800, 21)
+	m, err := TrainLogistic(X, y, DefaultLogisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, X, y, 0.5); acc > 0.7 {
+		t.Errorf("logistic accuracy %.3f on XOR; expected near-chance", acc)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 10}, {3, 10}, {5, 10}}
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean[0] != 3 {
+		t.Errorf("Mean[0] = %g, want 3", s.Mean[0])
+	}
+	// Zero-variance column gets Std 1.
+	if s.Std[1] != 1 {
+		t.Errorf("Std[1] = %g, want 1 (zero variance)", s.Std[1])
+	}
+	z := s.Transform([]float64{3, 10})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Transform(mean) = %v, want zeros", z)
+	}
+	if _, err := FitScaler(nil); err == nil {
+		t.Error("empty scaler input should fail")
+	}
+	if _, err := FitScaler([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged scaler input should fail")
+	}
+}
+
+func TestNewLogisticFromWeights(t *testing.T) {
+	s := &Scaler{Mean: []float64{0, 0}, Std: []float64{1, 1}}
+	m, err := NewLogisticFromWeights([]float64{2, 0}, 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{0, 0}); p != 0.5 {
+		t.Errorf("Predict(origin) = %g, want 0.5", p)
+	}
+	if p := m.Predict([]float64{10, 0}); p < 0.99 {
+		t.Errorf("Predict(far positive) = %g, want ~1", p)
+	}
+	if _, err := NewLogisticFromWeights([]float64{1}, 0, s); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := NewLogisticFromWeights([]float64{1, 2}, 0, nil); err == nil {
+		t.Error("nil scaler should fail")
+	}
+	// The constructor must copy its weight slice.
+	w := []float64{1, 1}
+	m2, _ := NewLogisticFromWeights(w, 0, s)
+	w[0] = 99
+	if m2.W[0] != 1 {
+		t.Error("weights aliased caller slice")
+	}
+}
+
+func TestLogisticGradientPointsUphill(t *testing.T) {
+	X, y := linearData(600, 22)
+	m, err := TrainLogistic(X, y, DefaultLogisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.4, 0.4} // below the boundary
+	g := m.Gradient(x)
+	p0 := m.Predict(x)
+	step := 1e-4
+	x2 := []float64{x[0] + step*g[0], x[1] + step*g[1]}
+	if p1 := m.Predict(x2); p1 <= p0 {
+		t.Errorf("stepping along gradient decreased probability: %.6f -> %.6f", p0, p1)
+	}
+	// Finite-difference check of the gradient.
+	for j := 0; j < 2; j++ {
+		xp := append([]float64(nil), x...)
+		xp[j] += 1e-6
+		fd := (m.Predict(xp) - p0) / 1e-6
+		if math.Abs(fd-g[j]) > 1e-3*(math.Abs(fd)+math.Abs(g[j])+1e-9) {
+			t.Errorf("gradient[%d] = %g, finite diff %g", j, g[j], fd)
+		}
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if v := sigmoid(1000); v != 1 {
+		t.Errorf("sigmoid(1000) = %g", v)
+	}
+	if v := sigmoid(-1000); v != 0 {
+		t.Errorf("sigmoid(-1000) = %g", v)
+	}
+	if v := sigmoid(0); v != 0.5 {
+		t.Errorf("sigmoid(0) = %g", v)
+	}
+	if math.IsNaN(sigmoid(-745)) || math.IsNaN(sigmoid(745)) {
+		t.Error("sigmoid produced NaN at extreme input")
+	}
+}
+
+func TestSharedScalerReused(t *testing.T) {
+	X, y := linearData(200, 23)
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultLogisticConfig()
+	cfg.Scaler = s
+	m, err := TrainLogistic(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scaler() != s {
+		t.Error("model did not retain the shared scaler")
+	}
+}

@@ -1,0 +1,57 @@
+package mlmodel
+
+import "testing"
+
+func TestMappedModel(t *testing.T) {
+	inner := ConstantModel{P: 0.7}
+	called := false
+	m := Mapped{
+		Inner: inner,
+		Map: func(x []float64) []float64 {
+			called = true
+			return []float64{x[0] * 2}
+		},
+		Label: "double",
+	}
+	if p := m.Predict([]float64{3}); p != 0.7 {
+		t.Errorf("Predict = %g", p)
+	}
+	if !called {
+		t.Error("Map was not applied")
+	}
+	if m.Name() != "double+constant(0.70)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	anon := Mapped{Inner: inner, Map: func(x []float64) []float64 { return x }}
+	if anon.Name() != "mapped+constant(0.70)" {
+		t.Errorf("anon Name = %q", anon.Name())
+	}
+}
+
+// Mapped composed with a real logistic model: predictions go through the
+// transform, so a model trained on squared features sees them.
+func TestMappedWithLogistic(t *testing.T) {
+	// Label depends on x^2: linear in the mapped space only.
+	X := make([][]float64, 400)
+	y := make([]bool, 400)
+	for i := range X {
+		v := float64(i)/200 - 1 // [-1, 1)
+		X[i] = []float64{v * v}
+		y[i] = v*v > 0.25
+	}
+	inner, err := TrainLogistic(X, y, DefaultLogisticConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mapped{Inner: inner, Map: func(x []float64) []float64 { return []float64{x[0] * x[0]} }}
+	// Raw inputs +-0.8 are positive, 0.1 negative.
+	if p := m.Predict([]float64{0.8}); p < 0.5 {
+		t.Errorf("p(0.8) = %g", p)
+	}
+	if p := m.Predict([]float64{-0.8}); p < 0.5 {
+		t.Errorf("p(-0.8) = %g", p)
+	}
+	if p := m.Predict([]float64{0.1}); p > 0.5 {
+		t.Errorf("p(0.1) = %g", p)
+	}
+}

@@ -1,0 +1,201 @@
+package mlmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary-classification confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// ConfusionAt scores the model on (X, y) with the given decision threshold.
+func ConfusionAt(m Model, X [][]float64, y []bool, delta float64) Confusion {
+	var c Confusion
+	for i, x := range X {
+		pred := m.Predict(x) > delta
+		switch {
+		case pred && y[i]:
+			c.TP++
+		case pred && !y[i]:
+			c.FP++
+		case !pred && !y[i]:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Accuracy returns the fraction of correct decisions.
+func (c Confusion) Accuracy() float64 {
+	n := c.TP + c.FP + c.TN + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// Precision returns TP / (TP + FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d", c.TP, c.FP, c.TN, c.FN)
+}
+
+// Accuracy scores the model at the given threshold.
+func Accuracy(m Model, X [][]float64, y []bool, delta float64) float64 {
+	return ConfusionAt(m, X, y, delta).Accuracy()
+}
+
+// AUC computes the area under the ROC curve from scores and labels using the
+// rank statistic (equivalent to the Mann-Whitney U), with midrank handling of
+// ties. Returns 0.5 when one class is absent.
+func AUC(scores []float64, y []bool) float64 {
+	if len(scores) != len(y) {
+		panic("mlmodel: AUC input length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	var posRankSum float64
+	nPos := 0
+	for i, v := range y {
+		if v {
+			posRankSum += ranks[i]
+			nPos++
+		}
+	}
+	nNeg := n - nPos
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := posRankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// ModelAUC scores the model's probabilities against labels.
+func ModelAUC(m Model, X [][]float64, y []bool) float64 {
+	scores := make([]float64, len(X))
+	for i, x := range X {
+		scores[i] = m.Predict(x)
+	}
+	return AUC(scores, y)
+}
+
+// LogLoss returns the mean negative log-likelihood, with probabilities
+// clipped to [eps, 1-eps] for numerical safety.
+func LogLoss(m Model, X [][]float64, y []bool) float64 {
+	const eps = 1e-12
+	var sum float64
+	for i, x := range X {
+		p := math.Min(math.Max(m.Predict(x), eps), 1-eps)
+		if y[i] {
+			sum -= math.Log(p)
+		} else {
+			sum -= math.Log(1 - p)
+		}
+	}
+	if len(X) == 0 {
+		return 0
+	}
+	return sum / float64(len(X))
+}
+
+// CalibrateThreshold picks the decision threshold delta maximizing F1 on the
+// given data, scanning the model's own score values. This is how the pipeline
+// derives each era's delta_t. Returns 0.5 for empty input.
+func CalibrateThreshold(m Model, X [][]float64, y []bool) float64 {
+	if len(X) == 0 {
+		return 0.5
+	}
+	scores := make([]float64, len(X))
+	for i, x := range X {
+		scores[i] = m.Predict(x)
+	}
+	uniq := append([]float64(nil), scores...)
+	sort.Float64s(uniq)
+	uniq = dedupSorted(uniq)
+
+	bestDelta, bestF1 := 0.5, -1.0
+	for _, s := range uniq {
+		// Threshold is exclusive (M(x) > delta), so test just below each
+		// observed score to include it among the positives.
+		delta := s - 1e-9
+		f1 := scoreF1(scores, y, delta)
+		if f1 > bestF1 {
+			bestF1, bestDelta = f1, delta
+		}
+	}
+	return bestDelta
+}
+
+func scoreF1(scores []float64, y []bool, delta float64) float64 {
+	var c Confusion
+	for i, s := range scores {
+		pred := s > delta
+		switch {
+		case pred && y[i]:
+			c.TP++
+		case pred && !y[i]:
+			c.FP++
+		case !pred && !y[i]:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c.F1()
+}
+
+func dedupSorted(v []float64) []float64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

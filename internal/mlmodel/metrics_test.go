@@ -1,0 +1,140 @@
+package mlmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// scoreModel is a test double returning a per-row score keyed by the first
+// coordinate.
+type scoreModel map[float64]float64
+
+func (s scoreModel) Predict(x []float64) float64 { return s[x[0]] }
+func (s scoreModel) Name() string                { return "score" }
+
+func TestConfusionAndDerivedMetrics(t *testing.T) {
+	m := scoreModel{0: 0.9, 1: 0.8, 2: 0.4, 3: 0.1}
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []bool{true, false, true, false}
+	c := ConfusionAt(m, X, y, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %v", c)
+	}
+	if c.Accuracy() != 0.5 {
+		t.Errorf("Accuracy = %g", c.Accuracy())
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Errorf("P/R/F1 = %g/%g/%g", c.Precision(), c.Recall(), c.F1())
+	}
+	if c.String() != "tp=1 fp=1 tn=1 fn=1" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("zero confusion should give zero metrics, not NaN")
+	}
+}
+
+func TestAUCPerfectAndReversed(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	y := []bool{false, false, true, true}
+	if auc := AUC(scores, y); auc != 1 {
+		t.Errorf("perfect AUC = %g", auc)
+	}
+	yr := []bool{true, true, false, false}
+	if auc := AUC(scores, yr); auc != 0 {
+		t.Errorf("reversed AUC = %g", auc)
+	}
+}
+
+func TestAUCTiesAndSingleClass(t *testing.T) {
+	// All scores tied: AUC must be exactly 0.5 via midranks.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	y := []bool{true, false, true, false}
+	if auc := AUC(scores, y); auc != 0.5 {
+		t.Errorf("tied AUC = %g, want 0.5", auc)
+	}
+	if auc := AUC([]float64{0.3, 0.7}, []bool{true, true}); auc != 0.5 {
+		t.Errorf("single-class AUC = %g, want 0.5", auc)
+	}
+}
+
+func TestAUCHandComputed(t *testing.T) {
+	// Scores: pos {0.9, 0.4}, neg {0.6, 0.2}. Pairs: (0.9,0.6)+, (0.9,0.2)+,
+	// (0.4,0.6)-, (0.4,0.2)+ => 3/4.
+	scores := []float64{0.9, 0.4, 0.6, 0.2}
+	y := []bool{true, true, false, false}
+	if auc := AUC(scores, y); math.Abs(auc-0.75) > 1e-12 {
+		t.Errorf("AUC = %g, want 0.75", auc)
+	}
+}
+
+func TestAUCPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AUC([]float64{1}, []bool{true, false})
+}
+
+func TestLogLoss(t *testing.T) {
+	m := scoreModel{0: 0.9, 1: 0.1}
+	X := [][]float64{{0}, {1}}
+	y := []bool{true, false}
+	want := -(math.Log(0.9) + math.Log(0.9)) / 2
+	if got := LogLoss(m, X, y); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogLoss = %g, want %g", got, want)
+	}
+	// Extreme probabilities must not explode to Inf.
+	bad := scoreModel{0: 0, 1: 1}
+	if ll := LogLoss(bad, X, y); math.IsInf(ll, 0) || math.IsNaN(ll) {
+		t.Errorf("LogLoss not clipped: %g", ll)
+	}
+	if ll := LogLoss(m, nil, nil); ll != 0 {
+		t.Errorf("empty LogLoss = %g", ll)
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	// Perfectly separable scores: calibrated threshold must separate them.
+	m := scoreModel{0: 0.9, 1: 0.8, 2: 0.2, 3: 0.1}
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []bool{true, true, false, false}
+	delta := CalibrateThreshold(m, X, y)
+	c := ConfusionAt(m, X, y, delta)
+	if c.F1() != 1 {
+		t.Errorf("calibrated F1 = %g at delta %g (%v)", c.F1(), delta, c)
+	}
+	if d := CalibrateThreshold(m, nil, nil); d != 0.5 {
+		t.Errorf("empty calibration = %g, want 0.5", d)
+	}
+}
+
+func TestModelAUCAgreesWithAUC(t *testing.T) {
+	m := scoreModel{0: 0.9, 1: 0.4, 2: 0.6, 3: 0.2}
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []bool{true, true, false, false}
+	if got, want := ModelAUC(m, X, y), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ModelAUC = %g, want %g", got, want)
+	}
+}
+
+func TestConstantModel(t *testing.T) {
+	c := ConstantModel{P: 0.3}
+	if c.Predict([]float64{1, 2}) != 0.3 {
+		t.Error("constant model should ignore input")
+	}
+	if c.Name() != "constant(0.30)" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if !Classify(ConstantModel{P: 0.9}, nil, 0.5) {
+		t.Error("0.9 > 0.5 should classify positive")
+	}
+	if Classify(ConstantModel{P: 0.5}, nil, 0.5) {
+		t.Error("threshold is exclusive: 0.5 > 0.5 is false")
+	}
+}

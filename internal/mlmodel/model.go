@@ -1,0 +1,90 @@
+// Package mlmodel implements the machine-learning substrate of JustInTime
+// from scratch on the standard library: CART decision trees, bagged random
+// forests (the model family the paper trains per time span with H2O), and
+// logistic regression (used by the Kumagai–Iwata-style future-model
+// generator), plus evaluation metrics and decision-threshold calibration.
+package mlmodel
+
+import "fmt"
+
+// Model is the paper's Definition II.1: a function M: R^d -> [0,1] where
+// M(x) is the probability of the desired positive classification of x.
+type Model interface {
+	// Predict returns the positive-class probability for x.
+	Predict(x []float64) float64
+	// Name identifies the model family for logs and experiment rows.
+	Name() string
+}
+
+// Classify applies the model threshold delta of Definition II.3: x is
+// classified positively iff M(x) > delta.
+func Classify(m Model, x []float64, delta float64) bool {
+	return m.Predict(x) > delta
+}
+
+// ConstantModel predicts a fixed probability regardless of input. It is the
+// degenerate fallback when training data has a single class, and a useful
+// test double.
+type ConstantModel struct {
+	P float64
+}
+
+// Predict returns the constant probability.
+func (c ConstantModel) Predict([]float64) float64 { return c.P }
+
+// Name implements Model.
+func (c ConstantModel) Name() string { return fmt.Sprintf("constant(%.2f)", c.P) }
+
+// Mapped applies a feature transform before delegating to an inner model,
+// letting linear models see engineered features (ratios like debt-to-income)
+// while the rest of the system keeps operating on the raw attribute space.
+type Mapped struct {
+	Inner Model
+	// Map transforms a raw input into the inner model's feature space.
+	Map func(x []float64) []float64
+	// Label annotates Name(); optional.
+	Label string
+}
+
+// Predict implements Model.
+func (m Mapped) Predict(x []float64) float64 { return m.Inner.Predict(m.Map(x)) }
+
+// Name implements Model.
+func (m Mapped) Name() string {
+	if m.Label != "" {
+		return m.Label + "+" + m.Inner.Name()
+	}
+	return "mapped+" + m.Inner.Name()
+}
+
+func checkTrainingData(X [][]float64, y []bool) (dim int, err error) {
+	if len(X) == 0 {
+		return 0, fmt.Errorf("mlmodel: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("mlmodel: %d rows but %d labels", len(X), len(y))
+	}
+	dim = len(X[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("mlmodel: zero-dimensional rows")
+	}
+	for i, row := range X {
+		if len(row) != dim {
+			return 0, fmt.Errorf("mlmodel: row %d has dim %d, want %d", i, len(row), dim)
+		}
+	}
+	return dim, nil
+}
+
+func positiveFraction(y []bool) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range y {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(y))
+}

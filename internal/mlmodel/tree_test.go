@@ -1,0 +1,180 @@
+package mlmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// linearData draws n points in [0,1]^2 labeled by x0 + x1 > 1.
+func linearData(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = X[i][0]+X[i][1] > 1
+	}
+	return X, y
+}
+
+// xorData draws n points labeled by the XOR of x0>0.5 and x1>0.5 — not
+// linearly separable, so it separates tree-capable models from logistic.
+func xorData(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = (X[i][0] > 0.5) != (X[i][1] > 0.5)
+	}
+	return X, y
+}
+
+func TestTrainTreeValidation(t *testing.T) {
+	X, y := linearData(10, 1)
+	cases := []struct {
+		name string
+		X    [][]float64
+		y    []bool
+		cfg  TreeConfig
+	}{
+		{"empty", nil, nil, DefaultTreeConfig()},
+		{"mismatch", X, y[:5], DefaultTreeConfig()},
+		{"ragged", [][]float64{{1, 2}, {1}}, []bool{true, false}, DefaultTreeConfig()},
+		{"zerodim", [][]float64{{}}, []bool{true}, DefaultTreeConfig()},
+		{"negdepth", X, y, TreeConfig{MaxDepth: -1, MinLeaf: 1}},
+		{"minleaf", X, y, TreeConfig{MaxDepth: 3, MinLeaf: 0}},
+		{"maxfeat", X, y, TreeConfig{MaxDepth: 3, MinLeaf: 1, MaxFeatures: 5}},
+	}
+	for _, c := range cases {
+		if _, err := TrainTree(c.X, c.y, c.cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestTreeLearnsThresholdRule(t *testing.T) {
+	// 1-D data labeled by x > 0.37: a depth-1 tree must nail it.
+	rng := rand.New(rand.NewSource(2))
+	X := make([][]float64, 500)
+	y := make([]bool, 500)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		y[i] = X[i][0] > 0.37
+	}
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 1, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree, X, y, 0.5); acc < 0.99 {
+		t.Errorf("depth-1 tree accuracy %.3f on threshold rule", acc)
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("Depth = %d, want 1", tree.Depth())
+	}
+	thr := tree.Thresholds(nil)
+	if len(thr[0]) != 1 {
+		t.Fatalf("expected exactly one split threshold, got %v", thr)
+	}
+	if got := thr[0][0]; got < 0.3 || got > 0.45 {
+		t.Errorf("split threshold %.3f far from 0.37", got)
+	}
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	X, y := xorData(800, 3)
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 4, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(tree, X, y, 0.5); acc < 0.95 {
+		t.Errorf("tree accuracy %.3f on XOR, want >= 0.95", acc)
+	}
+}
+
+func TestTreeDepthZeroIsLeaf(t *testing.T) {
+	X, y := linearData(50, 4)
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 0, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NodeCount() != 1 || tree.Depth() != 0 {
+		t.Errorf("MaxDepth=0 should give a single leaf: nodes=%d depth=%d", tree.NodeCount(), tree.Depth())
+	}
+	// Leaf probability equals the positive fraction.
+	want := positiveFraction(y)
+	if got := tree.Predict([]float64{0.1, 0.1}); got != want {
+		t.Errorf("leaf prob %.3f, want %.3f", got, want)
+	}
+}
+
+func TestTreePureClassShortCircuits(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []bool{true, true, true, true}
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 5, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NodeCount() != 1 {
+		t.Errorf("pure data should not split, nodes=%d", tree.NodeCount())
+	}
+	if p := tree.Predict([]float64{9}); p != 1 {
+		t.Errorf("pure positive leaf prob = %g", p)
+	}
+}
+
+func TestTreeMinLeafRespected(t *testing.T) {
+	X, y := linearData(200, 5)
+	tree, err := TrainTree(X, y, TreeConfig{MaxDepth: 10, MinLeaf: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range tree.nodes {
+		if nd.left == -1 && nd.n < 30 {
+			t.Fatalf("leaf with %d < 30 samples", nd.n)
+		}
+	}
+}
+
+func TestTreePredictDimPanics(t *testing.T) {
+	X, y := linearData(20, 6)
+	tree, _ := TrainTree(X, y, DefaultTreeConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tree.Predict([]float64{1})
+}
+
+func TestTreePredictionsAreProbabilities(t *testing.T) {
+	X, y := xorData(300, 7)
+	tree, err := TrainTree(X, y, DefaultTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		p := tree.Predict([]float64{a, b})
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeDeterministic(t *testing.T) {
+	X, y := xorData(300, 8)
+	cfg := TreeConfig{MaxDepth: 6, MinLeaf: 3, MaxFeatures: 1, Seed: 99}
+	a, _ := TrainTree(X, y, cfg)
+	b, _ := TrainTree(X, y, cfg)
+	if a.NodeCount() != b.NodeCount() {
+		t.Fatal("same seed, different trees")
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i) / 50, float64(i%7) / 7}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed, different predictions")
+		}
+	}
+}

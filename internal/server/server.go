@@ -1,0 +1,314 @@
+// Package server exposes the JustInTime demo over a JSON HTTP API mirroring
+// the three screens of the paper's demonstration: Personal Preferences
+// (create a session with constraints), Queries (the canned questions), and
+// Plans & Insights (answers), plus the behind-the-scenes inspection
+// endpoints the demo walks the audience through (schema, models, temporal
+// inputs, raw SQL).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"justintime/internal/constraints"
+	"justintime/internal/core"
+	"justintime/internal/dataset"
+	"justintime/internal/sqldb"
+)
+
+// Server is an http.Handler serving the demo API.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*core.Session
+	nextID   int
+}
+
+// New builds a Server around a configured system.
+func New(sys *core.System) *Server {
+	s := &Server{sys: sys, sessions: make(map[string]*core.Session)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/schema", s.handleSchema)
+	mux.HandleFunc("GET /api/models", s.handleModels)
+	mux.HandleFunc("GET /api/profiles", s.handleProfiles)
+	mux.HandleFunc("GET /api/questions", s.handleQuestions)
+	mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /api/sessions/{id}/inputs", s.handleInputs)
+	mux.HandleFunc("GET /api/sessions/{id}/plan", s.handlePlan)
+	mux.HandleFunc("POST /api/sessions/{id}/ask", s.handleAsk)
+	mux.HandleFunc("POST /api/sessions/{id}/sql", s.handleSQL)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*core.Session, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+type fieldJSON struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	Temporal  bool    `json:"temporal"`
+	Immutable bool    `json:"immutable"`
+	Unit      string  `json:"unit,omitempty"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	schema := s.sys.Schema()
+	fields := make([]fieldJSON, schema.Dim())
+	for i := 0; i < schema.Dim(); i++ {
+		f := schema.Field(i)
+		fields[i] = fieldJSON{
+			Name: f.Name, Kind: f.Kind.String(), Min: f.Min, Max: f.Max,
+			Temporal: f.Temporal, Immutable: f.Immutable, Unit: f.Unit,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"fields": fields})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	type modelJSON struct {
+		Time      int     `json:"time"`
+		Label     string  `json:"label"`
+		Model     string  `json:"model"`
+		Threshold float64 `json:"threshold"`
+	}
+	models := s.sys.Models()
+	out := make([]modelJSON, len(models))
+	for t, m := range models {
+		out[t] = modelJSON{Time: t, Label: s.sys.TimeLabel(t), Model: m.Model.Name(), Threshold: m.Threshold}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"models": out})
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, _ *http.Request) {
+	schema := s.sys.Schema()
+	var out []map[string]float64
+	for _, p := range dataset.RejectedProfiles() {
+		m := make(map[string]float64, schema.Dim())
+		for i, name := range schema.Names() {
+			m[name] = p[i]
+		}
+		out = append(out, m)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"profiles": out})
+}
+
+func (s *Server) handleQuestions(w http.ResponseWriter, _ *http.Request) {
+	type qJSON struct {
+		Kind        string `json:"kind"`
+		Description string `json:"description"`
+	}
+	out := []qJSON{
+		{core.QNoModification.String(), "What is the closest time point at which reapplying without modifications is approved?"},
+		{core.QMinimalFeatures.String(), "What is the smallest set of features whose modification leads to approval?"},
+		{core.QDominantFeature.String(), "Can modifying a single given feature lead to approval at all future time points?"},
+		{core.QMinimalOverall.String(), "What is the minimal overall modification (l2 distance) that leads to approval?"},
+		{core.QMaximalConfidence.String(), "Which modification, at which time point, maximizes approval confidence?"},
+		{core.QTurningPoint.String(), "Is there a time point after which approval confidence can always exceed alpha?"},
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"questions": out})
+}
+
+type createSessionRequest struct {
+	Profile     map[string]float64 `json:"profile"`
+	Constraints []string           `json:"constraints"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	schema := s.sys.Schema()
+	profile := make([]float64, schema.Dim())
+	for i, name := range schema.Names() {
+		v, ok := req.Profile[name]
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("profile missing attribute %q", name))
+			return
+		}
+		profile[i] = v
+	}
+	for name := range req.Profile {
+		if _, ok := schema.Index(name); !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("profile has unknown attribute %q", name))
+			return
+		}
+	}
+	prefs := constraints.NewSet()
+	for _, src := range req.Constraints {
+		c, err := constraints.Parse(src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		prefs.Add(c)
+	}
+	sess, err := s.sys.NewSession(profile, prefs)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	n, err := sess.CandidateCount()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]interface{}{
+		"id":         id,
+		"candidates": n,
+	})
+}
+
+func (s *Server) handleInputs(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	res, err := sess.SQL("SELECT * FROM temporal_inputs ORDER BY time")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res))
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	plan, err := sess.Plan()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"plan": plan})
+}
+
+type askRequest struct {
+	Kind    string  `json:"kind"`
+	Feature string  `json:"feature,omitempty"`
+	Alpha   float64 `json:"alpha,omitempty"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req askRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	kind, err := core.ParseQuestionKind(req.Kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ins, err := sess.Ask(core.Question{Kind: kind, Feature: req.Feature, Alpha: req.Alpha})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"kind":   req.Kind,
+		"sql":    ins.SQL,
+		"text":   ins.Text,
+		"result": resultJSON(ins.Result),
+	})
+}
+
+type sqlRequest struct {
+	Query string `json:"query"`
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req sqlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query"))
+		return
+	}
+	res, err := sess.SQL(req.Query)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res))
+}
+
+// resultJSON converts a query result to a JSON-friendly shape (NULL -> nil).
+func resultJSON(res *sqldb.Result) map[string]interface{} {
+	rows := make([][]interface{}, len(res.Rows))
+	for i, row := range res.Rows {
+		out := make([]interface{}, len(row))
+		for j, v := range row {
+			out[j] = valueJSON(v)
+		}
+		rows[i] = out
+	}
+	return map[string]interface{}{"columns": res.Columns, "rows": rows}
+}
+
+func valueJSON(v sqldb.Value) interface{} {
+	switch v.Type() {
+	case sqldb.IntType:
+		i, _ := v.AsInt()
+		return i
+	case sqldb.FloatType:
+		f, _ := v.AsFloat()
+		return f
+	case sqldb.TextType:
+		s, _ := v.AsText()
+		return s
+	case sqldb.BoolType:
+		b, _ := v.AsBool()
+		return b
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,115 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchDB builds a candidates-like table with n rows over k time points and
+// a matching temporal_inputs table.
+func benchDB(n, k int) *DB {
+	rng := rand.New(rand.NewSource(1))
+	db := New()
+	db.MustExec("CREATE TABLE candidates (time INT, income FLOAT, diff FLOAT, gap INT, p FLOAT)")
+	db.MustExec("CREATE TABLE temporal_inputs (time INT, income FLOAT)")
+	ti := make([][]Value, k)
+	for t := 0; t < k; t++ {
+		ti[t] = []Value{Int(int64(t)), Float(48000)}
+	}
+	if err := db.InsertRows("temporal_inputs", ti); err != nil {
+		panic(err)
+	}
+	rows := make([][]Value, n)
+	for i := range rows {
+		rows[i] = []Value{
+			Int(int64(rng.Intn(k))),
+			Float(40000 + rng.Float64()*40000),
+			Float(rng.Float64() * 20000),
+			Int(int64(rng.Intn(4))),
+			Float(rng.Float64()),
+		}
+	}
+	if err := db.InsertRows("candidates", rows); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// BenchmarkJoin is the DESIGN.md §5 join ablation: hash join vs nested loop
+// on the same equi-join.
+func BenchmarkJoin(b *testing.B) {
+	const q = `SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON c.time = ti.time`
+	for _, size := range []int{1000, 10000} {
+		for _, disable := range []bool{false, true} {
+			name := fmt.Sprintf("rows=%d/hash=%v", size, !disable)
+			b.Run(name, func(b *testing.B) {
+				db := benchDB(size, 64)
+				db.DisableHashJoin = disable
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = `SELECT distinct time as t FROM candidates WHERE EXISTS
+	(SELECT * FROM candidates as cnd INNER JOIN temporal_inputs as ti
+	 ON ti.time = cnd.time WHERE cnd.time = t
+	 AND ((gap = 0) OR (gap = 1 AND cnd.income != ti.income)))`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterScan(b *testing.B) {
+	db := benchDB(10000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT MIN(diff) FROM candidates WHERE p > 0.9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	db := benchDB(10000, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT time, COUNT(*), AVG(p) FROM candidates GROUP BY time"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrelatedExists(b *testing.B) {
+	db := benchDB(1000, 16)
+	const q = `SELECT distinct time as t FROM candidates WHERE EXISTS
+	(SELECT * FROM candidates as cnd INNER JOIN temporal_inputs as ti
+	 ON ti.time = cnd.time WHERE cnd.time = t
+	 AND ((gap = 0) OR (gap = 1 AND cnd.income != ti.income)))`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertSQL(b *testing.B) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b FLOAT)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("INSERT INTO t VALUES (1, 2.5)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column is one column of a stored table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Table is an in-memory heap table.
+type Table struct {
+	Name   string
+	Cols   []Column
+	colIdx map[string]int
+	rows   [][]Value
+}
+
+func newTable(name string, cols []Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sqldb: table %q needs at least one column", name)
+	}
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("sqldb: table %q has an unnamed column", name)
+		}
+		if _, dup := idx[c.Name]; dup {
+			return nil, fmt.Errorf("sqldb: table %q has duplicate column %q", name, c.Name)
+		}
+		idx[c.Name] = i
+	}
+	return &Table{Name: name, Cols: cols, colIdx: idx}, nil
+}
+
+// RowCount returns the number of stored rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// columnNames returns the column names in order.
+func (t *Table) columnNames() []string {
+	out := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// DB is an in-memory SQL database. It is safe for concurrent use: queries
+// take a read lock, statements a write lock.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	// DisableHashJoin forces nested-loop joins; used by the join ablation
+	// benchmark. Set before issuing queries.
+	DisableHashJoin bool
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// TableNames returns the sorted names of all tables.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is the outcome of a SELECT.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Format renders the result as an aligned text table for CLIs and logs.
+func (r *Result) Format() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, s := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			if pad := widths[i] - len(s); pad > 0 && i < len(vals)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Query parses and executes a SELECT statement.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ex := &executor{db: db}
+	return ex.execSelect(sel, nil)
+}
+
+// Exec parses and executes a non-SELECT statement, returning the number of
+// rows affected (0 for DDL).
+func (db *DB) Exec(sql string) (int, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		return 0, db.execCreate(s)
+	case *DropTableStmt:
+		return 0, db.execDrop(s)
+	case *InsertStmt:
+		return db.execInsert(s)
+	case *DeleteStmt:
+		return db.execDelete(s)
+	case *UpdateStmt:
+		return db.execUpdate(s)
+	case *SelectStmt:
+		return 0, fmt.Errorf("sqldb: use Query for SELECT statements")
+	default:
+		return 0, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// MustExec is Exec that panics on error, for tests and fixtures.
+func (db *DB) MustExec(sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}
+
+// InsertRows bulk-loads pre-built values into a table, bypassing SQL parsing.
+// Every row must match the table's arity and coerce to its column types.
+// This is the fast path the candidates generator uses.
+func (db *DB) InsertRows(table string, rows [][]Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("sqldb: unknown table %q", table)
+	}
+	prepared := make([][]Value, 0, len(rows))
+	for ri, row := range rows {
+		if len(row) != len(t.Cols) {
+			return fmt.Errorf("sqldb: row %d has %d values, table %q has %d columns", ri, len(row), table, len(t.Cols))
+		}
+		stored := make([]Value, len(row))
+		for ci, v := range row {
+			cv, err := coerceTo(v, t.Cols[ci].Type)
+			if err != nil {
+				return fmt.Errorf("sqldb: row %d column %q: %w", ri, t.Cols[ci].Name, err)
+			}
+			stored[ci] = cv
+		}
+		prepared = append(prepared, stored)
+	}
+	t.rows = append(t.rows, prepared...)
+	return nil
+}
+
+func (db *DB) execCreate(s *CreateTableStmt) error {
+	if _, exists := db.tables[s.Name]; exists {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("sqldb: table %q already exists", s.Name)
+	}
+	cols := make([]Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	t, err := newTable(s.Name, cols)
+	if err != nil {
+		return err
+	}
+	db.tables[s.Name] = t
+	return nil
+}
+
+func (db *DB) execDrop(s *DropTableStmt) error {
+	if _, ok := db.tables[s.Name]; !ok {
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("sqldb: unknown table %q", s.Name)
+	}
+	delete(db.tables, s.Name)
+	return nil
+}
+
+func (db *DB) execInsert(s *InsertStmt) (int, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: unknown table %q", s.Table)
+	}
+	// Map statement columns to table positions.
+	targets := make([]int, 0, len(t.Cols))
+	if s.Cols == nil {
+		for i := range t.Cols {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, name := range s.Cols {
+			i, ok := t.colIdx[name]
+			if !ok {
+				return 0, fmt.Errorf("sqldb: table %q has no column %q", s.Table, name)
+			}
+			targets = append(targets, i)
+		}
+	}
+	ex := &executor{db: db}
+	if s.Select != nil {
+		res, err := ex.execSelect(s.Select, nil)
+		if err != nil {
+			return 0, err
+		}
+		inserted := 0
+		for _, srcRow := range res.Rows {
+			if len(srcRow) != len(targets) {
+				return inserted, fmt.Errorf("sqldb: INSERT ... SELECT yields %d columns, want %d", len(srcRow), len(targets))
+			}
+			row := make([]Value, len(t.Cols))
+			for i, v := range srcRow {
+				cv, err := coerceTo(v, t.Cols[targets[i]].Type)
+				if err != nil {
+					return inserted, fmt.Errorf("sqldb: column %q: %w", t.Cols[targets[i]].Name, err)
+				}
+				row[targets[i]] = cv
+			}
+			t.rows = append(t.rows, row)
+			inserted++
+		}
+		return inserted, nil
+	}
+	inserted := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(targets) {
+			return inserted, fmt.Errorf("sqldb: INSERT expects %d values, got %d", len(targets), len(exprRow))
+		}
+		row := make([]Value, len(t.Cols)) // unspecified columns default to NULL
+		for i, e := range exprRow {
+			v, err := ex.eval(e, nil)
+			if err != nil {
+				return inserted, err
+			}
+			cv, err := coerceTo(v, t.Cols[targets[i]].Type)
+			if err != nil {
+				return inserted, fmt.Errorf("sqldb: column %q: %w", t.Cols[targets[i]].Name, err)
+			}
+			row[targets[i]] = cv
+		}
+		t.rows = append(t.rows, row)
+		inserted++
+	}
+	return inserted, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt) (int, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: unknown table %q", s.Table)
+	}
+	ex := &executor{db: db}
+	kept := t.rows[:0]
+	deleted := 0
+	for _, row := range t.rows {
+		keep := true
+		if s.Where != nil {
+			scope := newScope(nil)
+			scope.push(relationOf(t), row)
+			v, err := ex.eval(s.Where, scope)
+			if err != nil {
+				return deleted, err
+			}
+			keep = !isTrue(v)
+		} else {
+			keep = false
+		}
+		if keep {
+			kept = append(kept, row)
+		} else {
+			deleted++
+		}
+	}
+	t.rows = kept
+	return deleted, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt) (int, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: unknown table %q", s.Table)
+	}
+	cols := make([]int, len(s.Cols))
+	for i, name := range s.Cols {
+		ci, ok := t.colIdx[name]
+		if !ok {
+			return 0, fmt.Errorf("sqldb: table %q has no column %q", s.Table, name)
+		}
+		cols[i] = ci
+	}
+	ex := &executor{db: db}
+	updated := 0
+	for _, row := range t.rows {
+		scope := newScope(nil)
+		scope.push(relationOf(t), row)
+		if s.Where != nil {
+			v, err := ex.eval(s.Where, scope)
+			if err != nil {
+				return updated, err
+			}
+			if !isTrue(v) {
+				continue
+			}
+		}
+		// Evaluate all assignments against the pre-update row.
+		newVals := make([]Value, len(cols))
+		for i, e := range s.Exprs {
+			v, err := ex.eval(e, scope)
+			if err != nil {
+				return updated, err
+			}
+			cv, err := coerceTo(v, t.Cols[cols[i]].Type)
+			if err != nil {
+				return updated, fmt.Errorf("sqldb: column %q: %w", s.Cols[i], err)
+			}
+			newVals[i] = cv
+		}
+		for i, ci := range cols {
+			row[ci] = newVals[i]
+		}
+		updated++
+	}
+	return updated, nil
+}

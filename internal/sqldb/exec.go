@@ -1,0 +1,769 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// tuple is one combined row across the FROM relations of a query level.
+type tuple [][]Value
+
+// execSelect runs a SELECT with the given parent scope (nil at top level,
+// the enclosing row scope for subqueries).
+func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) {
+	// --- FROM: materialize and join row sources.
+	rels, tuples, err := ex.execFrom(sel.From, parent)
+	if err != nil {
+		return nil, err
+	}
+
+	aliasExpr := make(map[string]Expr)
+	for _, item := range sel.Items {
+		if item.Alias != "" && item.Expr != nil {
+			aliasExpr[item.Alias] = item.Expr
+		}
+	}
+	mkScope := func(tp tuple, agg map[*FuncCall]Value) *scope {
+		sc := newScope(parent)
+		for i, rel := range rels {
+			var row []Value
+			if tp != nil {
+				row = tp[i]
+			} else {
+				row = make([]Value, len(rel.cols)) // all NULL (empty-group projection)
+			}
+			sc.push(rel, row)
+		}
+		sc.aliasExpr = aliasExpr
+		sc.aliasBusy = make(map[string]bool)
+		sc.aggValues = agg
+		return sc
+	}
+
+	// --- WHERE.
+	if sel.Where != nil {
+		kept := tuples[:0]
+		for _, tp := range tuples {
+			v, err := ex.eval(sel.Where, mkScope(tp, nil))
+			if err != nil {
+				return nil, err
+			}
+			if isTrue(v) {
+				kept = append(kept, tp)
+			}
+		}
+		tuples = kept
+	}
+
+	// --- Grouping.
+	var aggs []*FuncCall
+	for _, item := range sel.Items {
+		collectAggregates(item.Expr, &aggs)
+	}
+	collectAggregates(sel.Having, &aggs)
+	for _, o := range sel.OrderBy {
+		collectAggregates(o.Expr, &aggs)
+	}
+	grouped := len(sel.GroupBy) > 0 || len(aggs) > 0
+
+	type outRow struct {
+		vals []Value // projected values
+		keys []Value // order-by keys
+	}
+	var outputs []outRow
+
+	project := func(sc *scope) ([]Value, []string, error) {
+		var vals []Value
+		var names []string
+		for _, item := range sel.Items {
+			if item.Star {
+				for i, rel := range rels {
+					if item.StarTable != "" && rel.alias != item.StarTable {
+						continue
+					}
+					vals = append(vals, sc.rows[i]...)
+					names = append(names, rel.cols...)
+				}
+				if item.StarTable != "" && !hasRel(rels, item.StarTable) {
+					return nil, nil, fmt.Errorf("sqldb: unknown relation %q in %s.*", item.StarTable, item.StarTable)
+				}
+				continue
+			}
+			v, err := ex.eval(item.Expr, sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals = append(vals, v)
+			names = append(names, itemName(item))
+		}
+		return vals, names, nil
+	}
+
+	orderKeys := func(sc *scope, projected []Value) ([]Value, error) {
+		if len(sel.OrderBy) == 0 {
+			return nil, nil
+		}
+		keys := make([]Value, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			// ORDER BY <ordinal> selects a projected column.
+			if lit, ok := o.Expr.(*Literal); ok && lit.Val.Type() == IntType {
+				idx, _ := lit.Val.AsInt()
+				if idx < 1 || int(idx) > len(projected) {
+					return nil, fmt.Errorf("sqldb: ORDER BY position %d out of range", idx)
+				}
+				keys[i] = projected[idx-1]
+				continue
+			}
+			v, err := ex.eval(o.Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		return keys, nil
+	}
+
+	var columns []string
+	if grouped {
+		groups, err := ex.groupTuples(sel, tuples, mkScope)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			agg, err := ex.computeAggregates(aggs, g, mkScope)
+			if err != nil {
+				return nil, err
+			}
+			var rep tuple
+			if len(g) > 0 {
+				rep = g[0]
+			}
+			sc := mkScope(rep, agg)
+			if sel.Having != nil {
+				hv, err := ex.eval(sel.Having, sc)
+				if err != nil {
+					return nil, err
+				}
+				if !isTrue(hv) {
+					continue
+				}
+			}
+			vals, names, err := project(sc)
+			if err != nil {
+				return nil, err
+			}
+			columns = names
+			keys, err := orderKeys(sc, vals)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, outRow{vals: vals, keys: keys})
+		}
+	} else {
+		if sel.Having != nil {
+			return nil, fmt.Errorf("sqldb: HAVING requires aggregation or GROUP BY")
+		}
+		for _, tp := range tuples {
+			sc := mkScope(tp, nil)
+			vals, names, err := project(sc)
+			if err != nil {
+				return nil, err
+			}
+			columns = names
+			keys, err := orderKeys(sc, vals)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, outRow{vals: vals, keys: keys})
+		}
+	}
+
+	// Column names must be available even with zero rows.
+	if columns == nil {
+		var err error
+		if columns, err = ex.staticColumns(sel, rels); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- DISTINCT.
+	if sel.Distinct {
+		seen := make(map[string]bool, len(outputs))
+		kept := outputs[:0]
+		for _, o := range outputs {
+			var sb strings.Builder
+			for _, v := range o.vals {
+				sb.WriteString(v.key())
+				sb.WriteByte(0)
+			}
+			k := sb.String()
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, o)
+			}
+		}
+		outputs = kept
+	}
+
+	// --- ORDER BY (stable; NULLs sort first ascending, last descending).
+	if len(sel.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(outputs, func(a, b int) bool {
+			for i, o := range sel.OrderBy {
+				va, vb := outputs[a].keys[i], outputs[b].keys[i]
+				c, err := orderCompare(va, vb)
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	// --- LIMIT / OFFSET.
+	if sel.Offset != nil {
+		off := int(*sel.Offset)
+		if off < 0 {
+			return nil, fmt.Errorf("sqldb: negative OFFSET")
+		}
+		if off > len(outputs) {
+			off = len(outputs)
+		}
+		outputs = outputs[off:]
+	}
+	if sel.Limit != nil {
+		lim := int(*sel.Limit)
+		if lim < 0 {
+			return nil, fmt.Errorf("sqldb: negative LIMIT")
+		}
+		if lim < len(outputs) {
+			outputs = outputs[:lim]
+		}
+	}
+
+	res := &Result{Columns: columns, Rows: make([][]Value, len(outputs))}
+	for i, o := range outputs {
+		res.Rows[i] = o.vals
+	}
+	return res, nil
+}
+
+// orderCompare orders values for ORDER BY: NULL sorts before everything;
+// otherwise Compare semantics.
+func orderCompare(a, b Value) (int, error) {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0, nil
+	case a.IsNull():
+		return -1, nil
+	case b.IsNull():
+		return 1, nil
+	}
+	return Compare(a, b)
+}
+
+func hasRel(rels []relation, alias string) bool {
+	for _, r := range rels {
+		if r.alias == alias {
+			return true
+		}
+	}
+	return false
+}
+
+// itemName derives the output column name of a projection item.
+func itemName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *ColumnRef:
+		return e.Column
+	case *FuncCall:
+		return strings.ToLower(e.Name)
+	case *Literal:
+		return e.Val.String()
+	default:
+		return "expr"
+	}
+}
+
+// staticColumns computes output column names without any rows.
+func (ex *executor) staticColumns(sel *SelectStmt, rels []relation) ([]string, error) {
+	var names []string
+	for _, item := range sel.Items {
+		if item.Star {
+			found := false
+			for _, rel := range rels {
+				if item.StarTable != "" && rel.alias != item.StarTable {
+					continue
+				}
+				names = append(names, rel.cols...)
+				found = true
+			}
+			if item.StarTable != "" && !found {
+				return nil, fmt.Errorf("sqldb: unknown relation %q in %s.*", item.StarTable, item.StarTable)
+			}
+			continue
+		}
+		names = append(names, itemName(item))
+	}
+	return names, nil
+}
+
+// execFrom materializes the FROM clause into relations and joined tuples.
+func (ex *executor) execFrom(refs []TableRef, parent *scope) ([]relation, []tuple, error) {
+	if len(refs) == 0 {
+		// SELECT without FROM: one empty tuple.
+		return nil, []tuple{nil}, nil
+	}
+	var rels []relation
+	tuples := []tuple{{}}
+	for _, ref := range refs {
+		rel, rows, err := ex.sourceRows(ref, parent)
+		if err != nil {
+			return nil, nil, err
+		}
+		joined, err := ex.join(rels, tuples, rel, rows, ref.JoinCond, ref.LeftJoin, parent)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels = append(rels, rel)
+		tuples = joined
+	}
+	return rels, tuples, nil
+}
+
+// sourceRows resolves one FROM item to a relation and its rows.
+func (ex *executor) sourceRows(ref TableRef, parent *scope) (relation, [][]Value, error) {
+	if ref.Subquery != nil {
+		res, err := ex.execSelect(ref.Subquery, parent)
+		if err != nil {
+			return relation{}, nil, err
+		}
+		return relationFromResult(ref.Alias, res), res.Rows, nil
+	}
+	t, ok := ex.db.tables[ref.Name]
+	if !ok {
+		return relation{}, nil, fmt.Errorf("sqldb: unknown table %q", ref.Name)
+	}
+	rel := relationOf(t)
+	if ref.Alias != "" {
+		rel.alias = ref.Alias
+	}
+	return rel, t.rows, nil
+}
+
+// join combines existing tuples with a new relation's rows, applying the
+// optional join condition. Simple equi-joins use a hash join unless
+// disabled. When leftJoin is set, tuples with no matching row are kept and
+// padded with a NULL row for the new relation.
+func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][]Value, cond Expr, leftJoin bool, parent *scope) ([]tuple, error) {
+	if cond != nil && !ex.db.DisableHashJoin && len(rels) > 0 {
+		if left, right, ok := splitEquiJoin(cond, rels, rel); ok {
+			return ex.hashJoin(rels, tuples, rel, rows, left, right, leftJoin, parent)
+		}
+	}
+	var out []tuple
+	for _, tp := range tuples {
+		matched := false
+		for _, r := range rows {
+			nt := make(tuple, len(tp)+1)
+			copy(nt, tp)
+			nt[len(tp)] = r
+			if cond != nil {
+				sc := newScope(parent)
+				for i, lr := range rels {
+					sc.push(lr, tp[i])
+				}
+				sc.push(rel, r)
+				v, err := ex.eval(cond, sc)
+				if err != nil {
+					return nil, err
+				}
+				if !isTrue(v) {
+					continue
+				}
+			}
+			matched = true
+			out = append(out, nt)
+		}
+		if leftJoin && !matched {
+			out = append(out, padTuple(tp, rel))
+		}
+	}
+	return out, nil
+}
+
+// padTuple extends tp with an all-NULL row for rel.
+func padTuple(tp tuple, rel relation) tuple {
+	nt := make(tuple, len(tp)+1)
+	copy(nt, tp)
+	nt[len(tp)] = make([]Value, len(rel.cols))
+	return nt
+}
+
+// hashJoin builds a hash table over the new relation keyed by the right
+// expression and probes it with the left expression over existing tuples.
+func (ex *executor) hashJoin(rels []relation, tuples []tuple, rel relation, rows [][]Value, left, right Expr, leftJoin bool, parent *scope) ([]tuple, error) {
+	index := make(map[string][]int)
+	for ri, r := range rows {
+		sc := newScope(parent)
+		sc.push(rel, r)
+		v, err := ex.eval(right, sc)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			continue // NULL never equi-joins
+		}
+		index[v.key()] = append(index[v.key()], ri)
+	}
+	var out []tuple
+	for _, tp := range tuples {
+		sc := newScope(parent)
+		for i, lr := range rels {
+			sc.push(lr, tp[i])
+		}
+		v, err := ex.eval(left, sc)
+		if err != nil {
+			return nil, err
+		}
+		matches := []int(nil)
+		if !v.IsNull() {
+			matches = index[v.key()]
+		}
+		if len(matches) == 0 {
+			if leftJoin {
+				out = append(out, padTuple(tp, rel))
+			}
+			continue
+		}
+		for _, ri := range matches {
+			nt := make(tuple, len(tp)+1)
+			copy(nt, tp)
+			nt[len(tp)] = rows[ri]
+			out = append(out, nt)
+		}
+	}
+	return out, nil
+}
+
+// splitEquiJoin decides whether cond is `leftExpr = rightExpr` with leftExpr
+// referencing only the existing relations and rightExpr only the new one
+// (either orientation). Expressions containing subqueries or aggregates are
+// never split.
+func splitEquiJoin(cond Expr, leftRels []relation, rightRel relation) (left, right Expr, ok bool) {
+	be, isBin := cond.(*BinaryExpr)
+	if !isBin || be.Op != "=" || be.Quant != "" {
+		return nil, nil, false
+	}
+	lSide, lOK := exprSide(be.L, leftRels, rightRel)
+	rSide, rOK := exprSide(be.R, leftRels, rightRel)
+	if !lOK || !rOK {
+		return nil, nil, false
+	}
+	switch {
+	case lSide == "left" && rSide == "right":
+		return be.L, be.R, true
+	case lSide == "right" && rSide == "left":
+		return be.R, be.L, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// exprSide classifies which side's relations an expression references:
+// "left", "right", or "" (mixed, unresolvable, or contains subqueries).
+func exprSide(e Expr, leftRels []relation, rightRel relation) (string, bool) {
+	var refs []*ColumnRef
+	if !collectColumnRefs(e, &refs) {
+		return "", false
+	}
+	side := ""
+	for _, ref := range refs {
+		s, ok := refSide(ref, leftRels, rightRel)
+		if !ok {
+			return "", false
+		}
+		if side == "" {
+			side = s
+		} else if side != s {
+			return "", false
+		}
+	}
+	if side == "" {
+		return "", false // constant expressions are not join keys
+	}
+	return side, true
+}
+
+func refSide(ref *ColumnRef, leftRels []relation, rightRel relation) (string, bool) {
+	if ref.Table != "" {
+		if rightRel.alias == ref.Table {
+			if _, ok := rightRel.colIdx[ref.Column]; ok {
+				return "right", true
+			}
+			return "", false
+		}
+		for _, lr := range leftRels {
+			if lr.alias == ref.Table {
+				if _, ok := lr.colIdx[ref.Column]; ok {
+					return "left", true
+				}
+			}
+		}
+		return "", false // may be a correlated outer reference
+	}
+	inLeft := false
+	for _, lr := range leftRels {
+		if _, ok := lr.colIdx[ref.Column]; ok {
+			inLeft = true
+			break
+		}
+	}
+	_, inRight := rightRel.colIdx[ref.Column]
+	switch {
+	case inLeft && !inRight:
+		return "left", true
+	case inRight && !inLeft:
+		return "right", true
+	default:
+		return "", false
+	}
+}
+
+// collectColumnRefs gathers all column references of a subquery-free,
+// aggregate-free expression; it returns false when the expression contains a
+// construct that disqualifies hash-join splitting.
+func collectColumnRefs(e Expr, out *[]*ColumnRef) bool {
+	switch n := e.(type) {
+	case nil:
+		return true
+	case *Literal:
+		return true
+	case *ColumnRef:
+		*out = append(*out, n)
+		return true
+	case *BinaryExpr:
+		if n.Sub != nil {
+			return false
+		}
+		return collectColumnRefs(n.L, out) && collectColumnRefs(n.R, out)
+	case *UnaryExpr:
+		return collectColumnRefs(n.E, out)
+	case *FuncCall:
+		if aggregateFuncs[n.Name] {
+			return false
+		}
+		for _, a := range n.Args {
+			if !collectColumnRefs(a, out) {
+				return false
+			}
+		}
+		return true
+	case *IsNullExpr:
+		return collectColumnRefs(n.E, out)
+	case *BetweenExpr:
+		return collectColumnRefs(n.E, out) && collectColumnRefs(n.Lo, out) && collectColumnRefs(n.Hi, out)
+	case *LikeExpr:
+		return collectColumnRefs(n.E, out) && collectColumnRefs(n.Pattern, out)
+	case *CaseExpr:
+		if n.Operand != nil && !collectColumnRefs(n.Operand, out) {
+			return false
+		}
+		for _, w := range n.Whens {
+			if !collectColumnRefs(w.Cond, out) || !collectColumnRefs(w.Then, out) {
+				return false
+			}
+		}
+		if n.Else != nil {
+			return collectColumnRefs(n.Else, out)
+		}
+		return true
+	default:
+		return false // subqueries, EXISTS, IN
+	}
+}
+
+// collectAggregates appends every aggregate FuncCall node in e to out,
+// without descending into subqueries (their aggregates belong to the inner
+// query).
+func collectAggregates(e Expr, out *[]*FuncCall) {
+	switch n := e.(type) {
+	case nil:
+	case *Literal, *ColumnRef, *ExistsExpr, *SubqueryExpr:
+	case *BinaryExpr:
+		collectAggregates(n.L, out)
+		collectAggregates(n.R, out)
+	case *UnaryExpr:
+		collectAggregates(n.E, out)
+	case *FuncCall:
+		if aggregateFuncs[n.Name] {
+			*out = append(*out, n)
+			return
+		}
+		for _, a := range n.Args {
+			collectAggregates(a, out)
+		}
+	case *IsNullExpr:
+		collectAggregates(n.E, out)
+	case *InExpr:
+		collectAggregates(n.E, out)
+		for _, le := range n.List {
+			collectAggregates(le, out)
+		}
+	case *BetweenExpr:
+		collectAggregates(n.E, out)
+		collectAggregates(n.Lo, out)
+		collectAggregates(n.Hi, out)
+	case *LikeExpr:
+		collectAggregates(n.E, out)
+		collectAggregates(n.Pattern, out)
+	case *CaseExpr:
+		collectAggregates(n.Operand, out)
+		for _, w := range n.Whens {
+			collectAggregates(w.Cond, out)
+			collectAggregates(w.Then, out)
+		}
+		collectAggregates(n.Else, out)
+	}
+}
+
+// groupTuples partitions tuples by the GROUP BY expressions (one group of
+// all tuples when none), preserving first-seen order. A query with
+// aggregates but no GROUP BY and no rows still produces one empty group.
+func (ex *executor) groupTuples(sel *SelectStmt, tuples []tuple, mkScope func(tuple, map[*FuncCall]Value) *scope) ([][]tuple, error) {
+	if len(sel.GroupBy) == 0 {
+		return [][]tuple{tuples}, nil
+	}
+	index := make(map[string]int)
+	var groups [][]tuple
+	for _, tp := range tuples {
+		sc := mkScope(tp, nil)
+		var sb strings.Builder
+		for _, ge := range sel.GroupBy {
+			v, err := ex.eval(ge, sc)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(v.key())
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], tp)
+	}
+	return groups, nil
+}
+
+// computeAggregates evaluates each aggregate call over the group's tuples.
+func (ex *executor) computeAggregates(aggs []*FuncCall, group []tuple, mkScope func(tuple, map[*FuncCall]Value) *scope) (map[*FuncCall]Value, error) {
+	out := make(map[*FuncCall]Value, len(aggs))
+	for _, agg := range aggs {
+		if _, done := out[agg]; done {
+			continue
+		}
+		v, err := ex.computeAggregate(agg, group, mkScope)
+		if err != nil {
+			return nil, err
+		}
+		out[agg] = v
+	}
+	return out, nil
+}
+
+func (ex *executor) computeAggregate(agg *FuncCall, group []tuple, mkScope func(tuple, map[*FuncCall]Value) *scope) (Value, error) {
+	if agg.Star {
+		if agg.Name != "COUNT" {
+			return Value{}, fmt.Errorf("sqldb: %s(*) is not valid", agg.Name)
+		}
+		return Int(int64(len(group))), nil
+	}
+	if len(agg.Args) != 1 {
+		return Value{}, fmt.Errorf("sqldb: %s takes exactly one argument", agg.Name)
+	}
+	var vals []Value
+	seen := make(map[string]bool)
+	for _, tp := range group {
+		v, err := ex.eval(agg.Args[0], mkScope(tp, nil))
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if agg.Distinct {
+			k := v.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch agg.Name {
+	case "COUNT":
+		return Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		allInt := true
+		var sum float64
+		var isum int64
+		for _, v := range vals {
+			f, ok := v.AsFloat()
+			if !ok {
+				return Value{}, fmt.Errorf("sqldb: %s over non-numeric value %s", agg.Name, v)
+			}
+			sum += f
+			if v.Type() == IntType {
+				i, _ := v.AsInt()
+				isum += i
+			} else {
+				allInt = false
+			}
+		}
+		if agg.Name == "AVG" {
+			return Float(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return Int(isum), nil
+		}
+		return Float(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := Compare(v, best)
+			if err != nil {
+				return Value{}, err
+			}
+			if (agg.Name == "MIN" && c < 0) || (agg.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Value{}, fmt.Errorf("sqldb: unknown aggregate %s", agg.Name)
+	}
+}

@@ -1,0 +1,122 @@
+package sqldb
+
+import "testing"
+
+func leftJoinDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec("CREATE TABLE orders (id INT, cust INT, total FLOAT)")
+	db.MustExec("CREATE TABLE customers (id INT, name TEXT)")
+	db.MustExec("INSERT INTO customers VALUES (1, 'ann'), (2, 'bob')")
+	db.MustExec("INSERT INTO orders VALUES (10, 1, 5.0), (11, 1, 7.5), (12, 3, 9.0), (13, NULL, 1.0)")
+	return db
+}
+
+func TestLeftJoinPadsUnmatched(t *testing.T) {
+	db := leftJoinDB(t)
+	res, err := db.Query(`SELECT o.id, c.name FROM orders o
+		LEFT JOIN customers c ON o.cust = c.id ORDER BY o.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	// Orders 10, 11 match ann; 12 and 13 (NULL cust) are padded.
+	if s, _ := res.Rows[0][1].AsText(); s != "ann" {
+		t.Errorf("row 0 name = %s", res.Rows[0][1])
+	}
+	if !res.Rows[2][1].IsNull() || !res.Rows[3][1].IsNull() {
+		t.Errorf("unmatched rows should pad with NULL: %v %v", res.Rows[2][1], res.Rows[3][1])
+	}
+}
+
+func TestLeftOuterJoinKeywordAccepted(t *testing.T) {
+	db := leftJoinDB(t)
+	res, err := db.Query(`SELECT COUNT(*) FROM orders o LEFT OUTER JOIN customers c ON o.cust = c.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].AsInt(); n != 4 {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestLeftJoinNestedLoopMatchesHash(t *testing.T) {
+	run := func(disable bool) [][]Value {
+		db := leftJoinDB(t)
+		db.DisableHashJoin = disable
+		res, err := db.Query(`SELECT o.id, c.name FROM orders o
+			LEFT JOIN customers c ON o.cust = c.id ORDER BY o.id`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].String() != b[i][j].String() {
+				t.Fatalf("row %d col %d: %s vs %s", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestLeftJoinAntiJoinIdiom(t *testing.T) {
+	db := leftJoinDB(t)
+	// Customers with no orders: bob.
+	res, err := db.Query(`SELECT c.name FROM customers c
+		LEFT JOIN orders o ON o.cust = c.id WHERE o.id IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("anti-join rows = %d", len(res.Rows))
+	}
+	if s, _ := res.Rows[0][0].AsText(); s != "bob" {
+		t.Errorf("anti-join name = %s", res.Rows[0][0])
+	}
+}
+
+func TestLeftJoinAggregates(t *testing.T) {
+	db := leftJoinDB(t)
+	// Per-customer order count; bob has zero (COUNT skips the NULL pad).
+	res, err := db.Query(`SELECT c.name, COUNT(o.id) AS n FROM customers c
+		LEFT JOIN orders o ON o.cust = c.id GROUP BY c.name ORDER BY c.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if n, _ := res.Rows[0][1].AsInt(); n != 2 {
+		t.Errorf("ann orders = %d", n)
+	}
+	if n, _ := res.Rows[1][1].AsInt(); n != 0 {
+		t.Errorf("bob orders = %d", n)
+	}
+}
+
+func TestLeftJoinWithNonEquiCondition(t *testing.T) {
+	db := leftJoinDB(t)
+	// Non-equi left join falls back to the nested loop.
+	res, err := db.Query(`SELECT o.id, c.name FROM orders o
+		LEFT JOIN customers c ON o.cust = c.id AND o.total > 6 ORDER BY o.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only order 11 (total 7.5, cust 1) matches; others padded.
+	matched := 0
+	for _, row := range res.Rows {
+		if !row[1].IsNull() {
+			matched++
+		}
+	}
+	if matched != 1 {
+		t.Errorf("matched = %d, want 1", matched)
+	}
+}

@@ -1,0 +1,286 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a, b1 FROM t WHERE x >= 1.5e2 AND name = 'O''Brien' -- comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ",", "b1", "FROM", "t", "WHERE", "x", ">=", "1.5e2", "AND", "name", "=", "O'Brien", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(texts), len(want), texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[len(kinds)-1] != tkEOF {
+		t.Error("missing EOF")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "a ! b", "a # b"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := lex("a != b <> c <= d >= e < f > g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tkSymbol {
+			ops = append(ops, tk.text)
+		}
+	}
+	want := []string{"!=", "<>", "<=", ">=", "<", ">"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	stmt, err := Parse(`SELECT DISTINCT time AS t, Min(diff) FROM candidates AS c
+		INNER JOIN temporal_inputs ti ON ti.time = c.time
+		WHERE diff > 0 AND gap <= 2
+		GROUP BY time HAVING COUNT(*) > 1
+		ORDER BY t DESC, diff LIMIT 10 OFFSET 2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if !sel.Distinct || len(sel.Items) != 2 || sel.Items[0].Alias != "t" {
+		t.Errorf("items parsed wrong: %+v", sel.Items)
+	}
+	if len(sel.From) != 2 || sel.From[0].Alias != "c" || sel.From[1].Alias != "ti" || sel.From[1].JoinCond == nil {
+		t.Errorf("from parsed wrong: %+v", sel.From)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("where/group/having parsed wrong")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order parsed wrong: %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || *sel.Limit != 10 || sel.Offset == nil || *sel.Offset != 2 {
+		t.Error("limit/offset parsed wrong")
+	}
+}
+
+func TestParsePaperQ3(t *testing.T) {
+	// The paper's Fig. 2 Q3 verbatim (dominant feature = income).
+	q := `SELECT distinct time as t
+	FROM candidates
+	WHERE EXISTS
+	(SELECT *
+	 FROM candidates as cnd
+	 INNER JOIN temporal_inputs as ti
+	 ON ti.time = cnd.time
+	 WHERE cnd.time = t
+	 AND ((gap = 0) OR (gap = 1 AND cnd.income != ti.income)))`
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	ex, ok := sel.Where.(*ExistsExpr)
+	if !ok {
+		t.Fatalf("WHERE is %T, want EXISTS", sel.Where)
+	}
+	if len(ex.Sub.From) != 2 {
+		t.Errorf("subquery FROM has %d refs", len(ex.Sub.From))
+	}
+}
+
+func TestParsePaperQ6(t *testing.T) {
+	q := `SELECT Min(time) FROM candidates WHERE time >= ALL
+	      (SELECT time as t FROM candidates WHERE gap = 0)`
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	be, ok := sel.Where.(*BinaryExpr)
+	if !ok || be.Quant != "ALL" || be.Op != ">=" || be.Sub == nil {
+		t.Fatalf("quantified comparison parsed wrong: %+v", sel.Where)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmt, err := Parse("SELECT 1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := stmt.(*SelectStmt).Items[0].Expr.(*BinaryExpr)
+	if e.Op != "+" {
+		t.Fatalf("top op = %q, want +", e.Op)
+	}
+	r := e.R.(*BinaryExpr)
+	if r.Op != "*" {
+		t.Errorf("right op = %q, want *", r.Op)
+	}
+	// AND binds tighter than OR.
+	stmt, err = Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := stmt.(*SelectStmt).Where.(*BinaryExpr)
+	if w.Op != "OR" {
+		t.Errorf("top logical op = %q, want OR", w.Op)
+	}
+}
+
+func TestParseDDLAndDML(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE t (a INT, b FLOAT, c TEXT, d BOOL, e VARCHAR(10))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if len(ct.Cols) != 5 || ct.Cols[1].Type != FloatType || ct.Cols[4].Type != TextType {
+		t.Errorf("create parsed wrong: %+v", ct.Cols)
+	}
+
+	stmt, err = Parse("CREATE TABLE IF NOT EXISTS t (a INT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.(*CreateTableStmt).IfNotExists {
+		t.Error("IF NOT EXISTS not parsed")
+	}
+
+	stmt, err = Parse("INSERT INTO t (a, b) VALUES (1, 2.5), (3, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Cols) != 2 {
+		t.Errorf("insert parsed wrong: %+v", ins)
+	}
+
+	stmt, err = Parse("DELETE FROM t WHERE a > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*DeleteStmt).Where == nil {
+		t.Error("delete WHERE missing")
+	}
+
+	stmt, err = Parse("UPDATE t SET a = a + 1, b = 0 WHERE c = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := stmt.(*UpdateStmt)
+	if len(up.Cols) != 2 || up.Where == nil {
+		t.Errorf("update parsed wrong: %+v", up)
+	}
+
+	stmt, err = Parse("DROP TABLE IF EXISTS t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.(*DropTableStmt).IfExists {
+		t.Error("drop IF EXISTS missing")
+	}
+}
+
+func TestParseCaseExpr(t *testing.T) {
+	stmt, err := Parse("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := stmt.(*SelectStmt).Items[0].Expr.(*CaseExpr)
+	if ce.Operand != nil || len(ce.Whens) != 1 || ce.Else == nil {
+		t.Errorf("case parsed wrong: %+v", ce)
+	}
+	stmt, err = Parse("SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce = stmt.(*SelectStmt).Items[0].Expr.(*CaseExpr)
+	if ce.Operand == nil || len(ce.Whens) != 2 || ce.Else != nil {
+		t.Errorf("operand case parsed wrong: %+v", ce)
+	}
+}
+
+func TestParseNotVariants(t *testing.T) {
+	for _, q := range []string{
+		"SELECT * FROM t WHERE a NOT IN (1, 2)",
+		"SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2",
+		"SELECT * FROM t WHERE a NOT LIKE 'x%'",
+		"SELECT * FROM t WHERE NOT a = 1",
+		"SELECT * FROM t WHERE a IS NOT NULL",
+		"SELECT * FROM t WHERE a IN (SELECT b FROM u)",
+		"SELECT * FROM t WHERE a = ANY (SELECT b FROM u)",
+		"SELECT * FROM t WHERE a < SOME (SELECT b FROM u)",
+	} {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC 1",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t ORDER time",
+		"SELECT * FROM t LIMIT x",
+		"CREATE TABLE t",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a BLOB)",
+		"INSERT INTO t VALUES",
+		"INSERT t VALUES (1)",
+		"SELECT * FROM t extra garbage here",
+		"SELECT (SELECT 1",
+		"SELECT CASE END",
+		"SELECT * FROM (SELECT 1)", // subquery requires alias
+		"SELECT a NOT 5 FROM t",
+		"UPDATE t SET WHERE a = 1",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		} else if !strings.Contains(err.Error(), "sqldb:") {
+			t.Errorf("Parse(%q) error %q lacks package prefix", q, err)
+		}
+	}
+}
+
+func TestParseTrailingSemicolonAndComments(t *testing.T) {
+	for _, q := range []string{
+		"SELECT 1;",
+		"-- leading comment\nSELECT 1",
+		"SELECT 1 -- trailing",
+	} {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}

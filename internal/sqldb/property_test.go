@@ -1,0 +1,282 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDB builds a table of n rows with integer, float and nullable
+// columns derived from the seed.
+func randomDB(seed int64, n int) *DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := New()
+	db.MustExec("CREATE TABLE t (k INT, v FLOAT, w FLOAT)")
+	rows := make([][]Value, n)
+	for i := range rows {
+		w := Null()
+		if rng.Intn(4) != 0 {
+			w = Float(math.Round(rng.Float64()*100) / 10)
+		}
+		rows[i] = []Value{
+			Int(int64(rng.Intn(5))),
+			Float(math.Round(rng.Float64()*1000) / 10),
+			w,
+		}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Property: COUNT(*) equals the inserted row count and survives a WHERE TRUE.
+func TestPropertyCountMatchesRows(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 1
+		db := randomDB(seed, n)
+		res, err := db.Query("SELECT COUNT(*) FROM t")
+		if err != nil {
+			return false
+		}
+		c, _ := res.Rows[0][0].AsInt()
+		res2, err := db.Query("SELECT COUNT(*) FROM t WHERE TRUE")
+		if err != nil {
+			return false
+		}
+		c2, _ := res2.Rows[0][0].AsInt()
+		return int(c) == n && c2 == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ORDER BY produces a non-decreasing key sequence (NULLs first),
+// and sorting twice is idempotent.
+func TestPropertyOrderBySorted(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 2
+		db := randomDB(seed, n)
+		res, err := db.Query("SELECT w FROM t ORDER BY w")
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			a, b := res.Rows[i-1][0], res.Rows[i][0]
+			if a.IsNull() {
+				continue // NULLs first: anything may follow
+			}
+			if b.IsNull() {
+				return false // non-null before null ascending is wrong
+			}
+			c, err := Compare(a, b)
+			if err != nil || c > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LIMIT k returns a prefix of the unlimited ordered result.
+func TestPropertyLimitIsPrefix(t *testing.T) {
+	f := func(seed int64, sz, limit uint8) bool {
+		n := int(sz)%40 + 1
+		k := int(limit) % (n + 2)
+		db := randomDB(seed, n)
+		full, err := db.Query("SELECT k, v FROM t ORDER BY v, k")
+		if err != nil {
+			return false
+		}
+		lim, err := db.Query(fmt.Sprintf("SELECT k, v FROM t ORDER BY v, k LIMIT %d", k))
+		if err != nil {
+			return false
+		}
+		if len(lim.Rows) != min(k, len(full.Rows)) {
+			return false
+		}
+		for i := range lim.Rows {
+			for j := range lim.Rows[i] {
+				if lim.Rows[i][j].String() != full.Rows[i][j].String() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GROUP BY partitions rows — group counts sum to the table size
+// and the number of groups equals COUNT(DISTINCT key).
+func TestPropertyGroupByPartitions(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 1
+		db := randomDB(seed, n)
+		groups, err := db.Query("SELECT k, COUNT(*) FROM t GROUP BY k")
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, row := range groups.Rows {
+			c, _ := row[1].AsInt()
+			total += c
+		}
+		distinct, err := db.Query("SELECT COUNT(DISTINCT k) FROM t")
+		if err != nil {
+			return false
+		}
+		d, _ := distinct.Rows[0][0].AsInt()
+		return int(total) == n && int(d) == len(groups.Rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SUM/AVG/MIN/MAX computed by SQL agree with Go-side computation
+// over the same rows (NULLs skipped).
+func TestPropertyAggregatesMatchGo(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 1
+		db := randomDB(seed, n)
+		rows, err := db.Query("SELECT w FROM t")
+		if err != nil {
+			return false
+		}
+		var sum, minV, maxV float64
+		count := 0
+		for _, r := range rows.Rows {
+			if r[0].IsNull() {
+				continue
+			}
+			v, _ := r[0].AsFloat()
+			if count == 0 || v < minV {
+				minV = v
+			}
+			if count == 0 || v > maxV {
+				maxV = v
+			}
+			sum += v
+			count++
+		}
+		agg, err := db.Query("SELECT SUM(w), AVG(w), MIN(w), MAX(w), COUNT(w) FROM t")
+		if err != nil {
+			return false
+		}
+		row := agg.Rows[0]
+		gotCount, _ := row[4].AsInt()
+		if int(gotCount) != count {
+			return false
+		}
+		if count == 0 {
+			return row[0].IsNull() && row[1].IsNull() && row[2].IsNull() && row[3].IsNull()
+		}
+		gs, _ := row[0].AsFloat()
+		ga, _ := row[1].AsFloat()
+		gmin, _ := row[2].AsFloat()
+		gmax, _ := row[3].AsFloat()
+		return math.Abs(gs-sum) < 1e-9 &&
+			math.Abs(ga-sum/float64(count)) < 1e-9 &&
+			gmin == minV && gmax == maxV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hash join and nested-loop join agree on arbitrary data.
+func TestPropertyJoinStrategiesAgree(t *testing.T) {
+	f := func(seed int64, szA, szB uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func(disable bool) ([][]Value, error) {
+			db := New()
+			db.DisableHashJoin = disable
+			db.MustExec("CREATE TABLE a (k INT, x FLOAT)")
+			db.MustExec("CREATE TABLE b (k INT, y FLOAT)")
+			r := rand.New(rand.NewSource(seed + 1))
+			aRows := make([][]Value, int(szA)%20+1)
+			for i := range aRows {
+				aRows[i] = []Value{Int(int64(r.Intn(6))), Float(float64(r.Intn(100)))}
+			}
+			bRows := make([][]Value, int(szB)%20+1)
+			for i := range bRows {
+				bRows[i] = []Value{Int(int64(r.Intn(6))), Float(float64(r.Intn(100)))}
+			}
+			if err := db.InsertRows("a", aRows); err != nil {
+				return nil, err
+			}
+			if err := db.InsertRows("b", bRows); err != nil {
+				return nil, err
+			}
+			res, err := db.Query("SELECT a.k, x, y FROM a INNER JOIN b ON a.k = b.k ORDER BY a.k, x, y")
+			if err != nil {
+				return nil, err
+			}
+			return res.Rows, nil
+		}
+		hash, err1 := build(false)
+		loop, err2 := build(true)
+		if err1 != nil || err2 != nil || len(hash) != len(loop) {
+			return false
+		}
+		for i := range hash {
+			for j := range hash[i] {
+				if hash[i][j].String() != loop[i][j].String() {
+					return false
+				}
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DISTINCT never returns duplicates and never grows the result.
+func TestPropertyDistinct(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 1
+		db := randomDB(seed, n)
+		all, err := db.Query("SELECT k FROM t")
+		if err != nil {
+			return false
+		}
+		dist, err := db.Query("SELECT DISTINCT k FROM t")
+		if err != nil {
+			return false
+		}
+		if len(dist.Rows) > len(all.Rows) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, r := range dist.Rows {
+			key := r[0].String()
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

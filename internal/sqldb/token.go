@@ -1,0 +1,146 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkSymbol // ( ) , . * = != <> < <= > >= + - / %
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased, identifiers preserved
+	pos  int    // byte offset in the input, for error messages
+}
+
+// keywords recognized by the dialect. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "DISTINCT": true, "AS": true, "INNER": true, "JOIN": true,
+	"LEFT": true, "OUTER": true,
+	"ON": true, "AND": true, "OR": true, "NOT": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "EXISTS": true, "IN": true, "ALL": true,
+	"ANY": true, "SOME": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "DELETE": true, "UPDATE": true, "SET": true,
+	"DROP": true, "INT": true, "INTEGER": true, "FLOAT": true, "DOUBLE": true,
+	"REAL": true, "TEXT": true, "VARCHAR": true, "BOOL": true, "BOOLEAN": true,
+	"IF": true,
+}
+
+// lex tokenizes the SQL input. Strings use single quotes with ” escaping;
+// line comments start with --.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{tkKeyword, upper, start})
+			} else {
+				toks = append(toks, token{tkIdent, word, start})
+			}
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < n {
+				d := input[i]
+				switch {
+				case d >= '0' && d <= '9':
+					i++
+				case d == '.' && !seenDot && !seenExp:
+					seenDot = true
+					i++
+				case (d == 'e' || d == 'E') && !seenExp && i > start:
+					seenExp = true
+					i++
+					if i < n && (input[i] == '+' || input[i] == '-') {
+						i++
+					}
+				default:
+					goto numDone
+				}
+			}
+		numDone:
+			toks = append(toks, token{tkNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sqldb: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{tkString, sb.String(), start})
+		case c == '!' || c == '<' || c == '>':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			} else if c == '<' && i < n && input[i] == '>' {
+				i++
+			} else if c == '!' {
+				return nil, fmt.Errorf("sqldb: unexpected '!' at offset %d", start)
+			}
+			toks = append(toks, token{tkSymbol, input[start:i], start})
+		case strings.ContainsRune("(),.*=+-/%;", rune(c)):
+			toks = append(toks, token{tkSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqldb: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tkEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,136 @@
+// Package temporal implements the paper's Definition II.4: a Temporal
+// Update Function that advances a user's feature vector to its expected
+// representation at future time points. Non-temporal features pass through
+// the identity; temporal features follow per-feature rules (age grows by
+// Delta per step, seniority grows while capped by the schema bounds, and
+// arbitrary custom rules can be registered).
+package temporal
+
+import (
+	"fmt"
+
+	"justintime/internal/feature"
+)
+
+// Rule computes a temporal feature's value at time step t (t >= 0, in units
+// of the configured interval Delta) from the full input vector x. Rules see
+// the whole vector so cross-feature updates ("seniority grows only while
+// employed") are expressible.
+type Rule func(x []float64, t int) float64
+
+// Updater is a compiled temporal update function f(x, t) for one schema.
+type Updater struct {
+	schema *feature.Schema
+	rules  []Rule // indexed by feature; nil = identity
+}
+
+// NewUpdater creates an Updater with no rules: every feature is untouched
+// until a rule is registered. Features marked Temporal in the schema without
+// a registered rule get the default linear rule (+Delta per step scaled by
+// deltaYears), which matches age-like features.
+func NewUpdater(schema *feature.Schema, deltaYears float64) (*Updater, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("temporal: nil schema")
+	}
+	if deltaYears <= 0 {
+		return nil, fmt.Errorf("temporal: deltaYears must be positive, got %g", deltaYears)
+	}
+	u := &Updater{schema: schema, rules: make([]Rule, schema.Dim())}
+	for _, i := range schema.TemporalIndices() {
+		u.rules[i] = LinearRule(i, deltaYears)
+	}
+	return u, nil
+}
+
+// SetRule registers a custom rule for the named feature, replacing any
+// default. The feature need not be marked Temporal in the schema.
+func (u *Updater) SetRule(name string, r Rule) error {
+	i, ok := u.schema.Index(name)
+	if !ok {
+		return fmt.Errorf("temporal: unknown feature %q", name)
+	}
+	if r == nil {
+		return fmt.Errorf("temporal: nil rule for %q", name)
+	}
+	u.rules[i] = r
+	return nil
+}
+
+// LinearRule returns a rule adding slope*t to feature i — the paper's
+// Example II.5 (f(x,3)[age] = x[age] + 3*Delta).
+func LinearRule(i int, slope float64) Rule {
+	return func(x []float64, t int) float64 {
+		return x[i] + slope*float64(t)
+	}
+}
+
+// CappedLinearRule grows feature i linearly but never beyond cap.
+func CappedLinearRule(i int, slope, cap float64) Rule {
+	return func(x []float64, t int) float64 {
+		v := x[i] + slope*float64(t)
+		if v > cap {
+			return cap
+		}
+		return v
+	}
+}
+
+// DecayRule shrinks feature i geometrically by factor per step (e.g. a debt
+// balance being paid down on schedule). factor must be in [0, 1].
+func DecayRule(i int, factor float64) Rule {
+	return func(x []float64, t int) float64 {
+		v := x[i]
+		for k := 0; k < t; k++ {
+			v *= factor
+		}
+		return v
+	}
+}
+
+// GrowthRule grows feature i geometrically by factor per step (e.g. salary
+// inflation).
+func GrowthRule(i int, factor float64) Rule {
+	return func(x []float64, t int) float64 {
+		v := x[i]
+		for k := 0; k < t; k++ {
+			v *= factor
+		}
+		return v
+	}
+}
+
+// At returns f(x, t): the expected representation of x after t intervals,
+// clamped into schema bounds. At(x, 0) applies every rule at t=0, which is
+// the identity for all rules constructed in this package.
+func (u *Updater) At(x []float64, t int) ([]float64, error) {
+	if err := u.schema.Validate(x); err != nil {
+		return nil, fmt.Errorf("temporal: %w", err)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("temporal: negative time %d", t)
+	}
+	out := feature.Clone(x)
+	for i, r := range u.rules {
+		if r != nil {
+			out[i] = r(x, t)
+		}
+	}
+	return u.schema.Clamp(out), nil
+}
+
+// Sequence returns the temporal input vectors x_0 .. x_T (the paper's
+// temporal_inputs table contents).
+func (u *Updater) Sequence(x []float64, T int) ([][]float64, error) {
+	if T < 0 {
+		return nil, fmt.Errorf("temporal: negative horizon %d", T)
+	}
+	out := make([][]float64, T+1)
+	for t := 0; t <= T; t++ {
+		v, err := u.At(x, t)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = v
+	}
+	return out, nil
+}

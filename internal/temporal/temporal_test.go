@@ -1,0 +1,170 @@
+package temporal
+
+import (
+	"testing"
+
+	"justintime/internal/dataset"
+	"justintime/internal/feature"
+)
+
+func newLoanUpdater(t *testing.T) *Updater {
+	t.Helper()
+	u, err := NewUpdater(dataset.LoanSchema(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestNewUpdaterValidation(t *testing.T) {
+	if _, err := NewUpdater(nil, 1); err == nil {
+		t.Error("nil schema should fail")
+	}
+	if _, err := NewUpdater(dataset.LoanSchema(), 0); err == nil {
+		t.Error("zero delta should fail")
+	}
+	if _, err := NewUpdater(dataset.LoanSchema(), -1); err == nil {
+		t.Error("negative delta should fail")
+	}
+}
+
+func TestDefaultTemporalRules(t *testing.T) {
+	u := newLoanUpdater(t)
+	x := []float64{29, 1, 48000, 1900, 4, 30000}
+	x3, err := u.At(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Example II.5: f(x,3)[age] = x[age] + 3*Delta.
+	if x3[dataset.FAge] != 32 {
+		t.Errorf("age at t=3 is %g, want 32", x3[dataset.FAge])
+	}
+	if x3[dataset.FSeniority] != 7 {
+		t.Errorf("seniority at t=3 is %g, want 7", x3[dataset.FSeniority])
+	}
+	// Non-temporal features are untouched.
+	if x3[dataset.FIncome] != 48000 || x3[dataset.FDebt] != 1900 || x3[dataset.FAmount] != 30000 {
+		t.Errorf("non-temporal features changed: %v", x3)
+	}
+	// t=0 is the identity.
+	x0, err := u.At(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !feature.Equal(x0, x) {
+		t.Errorf("At(x,0) = %v, want x", x0)
+	}
+	// Input must not be mutated.
+	if x[dataset.FAge] != 29 {
+		t.Error("At mutated its input")
+	}
+}
+
+func TestAtValidation(t *testing.T) {
+	u := newLoanUpdater(t)
+	if _, err := u.At([]float64{1, 2}, 0); err == nil {
+		t.Error("wrong dim should fail")
+	}
+	if _, err := u.At([]float64{29, 1, 48000, 1900, 4, 30000}, -1); err == nil {
+		t.Error("negative time should fail")
+	}
+}
+
+func TestClampAtSchemaBounds(t *testing.T) {
+	u := newLoanUpdater(t)
+	x := []float64{99, 1, 48000, 1900, 4, 30000}
+	x5, err := u.At(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x5[dataset.FAge] != 100 {
+		t.Errorf("age should clamp at 100, got %g", x5[dataset.FAge])
+	}
+}
+
+func TestCustomRules(t *testing.T) {
+	u := newLoanUpdater(t)
+	// Debt decays 20% per year; income grows 3%/year.
+	if err := u.SetRule("debt", DecayRule(dataset.FDebt, 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SetRule("income", GrowthRule(dataset.FIncome, 1.03)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SetRule("seniority", CappedLinearRule(dataset.FSeniority, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{29, 1, 48000, 1000, 8, 30000}
+	x2, err := u.At(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x2[dataset.FDebt]; got != 640 {
+		t.Errorf("debt at t=2 = %g, want 640", got)
+	}
+	if got, want := x2[dataset.FIncome], 48000*1.03*1.03; got < want-1e-6 || got > want+1e-6 {
+		t.Errorf("income at t=2 = %g, want %g", got, want)
+	}
+	x5, err := u.At(x, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x5[dataset.FSeniority] != 10 {
+		t.Errorf("capped seniority = %g, want 10", x5[dataset.FSeniority])
+	}
+}
+
+func TestSetRuleErrors(t *testing.T) {
+	u := newLoanUpdater(t)
+	if err := u.SetRule("nosuch", LinearRule(0, 1)); err == nil {
+		t.Error("unknown feature should fail")
+	}
+	if err := u.SetRule("age", nil); err == nil {
+		t.Error("nil rule should fail")
+	}
+}
+
+func TestSequence(t *testing.T) {
+	u := newLoanUpdater(t)
+	x := []float64{29, 1, 48000, 1900, 4, 30000}
+	seq, err := u.Sequence(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 5 {
+		t.Fatalf("sequence length %d, want 5", len(seq))
+	}
+	for i, xt := range seq {
+		if xt[dataset.FAge] != float64(29+i) {
+			t.Errorf("age at t=%d is %g", i, xt[dataset.FAge])
+		}
+	}
+	if _, err := u.Sequence(x, -1); err == nil {
+		t.Error("negative horizon should fail")
+	}
+}
+
+func TestCrossFeatureRule(t *testing.T) {
+	u := newLoanUpdater(t)
+	// Seniority grows only if income is above a floor (a proxy for being
+	// employed) — rules see the whole vector.
+	err := u.SetRule("seniority", func(x []float64, tt int) float64 {
+		if x[dataset.FIncome] < 1000 {
+			return x[dataset.FSeniority]
+		}
+		return x[dataset.FSeniority] + float64(tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	employed := []float64{29, 1, 48000, 1900, 4, 30000}
+	unemployed := []float64{29, 1, 0, 1900, 4, 30000}
+	e2, _ := u.At(employed, 2)
+	u2, _ := u.At(unemployed, 2)
+	if e2[dataset.FSeniority] != 6 {
+		t.Errorf("employed seniority = %g", e2[dataset.FSeniority])
+	}
+	if u2[dataset.FSeniority] != 4 {
+		t.Errorf("unemployed seniority = %g", u2[dataset.FSeniority])
+	}
+}

@@ -1,0 +1,159 @@
+// Package justintime is a Go implementation of JustInTime, the system of
+// "Just in Time: Personal Temporal Insights for Altering Model Decisions"
+// (Boer, Deutch, Frost, Milo — ICDE 2019): given a machine-learning
+// classifier whose models and data evolve over time, it tells a rejected
+// applicant which features to modify, how to modify them, and when to
+// reapply, so that the (future) model's decision flips.
+//
+// The pipeline (paper Figure 1):
+//
+//  1. An administrator configures the number of future time points T, the
+//     interval Delta between them, and global domain constraints.
+//  2. The Models Generator trains a sequence of models (M_t, delta_t) for
+//     t = 0..T from timestamped labeled history, using a drift-aware
+//     future-model generator (kernel mean-embedding extrapolation a la
+//     Lampert CVPR'15, or parameter-trajectory extrapolation a la
+//     Kumagai & Iwata AAAI'16) or a drift-oblivious baseline.
+//  3. Per user session, a Temporal Update Function advances the profile to
+//     x_0..x_T, and T+1 independent candidate generators search for diverse
+//     top-k decision-altering candidates under the user's constraints.
+//  4. The candidates land in a relational database (tables temporal_inputs
+//     and candidates) queried through six canned questions (paper Figure 2)
+//     or free SQL.
+//
+// Quickstart:
+//
+//	demo, err := justintime.NewLoanDemo(justintime.DefaultLoanDemoConfig())
+//	...
+//	prefs := justintime.NewConstraintSet(justintime.MustParseConstraint("income <= old(income) * 1.3"))
+//	sess, err := demo.System.NewSession(justintime.RejectedProfiles()[0], prefs)
+//	insights, err := sess.AskAll("income", 0.7)
+//
+// Every subsystem is implemented in this repository on the standard library
+// alone: CART/random-forest/logistic models (internal/mlmodel), kernel
+// methods (internal/kernel), future-model generation (internal/drift), an
+// in-memory SQL engine standing in for MySQL (internal/sqldb), the
+// constraint language (internal/constraints), temporal update rules
+// (internal/temporal), and the beam-search candidate generator
+// (internal/candgen).
+package justintime
+
+import (
+	"fmt"
+
+	"justintime/internal/candgen"
+	"justintime/internal/constraints"
+	"justintime/internal/core"
+	"justintime/internal/dataset"
+	"justintime/internal/drift"
+	"justintime/internal/feature"
+	"justintime/internal/mlmodel"
+	"justintime/internal/sqldb"
+	"justintime/internal/temporal"
+)
+
+// Re-exported core types: the facade keeps examples and downstream users on
+// a single import.
+type (
+	// Config is the administrator-level system configuration.
+	Config = core.Config
+	// System is a configured JustInTime instance.
+	System = core.System
+	// Session is one applicant's generated-candidates session.
+	Session = core.Session
+	// Question is a canned question instance.
+	Question = core.Question
+	// QuestionKind enumerates the canned questions.
+	QuestionKind = core.QuestionKind
+	// Insight is a canned question's answer.
+	Insight = core.Insight
+	// PlanStep is the structured best candidate at one time point.
+	PlanStep = core.PlanStep
+	// FieldChange is one attribute modification in a plan step.
+	FieldChange = core.FieldChange
+
+	// Era is one time slice of labeled training data.
+	Era = drift.Era
+	// TimedModel is the (M_t, delta_t) pair.
+	TimedModel = drift.TimedModel
+	// Generator predicts future models from timestamped history.
+	Generator = drift.Generator
+
+	// Schema describes the feature space.
+	Schema = feature.Schema
+	// Field describes one feature.
+	Field = feature.Field
+
+	// Constraint is a parsed constraint expression.
+	Constraint = constraints.Constraint
+	// ConstraintSet is a conjunction of timed constraints.
+	ConstraintSet = constraints.Set
+
+	// Candidate is one decision-altering candidate.
+	Candidate = candgen.Candidate
+	// CandGenConfig tunes the candidate search.
+	CandGenConfig = candgen.Config
+
+	// Result is a SQL query result.
+	Result = sqldb.Result
+	// Updater is a temporal update function.
+	Updater = temporal.Updater
+)
+
+// Canned question kinds (paper Figure 2 / introduction).
+const (
+	QNoModification    = core.QNoModification
+	QMinimalFeatures   = core.QMinimalFeatures
+	QDominantFeature   = core.QDominantFeature
+	QMinimalOverall    = core.QMinimalOverall
+	QMaximalConfidence = core.QMaximalConfidence
+	QTurningPoint      = core.QTurningPoint
+)
+
+// NewSystem builds a System: it validates cfg and trains the model sequence
+// from the timestamped history.
+func NewSystem(cfg Config, history []Era) (*System, error) {
+	return core.NewSystem(cfg, history)
+}
+
+// Questions lists one instance of every canned question.
+func Questions(dominantFeature string, alpha float64) []Question {
+	return core.Questions(dominantFeature, alpha)
+}
+
+// ParseConstraint compiles a constraint expression such as
+// "income <= old(income) * 1.3 AND gap <= 2".
+func ParseConstraint(src string) (*Constraint, error) { return constraints.Parse(src) }
+
+// MustParseConstraint is ParseConstraint that panics on error.
+func MustParseConstraint(src string) *Constraint { return constraints.MustParse(src) }
+
+// NewConstraintSet bundles always-applicable constraints.
+func NewConstraintSet(cs ...*Constraint) *ConstraintSet { return constraints.NewSet(cs...) }
+
+// LoanSchema returns the six-feature loan-application schema of the paper's
+// running example.
+func LoanSchema() *Schema { return dataset.LoanSchema() }
+
+// RejectedProfiles returns the five canonical rejected applicants of the
+// demonstration reenactment; index 0 is "John" from the paper's Example I.1.
+func RejectedProfiles() [][]float64 { return dataset.RejectedProfiles() }
+
+// GeneratorByName constructs a future-model generator: "edd" (kernel
+// mean-embedding extrapolation), "ki" (parameter trajectories), "last"
+// (train on the newest era only) or "pooled" (train on all history).
+func GeneratorByName(name string, seed int64) (Generator, error) {
+	forest := drift.ForestTrainer(mlmodel.ForestConfig{Trees: 30, MaxDepth: 8, MinLeaf: 3, Seed: seed})
+	switch name {
+	case "edd":
+		return drift.EDD{Trainer: forest, Seed: seed}, nil
+	case "ki":
+		return drift.KI{Degree: 1}, nil
+	case "last":
+		return drift.Last{Trainer: forest}, nil
+	case "pooled":
+		return drift.Pooled{Trainer: forest}, nil
+	default:
+		return nil, fmt.Errorf("justintime: unknown generator %q (want edd, ki, last or pooled)", name)
+	}
+}
