@@ -1,0 +1,3 @@
+module justintime
+
+go 1.22

@@ -16,8 +16,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"strconv"
-	"strings"
 
 	"justintime/internal/constraints"
 	"justintime/internal/feature"
@@ -35,6 +33,9 @@ type Candidate struct {
 	Gap int
 	// Confidence is the model score M_t(x').
 	Confidence float64
+	// q caches the scalarized quality at pool-insertion time so ranking,
+	// MMR selection and pool upserts never recompute it.
+	q float64
 }
 
 // Problem describes one candidate-generation task (one time point).
@@ -165,6 +166,18 @@ func Generate(p Problem, cfg Config) ([]Candidate, Stats, error) {
 		pool:   make(map[string]Candidate),
 		stats:  Stats{FirstFeasibleIter: -1},
 	}
+	// The ensemble's split-threshold map is invariant for the whole search:
+	// aggregate it once here instead of on every beam expansion.
+	if tm, ok := p.Model.(thresholder); ok {
+		s.thresholds = tm.Thresholds()
+	}
+	s.keyScales = make([]float64, len(s.scales))
+	for i, sc := range s.scales {
+		if sc <= 0 {
+			sc = 1
+		}
+		s.keyScales[i] = sc
+	}
 
 	// Phase 0: the unmodified input (diff = 0, the Q1 "no modification"
 	// candidate) and per-axis probes (gap = 1 candidates).
@@ -183,6 +196,10 @@ func Generate(p Problem, cfg Config) ([]Candidate, Stats, error) {
 	return out, s.stats, nil
 }
 
+// thresholder is implemented by tree-ensemble models whose split thresholds
+// define the model-dependent move set.
+type thresholder interface{ Thresholds() map[int][]float64 }
+
 type search struct {
 	p      Problem
 	cfg    Config
@@ -191,16 +208,37 @@ type search struct {
 	scales []float64
 	pool   map[string]Candidate
 	stats  Stats
+	// thresholds is the model's per-feature split thresholds, aggregated
+	// once per search (nil for models without a tree ensemble).
+	thresholds map[int][]float64
+	// keyScales is scales with non-positive entries replaced by 1, and
+	// keyBuf the scratch buffer, both for the dedup key hot path.
+	keyScales []float64
+	keyBuf    []byte
 }
 
-// feasible evaluates x fully; when it is a decision-altering candidate it is
+// consider evaluates x fully; when it is a decision-altering candidate it is
 // recorded in the pool. Returns the model score either way.
 func (s *search) consider(x []float64, iter int) (float64, bool) {
 	x = s.p.Schema.Clamp(x)
 	s.stats.Evaluations++
 	conf := s.p.Model.Predict(x)
+	return conf, s.considerScored(x, conf, iter)
+}
+
+// predictBatch scores a whole move set with a single model call. Rows must
+// already be schema-clamped.
+func (s *search) predictBatch(X [][]float64) []float64 {
+	s.stats.Evaluations += len(X)
+	return mlmodel.PredictBatch(s.p.Model, X)
+}
+
+// considerScored records x in the pool when it is a decision-altering
+// candidate, given its already-computed model score. x must already be
+// schema-clamped.
+func (s *search) considerScored(x []float64, conf float64, iter int) bool {
 	if conf <= s.p.Threshold {
-		return conf, false
+		return false
 	}
 	ctx := &constraints.Context{
 		Schema:     s.p.Schema,
@@ -211,7 +249,7 @@ func (s *search) consider(x []float64, iter int) (float64, bool) {
 	}
 	ok, err := s.p.Constraints.Eval(ctx)
 	if err != nil || !ok {
-		return conf, false
+		return false
 	}
 	c := Candidate{
 		X:          x,
@@ -219,29 +257,31 @@ func (s *search) consider(x []float64, iter int) (float64, bool) {
 		Gap:        feature.Gap(x, s.p.Input),
 		Confidence: conf,
 	}
+	c.q = s.quality(c)
 	k := s.key(x)
-	if prev, exists := s.pool[k]; !exists || s.quality(c) > s.quality(prev) {
+	if prev, exists := s.pool[k]; !exists || c.q > prev.q {
 		s.pool[k] = c
 	}
 	if s.stats.FirstFeasibleIter == -1 {
 		s.stats.FirstFeasibleIter = iter
 	}
-	return conf, true
+	return true
 }
 
 // key buckets candidates by rounding each coordinate to 1/1000 of its range,
-// deduplicating near-identical pool entries.
+// deduplicating near-identical pool entries. The key is a fixed-width binary
+// encoding of the rounded coordinates built in a reused scratch buffer —
+// this runs once per proposed move, so it must not format text.
 func (s *search) key(x []float64) string {
-	var b strings.Builder
+	buf := s.keyBuf[:0]
 	for i, v := range x {
-		scale := s.scales[i]
-		if scale <= 0 {
-			scale = 1
-		}
-		b.WriteString(strconv.FormatInt(int64(math.Round(v/scale*1000)), 36))
-		b.WriteByte(',')
+		q := uint64(int64(math.Round(v / s.keyScales[i] * 1000)))
+		buf = append(buf,
+			byte(q), byte(q>>8), byte(q>>16), byte(q>>24),
+			byte(q>>32), byte(q>>40), byte(q>>48), byte(q>>56))
 	}
-	return b.String()
+	s.keyBuf = buf
+	return string(buf)
 }
 
 // quality is the scalarized objective for ranking feasible candidates:
@@ -305,7 +345,15 @@ func (s *search) beam() {
 	sincImprove := 0
 	for iter := 1; iter <= s.cfg.MaxIters; iter++ {
 		s.stats.Iterations = iter
-		var next []beamState
+		// Collect the whole iteration's move set first, then score it with
+		// one batch model call — for tree ensembles this streams every move
+		// through the flattened node arrays instead of paying a full
+		// ensemble walk per move. Beam states and dedup keys use the
+		// box-clamped vector; scoring and the pool use a re-schema-clamped
+		// copy, because box bounds from constraint constants can land on
+		// fractional values of discrete fields (or ±Inf for contradictory
+		// constraints) that only Schema.Clamp repairs.
+		var moves, scored [][]float64
 		for _, st := range beam {
 			for _, mv := range s.proposeMoves(st.x) {
 				mv = s.box.Clamp(s.p.Schema.Clamp(mv))
@@ -314,32 +362,40 @@ func (s *search) beam() {
 					continue
 				}
 				seen[k] = true
-				conf, _ := s.consider(mv, iter)
-				next = append(next, beamState{x: mv, conf: conf})
+				moves = append(moves, mv)
+				scored = append(scored, s.p.Schema.Clamp(mv))
 			}
 		}
-		if len(next) == 0 {
+		if len(moves) == 0 {
 			s.stats.Converged = true
 			return
 		}
-		// Rank: infeasible states climb by confidence; feasible states by
-		// quality (plus a constant to dominate infeasible ones).
-		rank := func(st beamState) float64 {
-			if st.conf > s.p.Threshold {
-				return 10 + s.quality(Candidate{
-					X: st.x, Confidence: st.conf,
-					Diff: feature.Diff(st.x, s.p.Input),
-					Gap:  feature.Gap(st.x, s.p.Input),
-				})
-			}
-			return st.conf
+		confs := s.predictBatch(scored)
+		next := make([]beamState, len(moves))
+		for i, mv := range moves {
+			s.considerScored(scored[i], confs[i], iter)
+			next[i] = beamState{x: mv, conf: confs[i]}
 		}
-		sort.Slice(next, func(a, b int) bool { return rank(next[a]) > rank(next[b]) })
-		if len(next) > s.cfg.BeamWidth {
-			next = next[:s.cfg.BeamWidth]
+		// Rank each state once (the comparator would otherwise recompute
+		// quality O(n log n) times): infeasible states climb by confidence;
+		// feasible states by quality plus a constant to dominate them.
+		ranks := make([]float64, len(next))
+		for i, st := range next {
+			ranks[i] = s.rank(st)
 		}
-		beam = next
-		if top := rank(beam[0]); top > bestObjective+1e-9 {
+		order := make([]int, len(next))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return ranks[order[a]] > ranks[order[b]] })
+		if len(order) > s.cfg.BeamWidth {
+			order = order[:s.cfg.BeamWidth]
+		}
+		beam = make([]beamState, len(order))
+		for j, i := range order {
+			beam[j] = next[i]
+		}
+		if top := ranks[order[0]]; top > bestObjective+1e-9 {
 			bestObjective = top
 			sincImprove = 0
 		} else {
@@ -352,18 +408,30 @@ func (s *search) beam() {
 	}
 }
 
+// rank orders beam states: infeasible states by raw confidence, feasible
+// states by scalarized quality shifted above any confidence.
+func (s *search) rank(st beamState) float64 {
+	if st.conf > s.p.Threshold {
+		return 10 + s.quality(Candidate{
+			X: st.x, Confidence: st.conf,
+			Diff: feature.Diff(st.x, s.p.Input),
+			Gap:  feature.Gap(st.x, s.p.Input),
+		})
+	}
+	return st.conf
+}
+
 // proposeMoves generates neighbor states with the model-dependent heuristics
 // of Section II-A.
 func (s *search) proposeMoves(x []float64) [][]float64 {
 	var moves [][]float64
 	mutable := s.p.Schema.MutableIndices()
 
-	// Tree-ensemble heuristic: cross the nearest split thresholds.
-	type thresholder interface{ Thresholds() map[int][]float64 }
-	if tm, ok := s.p.Model.(thresholder); ok {
-		thr := tm.Thresholds()
+	// Tree-ensemble heuristic: cross the nearest split thresholds
+	// (aggregated once per search in Generate).
+	if s.thresholds != nil {
 		for _, i := range mutable {
-			moves = append(moves, s.thresholdMoves(x, i, thr[i])...)
+			moves = append(moves, s.thresholdMoves(x, i, s.thresholds[i])...)
 		}
 	}
 
@@ -453,30 +521,43 @@ func (s *search) thresholdMoves(x []float64, i int, thrs []float64) [][]float64 
 
 // shrinkPool walks each feasible candidate back toward the input by binary
 // search along the connecting segment, keeping feasibility, to reduce diff.
+// The searches run in lockstep so each of the 12 bisection rounds scores
+// every candidate's midpoint with one batch model call.
 func (s *search) shrinkPool() {
 	originals := make([]Candidate, 0, len(s.pool))
 	for _, c := range s.pool {
-		originals = append(originals, c)
+		if c.Diff > 0 {
+			originals = append(originals, c)
+		}
 	}
 	// Deterministic iteration order.
 	sort.Slice(originals, func(a, b int) bool {
 		return s.key(originals[a].X) < s.key(originals[b].X)
 	})
-	for _, c := range originals {
-		if c.Diff == 0 {
-			continue
-		}
-		lo, hi := 0.0, 1.0 // fraction of the way from input to candidate
-		for step := 0; step < 12; step++ {
-			mid := (lo + hi) / 2
+	if len(originals) == 0 {
+		return
+	}
+	lo := make([]float64, len(originals)) // fraction of the way input->candidate
+	hi := make([]float64, len(originals))
+	for i := range hi {
+		hi[i] = 1
+	}
+	rows := make([][]float64, len(originals))
+	for step := 0; step < 12; step++ {
+		for j, c := range originals {
+			mid := (lo[j] + hi[j]) / 2
 			x := make([]float64, len(c.X))
 			for i := range x {
 				x[i] = s.p.Input[i] + mid*(c.X[i]-s.p.Input[i])
 			}
-			if _, ok := s.consider(x, s.stats.Iterations); ok {
-				hi = mid
+			rows[j] = s.p.Schema.Clamp(x)
+		}
+		confs := s.predictBatch(rows)
+		for j := range originals {
+			if s.considerScored(rows[j], confs[j], s.stats.Iterations) {
+				hi[j] = (lo[j] + hi[j]) / 2
 			} else {
-				lo = mid
+				lo[j] = (lo[j] + hi[j]) / 2
 			}
 		}
 	}
@@ -490,9 +571,8 @@ func (s *search) selectTopK() []Candidate {
 		all = append(all, c)
 	}
 	sort.Slice(all, func(a, b int) bool {
-		qa, qb := s.quality(all[a]), s.quality(all[b])
-		if qa != qb {
-			return qa > qb
+		if all[a].q != all[b].q {
+			return all[a].q > all[b].q
 		}
 		return s.key(all[a].X) < s.key(all[b].X)
 	})
@@ -510,24 +590,33 @@ func (s *search) selectTopK() []Candidate {
 	}
 	selected := []Candidate{all[0]}
 	remaining := all[1:]
+	// maxSim[i] tracks each remaining candidate's similarity to the closest
+	// already-selected one; it is updated incrementally as candidates are
+	// selected, so each MMR round computes one new similarity per candidate
+	// instead of rescanning the whole selected set.
+	maxSim := make([]float64, len(remaining))
+	for i, c := range remaining {
+		maxSim[i] = similarity(c, selected[0])
+	}
 	for len(selected) < s.cfg.K && len(remaining) > 0 {
 		bestIdx, bestScore := -1, math.Inf(-1)
 		for i, c := range remaining {
-			maxSim := 0.0
-			for _, sel := range selected {
-				if sim := similarity(c, sel); sim > maxSim {
-					maxSim = sim
-				}
-			}
-			score := (1-lambda)*s.quality(c) - lambda*maxSim
+			score := (1-lambda)*c.q - lambda*maxSim[i]
 			if score > bestScore {
 				bestScore, bestIdx = score, i
 			}
 		}
-		selected = append(selected, remaining[bestIdx])
+		picked := remaining[bestIdx]
+		selected = append(selected, picked)
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		maxSim = append(maxSim[:bestIdx], maxSim[bestIdx+1:]...)
+		for i, c := range remaining {
+			if sim := similarity(c, picked); sim > maxSim[i] {
+				maxSim[i] = sim
+			}
+		}
 	}
 	// Present best-quality first.
-	sort.Slice(selected, func(a, b int) bool { return s.quality(selected[a]) > s.quality(selected[b]) })
+	sort.Slice(selected, func(a, b int) bool { return selected[a].q > selected[b].q })
 	return selected
 }

@@ -57,17 +57,23 @@ func (sess *Session) renderInsight(q Question, res *sqldb.Result) (string, error
 		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
 			return "Reapplying without any modification is never approved within the covered horizon.", nil
 		}
-		t, _ := res.Rows[0][0].AsInt()
+		t, ok := res.Rows[0][0].AsInt()
+		if !ok {
+			return "", fmt.Errorf("core: question %s: non-integer time value %v", q.Kind, res.Rows[0][0])
+		}
 		return fmt.Sprintf("Reapplying without any modification is first approved %s.", sys.TimeLabel(int(t))), nil
 	case QMinimalFeatures:
 		if len(res.Rows) == 0 {
 			return "No decision-altering modification satisfies your constraints within the covered horizon.", nil
 		}
-		return sess.describeCandidateRow(res, 0, "The smallest change that flips the decision"), nil
+		return sess.describeCandidateRow(res, 0, "The smallest change that flips the decision")
 	case QDominantFeature:
 		times := make([]int, 0, len(res.Rows))
 		for _, row := range res.Rows {
-			t, _ := row[0].AsInt()
+			t, ok := row[0].AsInt()
+			if !ok {
+				return "", fmt.Errorf("core: question %s: non-integer time value %v", q.Kind, row[0])
+			}
 			times = append(times, int(t))
 		}
 		all := len(times) == sys.cfg.T+1
@@ -89,7 +95,10 @@ func (sess *Session) renderInsight(q Question, res *sqldb.Result) (string, error
 		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
 			return "No decision-altering modification satisfies your constraints within the covered horizon.", nil
 		}
-		d, _ := res.Rows[0][0].AsFloat()
+		d, ok := res.Rows[0][0].AsFloat()
+		if !ok {
+			return "", fmt.Errorf("core: question %s: non-numeric distance value %v", q.Kind, res.Rows[0][0])
+		}
 		if d == 0 {
 			return "The minimal overall modification is no modification at all - waiting suffices (see the no-modification question for when).", nil
 		}
@@ -98,12 +107,15 @@ func (sess *Session) renderInsight(q Question, res *sqldb.Result) (string, error
 		if len(res.Rows) == 0 {
 			return "No decision-altering modification satisfies your constraints within the covered horizon.", nil
 		}
-		return sess.describeCandidateRow(res, 0, "The modification maximizing approval confidence"), nil
+		return sess.describeCandidateRow(res, 0, "The modification maximizing approval confidence")
 	case QTurningPoint:
 		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
 			return fmt.Sprintf("There is no time point after which approval confidence above %.2f is always achievable.", q.Alpha), nil
 		}
-		t, _ := res.Rows[0][0].AsInt()
+		t, ok := res.Rows[0][0].AsInt()
+		if !ok {
+			return "", fmt.Errorf("core: question %s: non-integer time value %v", q.Kind, res.Rows[0][0])
+		}
 		return fmt.Sprintf("From %s onward, some modification always achieves approval confidence above %.2f.",
 			sys.TimeLabel(int(t)), q.Alpha), nil
 	default:
@@ -112,19 +124,34 @@ func (sess *Session) renderInsight(q Question, res *sqldb.Result) (string, error
 }
 
 // describeCandidateRow renders a full candidates row (time, features, diff,
-// gap, p) as an actionable sentence.
-func (sess *Session) describeCandidateRow(res *sqldb.Result, rowIdx int, prefix string) string {
+// gap, p) as an actionable sentence. Decode errors surface instead of being
+// silently rendered as zero values: the row layout is produced by this
+// package's own schema, so a mismatch is a programming error worth hearing
+// about.
+func (sess *Session) describeCandidateRow(res *sqldb.Result, rowIdx int, prefix string) (string, error) {
 	schema := sess.sys.cfg.Schema
 	row := res.Rows[rowIdx]
-	t64, _ := row[0].AsInt()
+	t64, ok := row[0].AsInt()
+	if !ok {
+		return "", fmt.Errorf("core: candidate row: non-integer time value %v", row[0])
+	}
 	t := int(t64)
 	x := make([]float64, schema.Dim())
 	for i := range x {
-		f, _ := row[1+i].AsFloat()
+		f, ok := row[1+i].AsFloat()
+		if !ok {
+			return "", fmt.Errorf("core: candidate row: non-numeric feature %d: %v", i, row[1+i])
+		}
 		x[i] = f
 	}
-	gap64, _ := row[1+schema.Dim()+1].AsInt()
-	p, _ := row[1+schema.Dim()+2].AsFloat()
+	gap64, ok := row[1+schema.Dim()+1].AsInt()
+	if !ok {
+		return "", fmt.Errorf("core: candidate row: non-integer gap value %v", row[1+schema.Dim()+1])
+	}
+	p, ok := row[1+schema.Dim()+2].AsFloat()
+	if !ok {
+		return "", fmt.Errorf("core: candidate row: non-numeric confidence value %v", row[1+schema.Dim()+2])
+	}
 
 	input := sess.inputs[t]
 	changed := schema.ChangedFields(input, x)
@@ -136,10 +163,10 @@ func (sess *Session) describeCandidateRow(res *sqldb.Result, rowIdx int, prefix 
 	}
 	when := sess.sys.TimeLabel(t)
 	if len(changes) == 0 {
-		return fmt.Sprintf("%s: reapply unchanged %s (approval confidence %.2f).", prefix, when, p)
+		return fmt.Sprintf("%s: reapply unchanged %s (approval confidence %.2f).", prefix, when, p), nil
 	}
 	return fmt.Sprintf("%s (%d feature(s)): %s; reapply %s (approval confidence %.2f).",
-		prefix, gap64, strings.Join(changes, ", "), when, p)
+		prefix, gap64, strings.Join(changes, ", "), when, p), nil
 }
 
 func formatFieldValue(schema *feature.Schema, i int, v float64) string {

@@ -91,9 +91,18 @@ func (sess *Session) planStepFromRow(row []sqldb.Value) (*PlanStep, error) {
 		}
 		x[i] = v
 	}
-	diff, _ := row[1+d].AsFloat()
-	gap64, _ := row[1+d+1].AsInt()
-	p, _ := row[1+d+2].AsFloat()
+	diff, ok := row[1+d].AsFloat()
+	if !ok {
+		return nil, fmt.Errorf("core: bad diff value %v", row[1+d])
+	}
+	gap64, ok := row[1+d+1].AsInt()
+	if !ok {
+		return nil, fmt.Errorf("core: bad gap value %v", row[1+d+1])
+	}
+	p, ok := row[1+d+2].AsFloat()
+	if !ok {
+		return nil, fmt.Errorf("core: bad confidence value %v", row[1+d+2])
+	}
 
 	input := sess.inputs[t]
 	step := &PlanStep{

@@ -166,7 +166,10 @@ func (sess *Session) CandidateCount() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, _ := res.Rows[0][0].AsInt()
+	n, ok := res.Rows[0][0].AsInt()
+	if !ok {
+		return 0, fmt.Errorf("core: candidate count: non-integer COUNT value %v", res.Rows[0][0])
+	}
 	return int(n), nil
 }
 

@@ -14,8 +14,9 @@ type Confusion struct {
 // ConfusionAt scores the model on (X, y) with the given decision threshold.
 func ConfusionAt(m Model, X [][]float64, y []bool, delta float64) Confusion {
 	var c Confusion
-	for i, x := range X {
-		pred := m.Predict(x) > delta
+	scores := PredictBatch(m, X)
+	for i, s := range scores {
+		pred := s > delta
 		switch {
 		case pred && y[i]:
 			c.TP++
@@ -118,11 +119,7 @@ func AUC(scores []float64, y []bool) float64 {
 
 // ModelAUC scores the model's probabilities against labels.
 func ModelAUC(m Model, X [][]float64, y []bool) float64 {
-	scores := make([]float64, len(X))
-	for i, x := range X {
-		scores[i] = m.Predict(x)
-	}
-	return AUC(scores, y)
+	return AUC(PredictBatch(m, X), y)
 }
 
 // LogLoss returns the mean negative log-likelihood, with probabilities
@@ -130,8 +127,8 @@ func ModelAUC(m Model, X [][]float64, y []bool) float64 {
 func LogLoss(m Model, X [][]float64, y []bool) float64 {
 	const eps = 1e-12
 	var sum float64
-	for i, x := range X {
-		p := math.Min(math.Max(m.Predict(x), eps), 1-eps)
+	for i, s := range PredictBatch(m, X) {
+		p := math.Min(math.Max(s, eps), 1-eps)
 		if y[i] {
 			sum -= math.Log(p)
 		} else {
@@ -151,10 +148,7 @@ func CalibrateThreshold(m Model, X [][]float64, y []bool) float64 {
 	if len(X) == 0 {
 		return 0.5
 	}
-	scores := make([]float64, len(X))
-	for i, x := range X {
-		scores[i] = m.Predict(x)
-	}
+	scores := PredictBatch(m, X)
 	uniq := append([]float64(nil), scores...)
 	sort.Float64s(uniq)
 	uniq = dedupSorted(uniq)

@@ -16,6 +16,31 @@ type Model interface {
 	Name() string
 }
 
+// BatchModel is implemented by models with a native many-rows-at-once
+// scoring path. PredictBatch(X)[i] must equal Predict(X[i]) for every row;
+// the built-in implementations are bit-identical, which callers that cache
+// scores (the candidate generator's pool) rely on.
+type BatchModel interface {
+	Model
+	// PredictBatch returns the positive-class probability of every row.
+	PredictBatch(X [][]float64) []float64
+}
+
+// PredictBatch scores every row of X with m, dispatching to the model's
+// native batch path when it has one and falling back to per-row Predict
+// calls otherwise. This is the entry point batch consumers (candidate
+// generation, metrics) should use so that any Model keeps working.
+func PredictBatch(m Model, X [][]float64) []float64 {
+	if bm, ok := m.(BatchModel); ok {
+		return bm.PredictBatch(X)
+	}
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
 // Classify applies the model threshold delta of Definition II.3: x is
 // classified positively iff M(x) > delta.
 func Classify(m Model, x []float64, delta float64) bool {
@@ -31,6 +56,15 @@ type ConstantModel struct {
 
 // Predict returns the constant probability.
 func (c ConstantModel) Predict([]float64) float64 { return c.P }
+
+// PredictBatch implements BatchModel.
+func (c ConstantModel) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i := range out {
+		out[i] = c.P
+	}
+	return out
+}
 
 // Name implements Model.
 func (c ConstantModel) Name() string { return fmt.Sprintf("constant(%.2f)", c.P) }
@@ -48,6 +82,16 @@ type Mapped struct {
 
 // Predict implements Model.
 func (m Mapped) Predict(x []float64) float64 { return m.Inner.Predict(m.Map(x)) }
+
+// PredictBatch implements BatchModel: all rows are transformed first, then
+// scored through the inner model's batch path in one call.
+func (m Mapped) PredictBatch(X [][]float64) []float64 {
+	Z := make([][]float64, len(X))
+	for i, x := range X {
+		Z[i] = m.Map(x)
+	}
+	return PredictBatch(m.Inner, Z)
+}
 
 // Name implements Model.
 func (m Mapped) Name() string {

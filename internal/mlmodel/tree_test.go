@@ -130,9 +130,9 @@ func TestTreeMinLeafRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, nd := range tree.nodes {
-		if nd.left == -1 && nd.n < 30 {
-			t.Fatalf("leaf with %d < 30 samples", nd.n)
+	for i, l := range tree.left {
+		if l == -1 && tree.count[i] < 30 {
+			t.Fatalf("leaf with %d < 30 samples", tree.count[i])
 		}
 	}
 }

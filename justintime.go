@@ -21,7 +21,8 @@
 //     and candidates) queried through six canned questions (paper Figure 2)
 //     or free SQL.
 //
-// Quickstart:
+// Quickstart (the module path is "justintime"; import subpackages as
+// justintime/internal/... only from within this module):
 //
 //	demo, err := justintime.NewLoanDemo(justintime.DefaultLoanDemoConfig())
 //	...
@@ -36,6 +37,31 @@
 // constraint language (internal/constraints), temporal update rules
 // (internal/temporal), and the beam-search candidate generator
 // (internal/candgen).
+//
+// # Batch prediction
+//
+// Models implementing mlmodel.BatchModel expose PredictBatch(X) alongside
+// per-row Predict; mlmodel.PredictBatch(m, X) dispatches to the native batch
+// path when present and falls back to per-row calls otherwise. Trees keep
+// their nodes in a flat structure-of-arrays layout so forest batch scoring
+// streams rows through contiguous arrays (trees-outer, rows-inner, sharded
+// across the forest's configured workers on large batches), and logistic
+// batch scoring reuses one standardization buffer for the whole batch.
+// Batch results are bit-identical to per-row Predict. The candidate
+// generator scores each beam iteration's full move set — and the pool
+// shrinking phase's bisection rounds — with single batch calls, and the
+// evaluation metrics (accuracy, AUC, log-loss, threshold calibration) score
+// their datasets the same way.
+//
+// # Benchmarks
+//
+// The experiment-shaped benchmarks live in bench_test.go; run them with
+//
+//	go test -run '^$' -bench . -benchtime=2s .
+//
+// BenchmarkCandidateGeneration isolates the beam search per model family and
+// BenchmarkEndToEndPipeline measures a whole applicant session; per-package
+// micro-benchmarks live next to their subsystems (e.g. internal/sqldb).
 package justintime
 
 import (
