@@ -4,24 +4,36 @@
 // Usage:
 //
 //	jitd [-addr :8080] [-method ki] [-eras 12] [-rows 1200] [-horizon 3] [-k 8]
+//	     [-max-sessions 1024] [-session-ttl 30m] [-max-sql-rows 10000]
 //
 // Endpoints:
 //
-//	GET  /api/schema                 feature schema
-//	GET  /api/models                 the (M_t, delta_t) sequence
-//	GET  /api/profiles               the five demo rejected applicants
-//	GET  /api/questions              canned question catalog
-//	POST /api/sessions               {"profile": {...}, "constraints": [...]}
-//	GET  /api/sessions/{id}/inputs   temporal inputs x_0..x_T
-//	GET  /api/sessions/{id}/plan     structured best plan per time point
-//	POST /api/sessions/{id}/ask      {"kind": "...", "feature": "...", "alpha": 0.7}
-//	POST /api/sessions/{id}/sql      {"query": "SELECT ..."}
+//	GET    /api/schema                 feature schema
+//	GET    /api/models                 the (M_t, delta_t) sequence
+//	GET    /api/profiles               the five demo rejected applicants
+//	GET    /api/questions              canned question catalog
+//	POST   /api/sessions               {"profile": {...}, "constraints": [...]}
+//	DELETE /api/sessions/{id}          drop a session
+//	GET    /api/sessions/{id}/inputs   temporal inputs x_0..x_T
+//	GET    /api/sessions/{id}/plan     structured best plan per time point
+//	POST   /api/sessions/{id}/ask      {"kind": "...", "feature": "...", "alpha": 0.7}
+//	POST   /api/sessions/{id}/sql      {"query": "SELECT ..."} (SELECT only, row-capped)
+//
+// Sessions are held in memory under an idle TTL and an LRU-evicting cap;
+// session creation is cancelled when the client disconnects. SIGINT/SIGTERM
+// drain in-flight requests before exiting (graceful shutdown).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"justintime"
 	"justintime/internal/server"
@@ -35,6 +47,9 @@ func main() {
 	horizon := flag.Int("horizon", 3, "future time points T")
 	k := flag.Int("k", 8, "candidates per time point")
 	seed := flag.Int64("seed", 1, "random seed")
+	maxSessions := flag.Int("max-sessions", 1024, "live session cap (LRU eviction past it)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
+	maxSQLRows := flag.Int("max-sql-rows", 10000, "row cap on the expert SQL endpoint")
 	flag.Parse()
 
 	cfg := justintime.DefaultLoanDemoConfig()
@@ -50,8 +65,35 @@ func main() {
 	if err != nil {
 		log.Fatalf("building demo system: %v", err)
 	}
+
+	handler := server.NewWithConfig(demo.System, server.Config{
+		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
+		MaxSQLRows:  *maxSQLRows,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("jitd listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, server.New(demo.System)); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining in-flight requests ...")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("jitd stopped")
 	}
 }

@@ -12,6 +12,7 @@
 package candgen
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -143,6 +144,17 @@ type Stats struct {
 // Generate runs the search and returns at most cfg.K diverse decision-
 // altering candidates, ordered by scalarized quality (best first).
 func Generate(p Problem, cfg Config) ([]Candidate, Stats, error) {
+	return GenerateContext(context.Background(), p, cfg)
+}
+
+// GenerateContext is Generate with cooperative cancellation: the search
+// checks ctx between axis probes, beam iterations and shrink rounds, and
+// returns an error wrapping ctx.Err() as soon as it observes cancellation,
+// so a disconnected client stops burning CPU within one iteration.
+func GenerateContext(ctx context.Context, p Problem, cfg Config) ([]Candidate, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, Stats{}, err
@@ -158,6 +170,7 @@ func Generate(p Problem, cfg Config) ([]Candidate, Stats, error) {
 	}
 
 	s := &search{
+		ctx:    ctx,
 		p:      p,
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
@@ -182,13 +195,19 @@ func Generate(p Problem, cfg Config) ([]Candidate, Stats, error) {
 	// Phase 0: the unmodified input (diff = 0, the Q1 "no modification"
 	// candidate) and per-axis probes (gap = 1 candidates).
 	s.consider(p.Input, 0)
-	s.axisProbes()
+	if err := s.axisProbes(); err != nil {
+		return nil, s.stats, err
+	}
 
 	// Phase 1: beam search with model-dependent moves.
-	s.beam()
+	if err := s.beam(); err != nil {
+		return nil, s.stats, err
+	}
 
 	// Phase 2: shrink feasible candidates toward the input to reduce diff.
-	s.shrinkPool()
+	if err := s.shrinkPool(); err != nil {
+		return nil, s.stats, err
+	}
 
 	// Phase 3: diverse top-k selection.
 	out := s.selectTopK()
@@ -201,6 +220,7 @@ func Generate(p Problem, cfg Config) ([]Candidate, Stats, error) {
 type thresholder interface{ Thresholds() map[int][]float64 }
 
 type search struct {
+	ctx    context.Context
 	p      Problem
 	cfg    Config
 	rng    *rand.Rand
@@ -215,6 +235,15 @@ type search struct {
 	// keyBuf the scratch buffer, both for the dedup key hot path.
 	keyScales []float64
 	keyBuf    []byte
+}
+
+// ctxErr translates a cancelled context into the search's error, checked at
+// every phase boundary and loop iteration (cooperative cancellation).
+func (s *search) ctxErr() error {
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("candgen: search cancelled: %w", err)
+	}
+	return nil
 }
 
 // consider evaluates x fully; when it is a decision-altering candidate it is
@@ -295,8 +324,11 @@ func (s *search) quality(c Candidate) float64 {
 
 // axisProbes binary-searches each mutable feature axis for the smallest
 // single-feature modification that alters the decision, in both directions.
-func (s *search) axisProbes() {
+func (s *search) axisProbes() error {
 	for _, i := range s.p.Schema.MutableIndices() {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
 		for _, dir := range []float64{1, -1} {
 			lo := s.p.Input[i]
 			hi := lo
@@ -327,6 +359,7 @@ func (s *search) axisProbes() {
 			}
 		}
 	}
+	return nil
 }
 
 // beamState is one state of the beam with its cached score.
@@ -335,7 +368,7 @@ type beamState struct {
 	conf float64
 }
 
-func (s *search) beam() {
+func (s *search) beam() error {
 	start := s.p.Schema.Clamp(s.p.Input)
 	beam := []beamState{{x: start, conf: s.p.Model.Predict(start)}}
 	s.stats.Evaluations++
@@ -344,6 +377,9 @@ func (s *search) beam() {
 	bestObjective := math.Inf(-1)
 	sincImprove := 0
 	for iter := 1; iter <= s.cfg.MaxIters; iter++ {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
 		s.stats.Iterations = iter
 		// Collect the whole iteration's move set first, then score it with
 		// one batch model call — for tree ensembles this streams every move
@@ -368,7 +404,7 @@ func (s *search) beam() {
 		}
 		if len(moves) == 0 {
 			s.stats.Converged = true
-			return
+			return nil
 		}
 		confs := s.predictBatch(scored)
 		next := make([]beamState, len(moves))
@@ -402,10 +438,11 @@ func (s *search) beam() {
 			sincImprove++
 			if sincImprove >= s.cfg.Patience {
 				s.stats.Converged = true
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // rank orders beam states: infeasible states by raw confidence, feasible
@@ -523,7 +560,7 @@ func (s *search) thresholdMoves(x []float64, i int, thrs []float64) [][]float64 
 // search along the connecting segment, keeping feasibility, to reduce diff.
 // The searches run in lockstep so each of the 12 bisection rounds scores
 // every candidate's midpoint with one batch model call.
-func (s *search) shrinkPool() {
+func (s *search) shrinkPool() error {
 	originals := make([]Candidate, 0, len(s.pool))
 	for _, c := range s.pool {
 		if c.Diff > 0 {
@@ -535,7 +572,7 @@ func (s *search) shrinkPool() {
 		return s.key(originals[a].X) < s.key(originals[b].X)
 	})
 	if len(originals) == 0 {
-		return
+		return nil
 	}
 	lo := make([]float64, len(originals)) // fraction of the way input->candidate
 	hi := make([]float64, len(originals))
@@ -544,6 +581,9 @@ func (s *search) shrinkPool() {
 	}
 	rows := make([][]float64, len(originals))
 	for step := 0; step < 12; step++ {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
 		for j, c := range originals {
 			mid := (lo[j] + hi[j]) / 2
 			x := make([]float64, len(c.X))
@@ -561,6 +601,7 @@ func (s *search) shrinkPool() {
 			}
 		}
 	}
+	return nil
 }
 
 // selectTopK picks K pool candidates by maximal marginal relevance:

@@ -18,13 +18,20 @@ type Insight struct {
 	Text     string
 }
 
-// Ask answers one canned question against the session database.
+// Ask answers one canned question against the session database. The
+// question's SQL is compiled at most once per process (the System's
+// statement cache) and executed under the session database's read lock, so
+// concurrent asks on one session proceed in parallel.
 func (sess *Session) Ask(q Question) (*Insight, error) {
-	query, err := sess.questionSQL(q)
+	query, args, err := sess.questionSQL(q)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sess.db.Query(query)
+	st, err := sess.sys.prepared(query)
+	if err != nil {
+		return nil, fmt.Errorf("core: question %s: %w", q.Kind, err)
+	}
+	res, err := st.Query(sess.db, args...)
 	if err != nil {
 		return nil, fmt.Errorf("core: question %s: %w", q.Kind, err)
 	}

@@ -37,14 +37,22 @@ func (s PlanStep) String() string {
 	return fmt.Sprintf("%s: %s (confidence %.2f)", s.When, strings.Join(parts, ", "), s.Confidence)
 }
 
+// planQuerySQL is the per-time-point best-candidate lookup. The time is a
+// parameter, so one compiled statement (and the candidates(time) index)
+// serves every t of every session.
+const planQuerySQL = "SELECT * FROM candidates WHERE time = ? ORDER BY p DESC LIMIT 1"
+
 // BestPlanAt returns the highest-confidence candidate at time t as a
 // structured plan step, or nil when no candidate exists at t.
 func (sess *Session) BestPlanAt(t int) (*PlanStep, error) {
 	if t < 0 || t > sess.sys.cfg.T {
 		return nil, fmt.Errorf("core: time %d outside [0,%d]", t, sess.sys.cfg.T)
 	}
-	res, err := sess.db.Query(fmt.Sprintf(
-		"SELECT * FROM candidates WHERE time = %d ORDER BY p DESC LIMIT 1", t))
+	st, err := sess.sys.prepared(planQuerySQL)
+	if err != nil {
+		return nil, err
+	}
+	res, err := st.Query(sess.db, sqldb.Int(int64(t)))
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"justintime/internal/sqldb"
 )
 
 // QuestionKind enumerates the predefined questions of the paper's
@@ -82,20 +84,23 @@ func Questions(feature string, alpha float64) []Question {
 	}
 }
 
-// SQL translates the question into the SQL executed against the session
-// database, following the paper's Figure 2 templates.
-func (sess *Session) questionSQL(q Question) (string, error) {
+// questionSQL translates the question into the SQL executed against the
+// session database, following the paper's Figure 2 templates. Runtime
+// values (alpha) become `?` parameters so the statement text — and thus its
+// compiled form in the System statement cache — is shared across all users;
+// only identifiers (the dominant feature's column name) are interpolated.
+func (sess *Session) questionSQL(q Question) (string, []sqldb.Value, error) {
 	switch q.Kind {
 	case QNoModification:
-		return "SELECT Min(time) FROM candidates WHERE diff = 0", nil
+		return "SELECT Min(time) FROM candidates WHERE diff = 0", nil, nil
 	case QMinimalFeatures:
 		// Figure 2 orders by gap alone; diff is added as a deterministic
 		// tie-break so "the smallest set" is also the cheapest one.
-		return "SELECT * FROM candidates ORDER BY gap, diff LIMIT 1", nil
+		return "SELECT * FROM candidates ORDER BY gap, diff LIMIT 1", nil, nil
 	case QDominantFeature:
 		f := strings.ToLower(strings.TrimSpace(q.Feature))
 		if _, ok := sess.sys.cfg.Schema.Index(f); !ok {
-			return "", fmt.Errorf("core: dominant-feature question: unknown feature %q", q.Feature)
+			return "", nil, fmt.Errorf("core: dominant-feature question: unknown feature %q", q.Feature)
 		}
 		return fmt.Sprintf(`SELECT distinct time as t
 FROM candidates
@@ -106,21 +111,22 @@ WHERE EXISTS
  ON ti.time = cnd.time
  WHERE cnd.time = t
  AND ((gap = 0) OR (gap = 1 AND cnd.%s != ti.%s)))
-ORDER BY t`, f, f), nil
+ORDER BY t`, f, f), nil, nil
 	case QMinimalOverall:
-		return "SELECT Min(diff) FROM candidates", nil
+		return "SELECT Min(diff) FROM candidates", nil, nil
 	case QMaximalConfidence:
-		return "SELECT * FROM candidates ORDER BY p DESC LIMIT 1", nil
+		return "SELECT * FROM candidates ORDER BY p DESC LIMIT 1", nil, nil
 	case QTurningPoint:
 		if q.Alpha < 0 || q.Alpha >= 1 {
-			return "", fmt.Errorf("core: turning-point question: alpha %g outside [0,1)", q.Alpha)
+			return "", nil, fmt.Errorf("core: turning-point question: alpha %g outside [0,1)", q.Alpha)
 		}
 		// Earliest time with a strong candidate that is later than every
 		// time lacking one.
-		return fmt.Sprintf(`SELECT Min(time) FROM candidates WHERE p > %g AND time > ALL
+		return `SELECT Min(time) FROM candidates WHERE p > ? AND time > ALL
 (SELECT ti.time FROM temporal_inputs ti WHERE NOT EXISTS
- (SELECT * FROM candidates c WHERE c.time = ti.time AND c.p > %g))`, q.Alpha, q.Alpha), nil
+ (SELECT * FROM candidates c WHERE c.time = ti.time AND c.p > ?))`,
+			[]sqldb.Value{sqldb.Float(q.Alpha), sqldb.Float(q.Alpha)}, nil
 	default:
-		return "", fmt.Errorf("core: unknown question kind %d", q.Kind)
+		return "", nil, fmt.Errorf("core: unknown question kind %d", q.Kind)
 	}
 }

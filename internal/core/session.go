@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"strings"
 	"sync"
 
 	"justintime/internal/candgen"
@@ -28,6 +28,18 @@ type Session struct {
 // under the conjunction of domain and user constraints, and loads the
 // results into a fresh relational database.
 func (s *System) NewSession(profile []float64, user *constraints.Set) (*Session, error) {
+	return s.NewSessionContext(context.Background(), profile, user)
+}
+
+// NewSessionContext is NewSession under a context: when ctx is cancelled
+// (a disconnected client, a server shutdown, a deadline), the candidate
+// generators observe it at their next beam iteration, every worker
+// goroutine exits, and the call returns an error wrapping ctx.Err() — no
+// goroutine keeps burning CPU for an abandoned session.
+func (s *System) NewSessionContext(ctx context.Context, profile []float64, user *constraints.Set) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.cfg.Schema.Validate(profile); err != nil {
 		return nil, fmt.Errorf("core: profile: %w", err)
 	}
@@ -46,7 +58,11 @@ func (s *System) NewSession(profile []float64, user *constraints.Set) (*Session,
 	}
 
 	// Run the candidate generators; they are independent of each other
-	// (Section II-B) and can execute concurrently.
+	// (Section II-B) and can execute concurrently. The derived context
+	// lets the first failure cancel the sibling searches: their results
+	// would be discarded anyway, so they should stop burning CPU.
+	ctx, cancelSiblings := context.WithCancel(ctx)
+	defer cancelSiblings()
 	results := make([][]candgen.Candidate, s.cfg.T+1)
 	workers := s.cfg.Workers
 	if workers <= 0 {
@@ -56,15 +72,28 @@ func (s *System) NewSession(profile []float64, user *constraints.Set) (*Session,
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancelSiblings()
+	}
 	for t := 0; t <= s.cfg.T; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				fail(fmt.Errorf("core: session cancelled: %w", ctx.Err()))
+				return
+			}
 			defer func() { <-sem }()
 			cfg := s.cfg.CandGen
 			cfg.Seed = cfg.Seed*31 + int64(t) // deterministic, distinct per t
-			cands, st, err := candgen.Generate(candgen.Problem{
+			cands, st, err := candgen.GenerateContext(ctx, candgen.Problem{
 				Schema:      s.cfg.Schema,
 				Model:       s.models[t].Model,
 				Threshold:   s.models[t].Threshold,
@@ -73,11 +102,7 @@ func (s *System) NewSession(profile []float64, user *constraints.Set) (*Session,
 				Time:        t,
 			}, cfg)
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("core: generator at t=%d: %w", t, err)
-				}
-				mu.Unlock()
+				fail(fmt.Errorf("core: generator at t=%d: %w", t, err))
 				return
 			}
 			results[t] = cands
@@ -88,6 +113,9 @@ func (s *System) NewSession(profile []float64, user *constraints.Set) (*Session,
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: session cancelled: %w", err)
+	}
 
 	if err := sess.loadDatabase(results); err != nil {
 		return nil, err
@@ -96,19 +124,36 @@ func (s *System) NewSession(profile []float64, user *constraints.Set) (*Session,
 }
 
 // loadDatabase creates and fills the session's temporal_inputs and
-// candidates tables.
+// candidates tables. Tables and indexes register directly against the
+// catalog (no SQL text is built or parsed), and candidates(time) — the
+// column every canned question and plan lookup filters on — gets a
+// secondary index automatically.
 func (sess *Session) loadDatabase(results [][]candgen.Candidate) error {
 	schema := sess.sys.cfg.Schema
 	db := sqldb.New()
 
-	var cols strings.Builder
+	tiCols := make([]sqldb.Column, 0, 1+schema.Dim())
+	tiCols = append(tiCols, sqldb.Column{Name: "time", Type: sqldb.IntType})
 	for _, name := range schema.Names() {
-		fmt.Fprintf(&cols, ", %s FLOAT", name)
+		tiCols = append(tiCols, sqldb.Column{Name: name, Type: sqldb.FloatType})
 	}
-	if _, err := db.Exec(fmt.Sprintf("CREATE TABLE temporal_inputs (time INT%s)", cols.String())); err != nil {
+	candCols := make([]sqldb.Column, 0, len(tiCols)+3)
+	candCols = append(candCols, tiCols...)
+	candCols = append(candCols,
+		sqldb.Column{Name: "diff", Type: sqldb.FloatType},
+		sqldb.Column{Name: "gap", Type: sqldb.IntType},
+		sqldb.Column{Name: "p", Type: sqldb.FloatType},
+	)
+	if err := db.CreateTable("temporal_inputs", tiCols); err != nil {
 		return err
 	}
-	if _, err := db.Exec(fmt.Sprintf("CREATE TABLE candidates (time INT%s, diff FLOAT, gap INT, p FLOAT)", cols.String())); err != nil {
+	if err := db.CreateTable("candidates", candCols); err != nil {
+		return err
+	}
+	if err := db.CreateIndex("temporal_inputs_time", "temporal_inputs", "time"); err != nil {
+		return err
+	}
+	if err := db.CreateIndex("candidates_time", "candidates", "time"); err != nil {
 		return err
 	}
 
@@ -162,7 +207,11 @@ func (sess *Session) GenStats() []candgen.Stats {
 
 // CandidateCount returns the total number of stored candidates.
 func (sess *Session) CandidateCount() (int, error) {
-	res, err := sess.db.Query("SELECT COUNT(*) FROM candidates")
+	st, err := sess.sys.prepared("SELECT COUNT(*) FROM candidates")
+	if err != nil {
+		return 0, err
+	}
+	res, err := st.Query(sess.db)
 	if err != nil {
 		return 0, err
 	}

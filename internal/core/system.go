@@ -10,11 +10,13 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"justintime/internal/candgen"
 	"justintime/internal/constraints"
 	"justintime/internal/drift"
 	"justintime/internal/feature"
+	"justintime/internal/sqldb"
 	"justintime/internal/temporal"
 )
 
@@ -76,11 +78,41 @@ func (c Config) validate() error {
 
 // System is a configured JustInTime instance: the trained model sequence
 // plus everything shared across users. Create sessions per applicant with
-// NewSession.
+// NewSession. A System is safe for concurrent use by many sessions.
 type System struct {
 	cfg     Config
 	models  []drift.TimedModel
 	updater *temporal.Updater
+
+	// stmts caches compiled statements (canned questions, the plan query)
+	// keyed by SQL text, so each parses once per process instead of once
+	// per ask. Compiled statements are database-independent: one entry
+	// serves every session's database.
+	stmtMu sync.RWMutex
+	stmts  map[string]*sqldb.Stmt
+}
+
+// prepared returns the cached compiled statement for sql, compiling it on
+// first use.
+func (s *System) prepared(sql string) (*sqldb.Stmt, error) {
+	s.stmtMu.RLock()
+	st := s.stmts[sql]
+	s.stmtMu.RUnlock()
+	if st != nil {
+		return st, nil
+	}
+	st, err := sqldb.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.stmtMu.Lock()
+	if prev, ok := s.stmts[sql]; ok {
+		st = prev // lost the race; keep the canonical copy
+	} else {
+		s.stmts[sql] = st
+	}
+	s.stmtMu.Unlock()
+	return st, nil
 }
 
 // NewSystem validates the configuration and trains the model sequence
@@ -107,7 +139,7 @@ func NewSystem(cfg Config, history []drift.Era) (*System, error) {
 	if len(models) != cfg.T+1 {
 		return nil, fmt.Errorf("core: generator returned %d models, want %d", len(models), cfg.T+1)
 	}
-	return &System{cfg: cfg, models: models, updater: updater}, nil
+	return &System{cfg: cfg, models: models, updater: updater, stmts: make(map[string]*sqldb.Stmt)}, nil
 }
 
 // Config returns the system configuration.

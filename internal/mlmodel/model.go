@@ -75,6 +75,10 @@ func (c ConstantModel) Name() string { return fmt.Sprintf("constant(%.2f)", c.P)
 type Mapped struct {
 	Inner Model
 	// Map transforms a raw input into the inner model's feature space.
+	// It must return a freshly allocated (or otherwise retained-safe)
+	// slice on every call: PredictBatch transforms the whole batch before
+	// scoring, so a transform that reuses one output buffer would alias
+	// every row to the last one.
 	Map func(x []float64) []float64
 	// Label annotates Name(); optional.
 	Label string

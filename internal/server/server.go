@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
+	"time"
 
 	"justintime/internal/constraints"
 	"justintime/internal/core"
@@ -19,25 +19,54 @@ import (
 	"justintime/internal/sqldb"
 )
 
-// Server is an http.Handler serving the demo API.
-type Server struct {
-	sys *core.System
-	mux *http.ServeMux
-
-	mu       sync.Mutex
-	sessions map[string]*core.Session
-	nextID   int
+// Config bounds the server's resource usage per deployment.
+type Config struct {
+	// MaxSessions caps live sessions; at capacity the least recently used
+	// session is evicted. <= 0 selects 1024.
+	MaxSessions int
+	// SessionTTL is the idle lifetime of a session; a session untouched
+	// for longer is dropped. <= 0 selects 30 minutes.
+	SessionTTL time.Duration
+	// MaxSQLRows caps the rows returned by the expert SQL endpoint (the
+	// response carries "truncated": true past the cap). <= 0 selects 10000.
+	MaxSQLRows int
 }
 
-// New builds a Server around a configured system.
-func New(sys *core.System) *Server {
-	s := &Server{sys: sys, sessions: make(map[string]*core.Session)}
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.MaxSQLRows <= 0 {
+		c.MaxSQLRows = 10000
+	}
+	return c
+}
+
+// Server is an http.Handler serving the demo API.
+type Server struct {
+	sys      *core.System
+	cfg      Config
+	mux      *http.ServeMux
+	sessions *sessionManager
+}
+
+// New builds a Server around a configured system with default limits.
+func New(sys *core.System) *Server { return NewWithConfig(sys, Config{}) }
+
+// NewWithConfig builds a Server with explicit session/query limits.
+func NewWithConfig(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{sys: sys, cfg: cfg, sessions: newSessionManager(cfg.MaxSessions, cfg.SessionTTL)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/schema", s.handleSchema)
 	mux.HandleFunc("GET /api/models", s.handleModels)
 	mux.HandleFunc("GET /api/profiles", s.handleProfiles)
 	mux.HandleFunc("GET /api/questions", s.handleQuestions)
 	mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
+	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("GET /api/sessions/{id}/inputs", s.handleInputs)
 	mux.HandleFunc("GET /api/sessions/{id}/plan", s.handlePlan)
 	mux.HandleFunc("POST /api/sessions/{id}/ask", s.handleAsk)
@@ -61,11 +90,9 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (*core.Session, bool) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	sess, ok := s.sessions[id]
-	s.mu.Unlock()
+	sess, ok := s.sessions.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", id))
 		return nil, false
 	}
 	return sess, true
@@ -174,17 +201,25 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 		prefs.Add(c)
 	}
-	sess, err := s.sys.NewSession(profile, prefs)
+	// Session creation is the expensive step (T+1 beam searches); run it
+	// under the request context so a disconnected client cancels the
+	// generators instead of leaving them burning CPU.
+	sess, err := s.sys.NewSessionContext(r.Context(), profile, prefs)
 	if err != nil {
+		if r.Context().Err() != nil {
+			return // client is gone; nobody reads the response
+		}
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("s%d", s.nextID)
-	s.sessions[id] = sess
-	s.mu.Unlock()
+	// Count before registering: a failure here must not leave an orphaned
+	// session occupying a cap slot under an ID the client never saw.
 	n, err := sess.CandidateCount()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	id, err := s.sessions.add(sess)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -195,12 +230,24 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.sessions.remove(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// inputsStmt is compiled once per process, like the canned questions.
+var inputsStmt = sqldb.MustPrepare("SELECT * FROM temporal_inputs ORDER BY time")
+
 func (s *Server) handleInputs(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(w, r)
 	if !ok {
 		return
 	}
-	res, err := sess.SQL("SELECT * FROM temporal_inputs ORDER BY time")
+	res, err := inputsStmt.Query(sess.DB())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -273,12 +320,31 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty query"))
 		return
 	}
-	res, err := sess.SQL(req.Query)
+	// Parse once: a malformed statement reports 422, a well-formed
+	// non-SELECT is rejected with 400 (the endpoint is read-only by
+	// contract), and a SELECT executes from the already-compiled form.
+	st, err := sqldb.Prepare(req.Query)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resultJSON(res))
+	if !st.IsSelect() {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("expert SQL endpoint accepts SELECT statements only"))
+		return
+	}
+	res, err := st.Query(sess.DB())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	truncated := false
+	if len(res.Rows) > s.cfg.MaxSQLRows {
+		res.Rows = res.Rows[:s.cfg.MaxSQLRows]
+		truncated = true
+	}
+	out := resultJSON(res)
+	out["truncated"] = truncated
+	writeJSON(w, http.StatusOK, out)
 }
 
 // resultJSON converts a query result to a JSON-friendly shape (NULL -> nil).

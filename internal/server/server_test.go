@@ -248,10 +248,12 @@ func TestSessionErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty sql: %d", resp.StatusCode)
 	}
-	// Writes rejected through the expert endpoint.
-	resp, _ = postJSON(t, srv.URL+"/api/sessions/"+id+"/sql", map[string]string{"query": "DELETE FROM candidates"})
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("DML through sql endpoint: %d", resp.StatusCode)
+	// Writes rejected up front through the expert endpoint.
+	for _, q := range []string{"DELETE FROM candidates", "DROP TABLE candidates", "UPDATE candidates SET p = 1", "INSERT INTO candidates VALUES (1)"} {
+		resp, _ = postJSON(t, srv.URL+"/api/sessions/"+id+"/sql", map[string]string{"query": q})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("non-SELECT %q through sql endpoint: %d", q, resp.StatusCode)
+		}
 	}
 }
 

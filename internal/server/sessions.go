@@ -1,0 +1,132 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"justintime/internal/core"
+)
+
+// newSessionID returns an unguessable session identifier (128 bits from
+// crypto/rand). Session IDs are capability tokens — whoever holds one can
+// read the applicant's whole candidates database — so they must not be
+// enumerable the way sequential IDs are.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generating session id: %w", err)
+	}
+	return "s-" + hex.EncodeToString(b[:]), nil
+}
+
+// sessionEntry is one live session with its LRU bookkeeping.
+type sessionEntry struct {
+	sess     *core.Session
+	lastUsed time.Time
+}
+
+// sessionManager owns the server's session lifecycle: unguessable IDs, an
+// idle TTL, and a hard cap enforced by least-recently-used eviction, so a
+// long-running daemon serving many users holds a bounded number of
+// candidate databases in memory. Expired entries are swept on every add
+// and get, so memory tracks the live session count without a background
+// goroutine (an idle daemon frees its sessions on the next request of any
+// kind that touches the store).
+type sessionManager struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	now     func() time.Time // test hook
+	entries map[string]*sessionEntry
+}
+
+func newSessionManager(max int, ttl time.Duration) *sessionManager {
+	if max < 1 {
+		max = 1 // a non-positive cap would make add's eviction loop spin
+	}
+	return &sessionManager{
+		max:     max,
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[string]*sessionEntry),
+	}
+}
+
+// add registers sess under a fresh random ID and returns the ID. Expired
+// sessions are swept first; if the store is still at capacity, the least
+// recently used session is evicted — new applicants always get in.
+func (m *sessionManager) add(sess *core.Session) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.sweepLocked(now)
+	for len(m.entries) >= m.max {
+		m.evictLRULocked()
+	}
+	id, err := newSessionID()
+	if err != nil {
+		return "", err
+	}
+	m.entries[id] = &sessionEntry{sess: sess, lastUsed: now}
+	return id, nil
+}
+
+// get returns the session for id and marks it used; an expired or unknown
+// id reports false. Every get also sweeps all expired entries so an idle
+// daemon's memory shrinks with its live session count, not its peak.
+func (m *sessionManager) get(id string) (*core.Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.sweepLocked(now)
+	e, ok := m.entries[id]
+	if !ok {
+		return nil, false
+	}
+	e.lastUsed = now
+	return e.sess, true
+}
+
+// remove deletes the session, reporting whether it existed (and had not
+// expired).
+func (m *sessionManager) remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[id]
+	if ok && m.now().Sub(e.lastUsed) > m.ttl {
+		ok = false
+	}
+	delete(m.entries, id)
+	return ok
+}
+
+// count returns the number of stored (possibly expired) sessions.
+func (m *sessionManager) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+func (m *sessionManager) sweepLocked(now time.Time) {
+	for id, e := range m.entries {
+		if now.Sub(e.lastUsed) > m.ttl {
+			delete(m.entries, id)
+		}
+	}
+}
+
+func (m *sessionManager) evictLRULocked() {
+	oldestID := ""
+	var oldest time.Time
+	for id, e := range m.entries {
+		if oldestID == "" || e.lastUsed.Before(oldest) {
+			oldestID, oldest = id, e.lastUsed
+		}
+	}
+	if oldestID != "" {
+		delete(m.entries, oldestID)
+	}
+}

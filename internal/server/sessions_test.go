@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSessionIDsAreUnguessable(t *testing.T) {
+	m := newSessionManager(10, time.Minute)
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		id, err := m.add(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(id, "s-") || len(id) != 2+32 {
+			t.Fatalf("id %q is not 128 bits of hex", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+		if id == fmt.Sprintf("s%d", i+1) {
+			t.Fatalf("id %q looks sequential", id)
+		}
+	}
+}
+
+func TestSessionManagerTTL(t *testing.T) {
+	m := newSessionManager(10, time.Minute)
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+	id, err := m.add(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.get(id); !ok {
+		t.Fatal("fresh session should resolve")
+	}
+	now = now.Add(30 * time.Second)
+	if _, ok := m.get(id); !ok {
+		t.Fatal("session used within TTL should resolve")
+	}
+	// The get above refreshed lastUsed; idle past the TTL expires it.
+	now = now.Add(time.Minute + time.Second)
+	if _, ok := m.get(id); ok {
+		t.Fatal("idle session should expire")
+	}
+	if m.count() != 0 {
+		t.Fatalf("expired session should be dropped, count = %d", m.count())
+	}
+}
+
+func TestSessionManagerLRUCap(t *testing.T) {
+	m := newSessionManager(2, time.Hour)
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+	a, _ := m.add(nil)
+	now = now.Add(time.Second)
+	b, _ := m.add(nil)
+	now = now.Add(time.Second)
+	// Touch a so b becomes the least recently used.
+	if _, ok := m.get(a); !ok {
+		t.Fatal("a should resolve")
+	}
+	now = now.Add(time.Second)
+	c, _ := m.add(nil)
+	if m.count() != 2 {
+		t.Fatalf("count = %d, want 2 (cap)", m.count())
+	}
+	if _, ok := m.get(b); ok {
+		t.Fatal("b (LRU) should have been evicted")
+	}
+	for _, id := range []string{a, c} {
+		if _, ok := m.get(id); !ok {
+			t.Fatalf("%s should survive", id)
+		}
+	}
+}
+
+func TestSessionManagerRemove(t *testing.T) {
+	m := newSessionManager(10, time.Hour)
+	id, _ := m.add(nil)
+	if !m.remove(id) {
+		t.Fatal("remove of a live session should report true")
+	}
+	if m.remove(id) {
+		t.Fatal("double remove should report false")
+	}
+}
+
+func TestDeleteSessionEndpoint(t *testing.T) {
+	srv := testServer(t)
+	id := createSession(t, srv, nil)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/sessions/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	resp2, _ := getJSON(t, srv.URL+"/api/sessions/"+id+"/plan")
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted session should 404, got %d", resp2.StatusCode)
+	}
+}
+
+func TestSQLRowLimit(t *testing.T) {
+	srv := httptest.NewServer(NewWithConfig(demoSystem(t), Config{MaxSQLRows: 2}))
+	t.Cleanup(srv.Close)
+	id := createSession(t, srv, nil)
+	resp, out := postJSON(t, srv.URL+"/api/sessions/"+id+"/sql",
+		map[string]string{"query": "SELECT * FROM candidates"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sql: %d %v", resp.StatusCode, out)
+	}
+	rows, _ := out["rows"].([]interface{})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want the 2-row cap", len(rows))
+	}
+	if out["truncated"] != true {
+		t.Fatalf("truncated = %v", out["truncated"])
+	}
+	// Under the cap the flag stays false.
+	_, out = postJSON(t, srv.URL+"/api/sessions/"+id+"/sql",
+		map[string]string{"query": "SELECT COUNT(*) FROM candidates"})
+	if out["truncated"] != false {
+		t.Fatalf("small result truncated = %v", out["truncated"])
+	}
+}
+
+// TestConcurrentQueriesOnSharedSession hammers one session from many
+// goroutines mixing canned questions, free SQL and plan lookups (run under
+// -race): readers must proceed concurrently without corrupting state.
+func TestConcurrentQueriesOnSharedSession(t *testing.T) {
+	srv := testServer(t)
+	id := createSession(t, srv, nil)
+
+	kinds := []string{
+		"no-modification", "minimal-features-set", "dominant-feature",
+		"minimal-overall-modification", "maximal-confidence", "turning-point",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					body, _ := json.Marshal(map[string]interface{}{
+						"kind": kinds[(g+i)%len(kinds)], "feature": "income", "alpha": 0.7,
+					})
+					resp, err := http.Post(srv.URL+"/api/sessions/"+id+"/ask", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("ask: status %d", resp.StatusCode)
+					}
+				case 1:
+					body, _ := json.Marshal(map[string]string{"query": "SELECT time, COUNT(*) FROM candidates WHERE time >= 0 GROUP BY time"})
+					resp, err := http.Post(srv.URL+"/api/sessions/"+id+"/sql", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("sql: status %d", resp.StatusCode)
+					}
+				default:
+					resp, err := http.Get(srv.URL + "/api/sessions/" + id + "/plan")
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("plan: status %d", resp.StatusCode)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

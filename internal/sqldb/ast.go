@@ -45,6 +45,20 @@ type DropTableStmt struct {
 	IfExists bool
 }
 
+// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table (column).
+type CreateIndexStmt struct {
+	Name        string
+	Table       string
+	Column      string
+	IfNotExists bool
+}
+
+// DropIndexStmt is DROP INDEX [IF EXISTS] name.
+type DropIndexStmt struct {
+	Name     string
+	IfExists bool
+}
+
 // SelectStmt is a full SELECT query.
 type SelectStmt struct {
 	Distinct bool
@@ -86,6 +100,8 @@ func (*InsertStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*DropTableStmt) stmt()   {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropIndexStmt) stmt()   {}
 func (*SelectStmt) stmt()      {}
 
 // Expr is any SQL expression node.
@@ -100,6 +116,13 @@ type Literal struct {
 type ColumnRef struct {
 	Table  string // empty if unqualified
 	Column string
+}
+
+// ParamExpr is a positional `?` placeholder, bound at execution time by the
+// arguments of DB.Query, DB.Exec, Stmt.Query or Stmt.Exec. Index counts
+// placeholders left to right from 0.
+type ParamExpr struct {
+	Index int
 }
 
 // BinaryExpr is a binary operation. Op is one of
@@ -178,6 +201,7 @@ type CaseWhen struct {
 
 func (*Literal) expr()      {}
 func (*ColumnRef) expr()    {}
+func (*ParamExpr) expr()    {}
 func (*BinaryExpr) expr()   {}
 func (*UnaryExpr) expr()    {}
 func (*FuncCall) expr()     {}

@@ -103,6 +103,59 @@ func BenchmarkCorrelatedExists(b *testing.B) {
 	}
 }
 
+// BenchmarkCannedQuestion compares the seed ask path (parse the SQL on
+// every ask, full-scan candidates) against the engine path (statement
+// prepared once, candidates(time) answered through the secondary index) on
+// the plan-style per-time-point lookup. The acceptance bar for the indexed
+// + prepared path is >= 2x the seed path.
+func BenchmarkCannedQuestion(b *testing.B) {
+	const rows, times = 10000, 64
+	b.Run("seed/scan+reparse", func(b *testing.B) {
+		db := benchDB(rows, times)
+		db.DisableIndexScan = true
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf("SELECT * FROM candidates WHERE time = %d ORDER BY p DESC LIMIT 1", i%times)
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine/indexed+prepared", func(b *testing.B) {
+		db := benchDB(rows, times)
+		db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
+		st := MustPrepare("SELECT * FROM candidates WHERE time = ? ORDER BY p DESC LIMIT 1")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Query(db, Int(int64(i%times))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIndexRange isolates the sorted-key range path against the
+// equivalent full scan.
+func BenchmarkIndexRange(b *testing.B) {
+	const q = "SELECT COUNT(*), AVG(p) FROM candidates WHERE time BETWEEN 10 AND 12"
+	for _, indexed := range []bool{false, true} {
+		b.Run(fmt.Sprintf("indexed=%v", indexed), func(b *testing.B) {
+			db := benchDB(10000, 64)
+			if indexed {
+				db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
+			} else {
+				db.DisableIndexScan = true
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkInsertSQL(b *testing.B) {
 	db := New()
 	db.MustExec("CREATE TABLE t (a INT, b FLOAT)")

@@ -13,12 +13,18 @@ type Column struct {
 	Type Type
 }
 
-// Table is an in-memory heap table.
+// Table is an in-memory heap table, optionally carrying secondary indexes.
 type Table struct {
 	Name   string
 	Cols   []Column
 	colIdx map[string]int
 	rows   [][]Value
+
+	// version counts row mutations (insert/delete/update); secondary
+	// indexes compare it against the version they were built at and
+	// rebuild lazily when stale.
+	version uint64
+	indexes []*tableIndex
 }
 
 func newTable(name string, cols []Column) (*Table, error) {
@@ -35,7 +41,17 @@ func newTable(name string, cols []Column) (*Table, error) {
 		}
 		idx[c.Name] = i
 	}
-	return &Table{Name: name, Cols: cols, colIdx: idx}, nil
+	return &Table{Name: name, Cols: cols, colIdx: idx, version: 1}, nil
+}
+
+// indexOn returns the table's index over column col, if any.
+func (t *Table) indexOn(col int) *tableIndex {
+	for _, ix := range t.indexes {
+		if ix.col == col {
+			return ix
+		}
+	}
+	return nil
 }
 
 // RowCount returns the number of stored rows.
@@ -50,8 +66,19 @@ func (t *Table) columnNames() []string {
 	return out
 }
 
-// DB is an in-memory SQL database. It is safe for concurrent use: queries
-// take a read lock, statements a write lock.
+// DB is an in-memory SQL database.
+//
+// Concurrency contract: a DB is safe for concurrent use by many goroutines.
+// Query and Stmt.Query acquire a shared (read) lock, so any number of
+// readers execute concurrently against one database — this is how many
+// requests query a single applicant session at once. Exec, Stmt.Exec,
+// InsertRows, CreateTable and CreateIndex acquire the exclusive (write)
+// lock and serialize against all readers. Secondary indexes rebuild lazily
+// on first use after a mutation; the rebuild is internally synchronized and
+// safe under concurrent readers. Prepared statements (Prepare) are
+// immutable after compilation and may be shared freely across goroutines
+// and databases. The knob fields (DisableHashJoin, DisableIndexScan) are
+// not synchronized: set them before the database is shared.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -59,6 +86,11 @@ type DB struct {
 	// DisableHashJoin forces nested-loop joins; used by the join ablation
 	// benchmark. Set before issuing queries.
 	DisableHashJoin bool
+
+	// DisableIndexScan forces full scans even where a secondary index
+	// could answer a WHERE conjunct; used by the index ablation benchmark
+	// and equivalence tests. Set before issuing queries.
+	DisableIndexScan bool
 }
 
 // New creates an empty database.
@@ -121,42 +153,45 @@ func (r *Result) Format() string {
 	return b.String()
 }
 
-// Query parses and executes a SELECT statement.
-func (db *DB) Query(sql string) (*Result, error) {
-	stmt, err := Parse(sql)
+// Query parses and executes a SELECT statement. Optional args bind `?`
+// placeholders positionally; hot paths should Prepare once and reuse the
+// compiled statement instead.
+func (db *DB) Query(sql string, args ...Value) (*Result, error) {
+	st, err := Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ex := &executor{db: db}
-	return ex.execSelect(sel, nil)
+	return st.Query(db, args...)
 }
 
 // Exec parses and executes a non-SELECT statement, returning the number of
-// rows affected (0 for DDL).
-func (db *DB) Exec(sql string) (int, error) {
-	stmt, err := Parse(sql)
+// rows affected (0 for DDL). Optional args bind `?` placeholders.
+func (db *DB) Exec(sql string, args ...Value) (int, error) {
+	st, err := Prepare(sql)
 	if err != nil {
 		return 0, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	return st.Exec(db, args...)
+}
+
+// execStatement runs a parsed non-SELECT statement under the already-held
+// write lock.
+func (db *DB) execStatement(stmt Statement, params []Value) (int, error) {
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		return 0, db.execCreate(s)
 	case *DropTableStmt:
 		return 0, db.execDrop(s)
+	case *CreateIndexStmt:
+		return 0, db.createIndexLocked(s.Name, s.Table, s.Column, s.IfNotExists)
+	case *DropIndexStmt:
+		return 0, db.dropIndexLocked(s.Name, s.IfExists)
 	case *InsertStmt:
-		return db.execInsert(s)
+		return db.execInsert(s, params)
 	case *DeleteStmt:
-		return db.execDelete(s)
+		return db.execDelete(s, params)
 	case *UpdateStmt:
-		return db.execUpdate(s)
+		return db.execUpdate(s, params)
 	case *SelectStmt:
 		return 0, fmt.Errorf("sqldb: use Query for SELECT statements")
 	default:
@@ -165,10 +200,92 @@ func (db *DB) Exec(sql string) (int, error) {
 }
 
 // MustExec is Exec that panics on error, for tests and fixtures.
-func (db *DB) MustExec(sql string) {
-	if _, err := db.Exec(sql); err != nil {
+func (db *DB) MustExec(sql string, args ...Value) {
+	if _, err := db.Exec(sql, args...); err != nil {
 		panic(err)
 	}
+}
+
+// CreateTable registers a table directly against the catalog, bypassing SQL
+// parsing. This is the typed fast path session loaders use.
+func (db *DB) CreateTable(name string, cols []Column) error {
+	t, err := newTable(name, cols)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; exists {
+		return fmt.Errorf("sqldb: table %q already exists", name)
+	}
+	db.tables[name] = t
+	return nil
+}
+
+// CreateIndex registers a secondary index named name over table.column. The
+// index serves equality lookups from a hash table and range scans from
+// sorted keys; it is built lazily on first use and rebuilt after mutations.
+func (db *DB) CreateIndex(name, table, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createIndexLocked(name, table, column, false)
+}
+
+func (db *DB) createIndexLocked(name, table, column string, ifNotExists bool) error {
+	if name == "" {
+		return fmt.Errorf("sqldb: index needs a name")
+	}
+	for _, t := range db.tables {
+		for _, ix := range t.indexes {
+			if ix.name == name {
+				if ifNotExists {
+					return nil
+				}
+				return fmt.Errorf("sqldb: index %q already exists", name)
+			}
+		}
+	}
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("sqldb: unknown table %q", table)
+	}
+	ci, ok := t.colIdx[column]
+	if !ok {
+		return fmt.Errorf("sqldb: table %q has no column %q", table, column)
+	}
+	t.indexes = append(t.indexes, &tableIndex{name: name, col: ci})
+	return nil
+}
+
+func (db *DB) dropIndexLocked(name string, ifExists bool) error {
+	for _, t := range db.tables {
+		for i, ix := range t.indexes {
+			if ix.name == name {
+				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+				return nil
+			}
+		}
+	}
+	if ifExists {
+		return nil
+	}
+	return fmt.Errorf("sqldb: unknown index %q", name)
+}
+
+// IndexNames returns the names of the table's secondary indexes, in column
+// order of creation.
+func (db *DB) IndexNames(table string) ([]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: unknown table %q", table)
+	}
+	out := make([]string, len(t.indexes))
+	for i, ix := range t.indexes {
+		out[i] = ix.name
+	}
+	return out, nil
 }
 
 // InsertRows bulk-loads pre-built values into a table, bypassing SQL parsing.
@@ -196,7 +313,10 @@ func (db *DB) InsertRows(table string, rows [][]Value) error {
 		}
 		prepared = append(prepared, stored)
 	}
-	t.rows = append(t.rows, prepared...)
+	if len(prepared) > 0 {
+		t.rows = append(t.rows, prepared...)
+		t.version++
+	}
 	return nil
 }
 
@@ -230,11 +350,20 @@ func (db *DB) execDrop(s *DropTableStmt) error {
 	return nil
 }
 
-func (db *DB) execInsert(s *InsertStmt) (int, error) {
+func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
 	t, ok := db.tables[s.Table]
 	if !ok {
 		return 0, fmt.Errorf("sqldb: unknown table %q", s.Table)
 	}
+	// Invalidate indexes only when rows were actually appended (partial
+	// inserts before an error count; pure failures must not force the
+	// next indexed query into a spurious rebuild).
+	n0 := len(t.rows)
+	defer func() {
+		if len(t.rows) != n0 {
+			t.version++
+		}
+	}()
 	// Map statement columns to table positions.
 	targets := make([]int, 0, len(t.Cols))
 	if s.Cols == nil {
@@ -250,7 +379,7 @@ func (db *DB) execInsert(s *InsertStmt) (int, error) {
 			targets = append(targets, i)
 		}
 	}
-	ex := &executor{db: db}
+	ex := &executor{db: db, params: params}
 	if s.Select != nil {
 		res, err := ex.execSelect(s.Select, nil)
 		if err != nil {
@@ -297,13 +426,16 @@ func (db *DB) execInsert(s *InsertStmt) (int, error) {
 	return inserted, nil
 }
 
-func (db *DB) execDelete(s *DeleteStmt) (int, error) {
+func (db *DB) execDelete(s *DeleteStmt, params []Value) (int, error) {
 	t, ok := db.tables[s.Table]
 	if !ok {
 		return 0, fmt.Errorf("sqldb: unknown table %q", s.Table)
 	}
-	ex := &executor{db: db}
-	kept := t.rows[:0]
+	ex := &executor{db: db, params: params}
+	// Evaluate the whole WHERE pass into a fresh slice before touching
+	// t.rows: an evaluation error mid-scan must leave the table unchanged
+	// (compacting in place would duplicate already-shifted rows).
+	kept := make([][]Value, 0, len(t.rows))
 	deleted := 0
 	for _, row := range t.rows {
 		keep := true
@@ -312,7 +444,7 @@ func (db *DB) execDelete(s *DeleteStmt) (int, error) {
 			scope.push(relationOf(t), row)
 			v, err := ex.eval(s.Where, scope)
 			if err != nil {
-				return deleted, err
+				return 0, err
 			}
 			keep = !isTrue(v)
 		} else {
@@ -324,11 +456,14 @@ func (db *DB) execDelete(s *DeleteStmt) (int, error) {
 			deleted++
 		}
 	}
-	t.rows = kept
+	if deleted > 0 {
+		t.rows = kept
+		t.version++
+	}
 	return deleted, nil
 }
 
-func (db *DB) execUpdate(s *UpdateStmt) (int, error) {
+func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
 	t, ok := db.tables[s.Table]
 	if !ok {
 		return 0, fmt.Errorf("sqldb: unknown table %q", s.Table)
@@ -341,15 +476,22 @@ func (db *DB) execUpdate(s *UpdateStmt) (int, error) {
 		}
 		cols[i] = ci
 	}
-	ex := &executor{db: db}
-	updated := 0
+	ex := &executor{db: db, params: params}
+	// Two passes: evaluate every row's assignments first, then write. An
+	// evaluation or coercion error mid-scan must leave the table unchanged
+	// rather than half-updated.
+	type pending struct {
+		row  []Value
+		vals []Value
+	}
+	var writes []pending
 	for _, row := range t.rows {
 		scope := newScope(nil)
 		scope.push(relationOf(t), row)
 		if s.Where != nil {
 			v, err := ex.eval(s.Where, scope)
 			if err != nil {
-				return updated, err
+				return 0, err
 			}
 			if !isTrue(v) {
 				continue
@@ -360,18 +502,23 @@ func (db *DB) execUpdate(s *UpdateStmt) (int, error) {
 		for i, e := range s.Exprs {
 			v, err := ex.eval(e, scope)
 			if err != nil {
-				return updated, err
+				return 0, err
 			}
 			cv, err := coerceTo(v, t.Cols[cols[i]].Type)
 			if err != nil {
-				return updated, fmt.Errorf("sqldb: column %q: %w", s.Cols[i], err)
+				return 0, fmt.Errorf("sqldb: column %q: %w", s.Cols[i], err)
 			}
 			newVals[i] = cv
 		}
-		for i, ci := range cols {
-			row[ci] = newVals[i]
-		}
-		updated++
+		writes = append(writes, pending{row: row, vals: newVals})
 	}
-	return updated, nil
+	for _, w := range writes {
+		for i, ci := range cols {
+			w.row[ci] = w.vals[i]
+		}
+	}
+	if len(writes) > 0 {
+		t.version++
+	}
+	return len(writes), nil
 }

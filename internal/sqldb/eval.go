@@ -69,9 +69,11 @@ func not3(v Value) Value {
 }
 
 // executor evaluates expressions and runs SELECT plans against a DB whose
-// lock is already held by the caller.
+// lock is already held by the caller. params holds the positional arguments
+// bound to `?` placeholders for this execution.
 type executor struct {
-	db *DB
+	db     *DB
+	params []Value
 }
 
 // eval evaluates e in the given scope (which may be nil for constant
@@ -80,6 +82,11 @@ func (ex *executor) eval(e Expr, sc *scope) (Value, error) {
 	switch n := e.(type) {
 	case *Literal:
 		return n.Val, nil
+	case *ParamExpr:
+		if n.Index >= len(ex.params) {
+			return Value{}, fmt.Errorf("sqldb: parameter ?%d is not bound (statement executed with %d argument(s))", n.Index+1, len(ex.params))
+		}
+		return ex.params[n.Index], nil
 	case *ColumnRef:
 		return ex.resolveColumn(n, sc)
 	case *UnaryExpr:

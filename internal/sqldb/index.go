@@ -1,0 +1,165 @@
+package sqldb
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// tableIndex is a secondary index over one column: a hash table from value
+// key to row positions for equality lookups, plus the distinct keys in
+// sorted order for range scans. NULLs are not indexed (no comparison
+// matches them).
+//
+// The index is built lazily: lookups call ensure, which compares the
+// version the index was built at against the table's mutation counter and
+// rebuilds when stale. Mutations happen only under the DB write lock, so
+// during any read-locked query the table version is frozen; the first
+// reader to touch a stale index rebuilds it under the index mutex while
+// later readers wait, then everyone reads the immutable built state.
+type tableIndex struct {
+	name string
+	col  int
+
+	mu      sync.Mutex
+	built   uint64 // table version the structures below reflect; 0 = never
+	hash    map[string][]int
+	keys    []Value // distinct non-null keys, sorted by Compare
+	keyRows [][]int // row positions per key, aligned with keys
+	// nan records that the column holds a NaN: Compare treats NaN as equal
+	// to every number, which neither the hash keys nor the sorted order
+	// can represent, so the index disables itself and scans keep parity.
+	nan bool
+}
+
+// indexKey normalizes a value for hash lookups so that values that compare
+// equal share a key across dynamic types (Int 3, Float 3.0 and Bool-as-1
+// all probe the same bucket, matching Compare semantics).
+func indexKey(v Value) (string, bool) {
+	if f, ok := v.AsFloat(); ok {
+		if f == 0 {
+			f = 0 // -0.0 compares equal to 0.0 but formats as "-0"
+		}
+		return Float(f).key(), true
+	}
+	if s, ok := v.AsText(); ok {
+		return Text(s).key(), true
+	}
+	return "", false
+}
+
+// ensure (re)builds the index if the table mutated since the last build.
+func (ix *tableIndex) ensure(t *Table) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.built == t.version {
+		return
+	}
+	hash := make(map[string][]int)
+	var keys []Value
+	var keyRows [][]int
+	nan := false
+	pos := make(map[string]int)
+	for ri, row := range t.rows {
+		v := row[ix.col]
+		if v.IsNull() {
+			continue
+		}
+		if f, isNum := v.AsFloat(); isNum && math.IsNaN(f) {
+			nan = true
+		}
+		k, ok := indexKey(v)
+		if !ok {
+			continue
+		}
+		if i, seen := pos[k]; seen {
+			keyRows[i] = append(keyRows[i], ri)
+		} else {
+			pos[k] = len(keys)
+			keys = append(keys, v)
+			keyRows = append(keyRows, []int{ri})
+		}
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		// Keys of one column share a comparable group (values are coerced
+		// to the column type on insert), so Compare cannot fail here.
+		c, _ := Compare(keys[order[a]], keys[order[b]])
+		return c < 0
+	})
+	sortedKeys := make([]Value, len(keys))
+	sortedRows := make([][]int, len(keys))
+	for i, o := range order {
+		sortedKeys[i] = keys[o]
+		sortedRows[i] = keyRows[o]
+		k, _ := indexKey(keys[o])
+		hash[k] = keyRows[o]
+	}
+	ix.hash = hash
+	ix.keys = sortedKeys
+	ix.keyRows = sortedRows
+	ix.nan = nan
+	ix.built = t.version
+}
+
+// lookupEqual returns the positions of rows whose key equals v. Call ensure
+// first. v must be comparable with the column (see comparableWith).
+func (ix *tableIndex) lookupEqual(v Value) []int {
+	k, ok := indexKey(v)
+	if !ok {
+		return nil
+	}
+	return ix.hash[k]
+}
+
+// lookupRange returns the positions of rows whose key lies between lo and
+// hi (nil bound = unbounded; strict excludes the bound). Call ensure first.
+func (ix *tableIndex) lookupRange(lo, hi *Value, loStrict, hiStrict bool) []int {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(ix.keys), func(i int) bool {
+			c, _ := Compare(ix.keys[i], *lo)
+			if loStrict {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	end := len(ix.keys)
+	if hi != nil {
+		end = sort.Search(len(ix.keys), func(i int) bool {
+			c, _ := Compare(ix.keys[i], *hi)
+			if hiStrict {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	var out []int
+	for i := start; i < end; i++ {
+		out = append(out, ix.keyRows[i]...)
+	}
+	return out
+}
+
+// comparableWith reports whether probing the index's column (declared type
+// colType) with v has well-defined Compare semantics. When it does not, the
+// caller must fall back to a full scan so type errors surface exactly as in
+// the unindexed path.
+func comparableWith(colType Type, v Value) bool {
+	switch colType {
+	case IntType, FloatType, BoolType:
+		f, ok := v.AsFloat()
+		// A NaN probe compares "equal" to every number under Compare;
+		// only the scan path reproduces that, so reject it here.
+		return ok && !math.IsNaN(f)
+	case TextType:
+		_, ok := v.AsText()
+		return ok
+	default:
+		return false
+	}
+}

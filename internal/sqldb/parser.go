@@ -9,26 +9,34 @@ import (
 // Parse parses a single SQL statement (an optional trailing semicolon is
 // allowed).
 func Parse(input string) (Statement, error) {
+	stmt, _, err := parseSQL(input)
+	return stmt, err
+}
+
+// parseSQL parses one statement and reports how many `?` placeholders it
+// contains.
+func parseSQL(input string) (Statement, int, error) {
 	toks, err := lex(input)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &parser{toks: toks, input: input}
 	stmt, err := p.parseStatement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.accept(tkSymbol, ";")
 	if !p.at(tkEOF, "") {
-		return nil, p.errorf("unexpected %q after statement", p.cur().text)
+		return nil, 0, p.errorf("unexpected %q after statement", p.cur().text)
 	}
-	return stmt, nil
+	return stmt, p.params, nil
 }
 
 type parser struct {
-	toks  []token
-	pos   int
-	input string
+	toks   []token
+	pos    int
+	input  string
+	params int // number of `?` placeholders seen so far
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -88,8 +96,21 @@ func (p *parser) parseIdent() (string, error) {
 	return "", p.errorf("expected identifier, got %q", p.cur().text)
 }
 
+// acceptIndexWord consumes the contextual keyword INDEX, which lexes as a
+// plain identifier so that columns named "index" keep working.
+func (p *parser) acceptIndexWord() bool {
+	if p.at(tkIdent, "") && strings.EqualFold(p.cur().text, "INDEX") {
+		p.next()
+		return true
+	}
+	return false
+}
+
 func (p *parser) parseCreate() (Statement, error) {
 	p.next() // CREATE
+	if p.acceptIndexWord() {
+		return p.parseCreateIndex()
+	}
 	if _, err := p.expect(tkKeyword, "TABLE"); err != nil {
 		return nil, err
 	}
@@ -129,6 +150,43 @@ func (p *parser) parseCreate() (Statement, error) {
 		return nil, err
 	}
 	return &CreateTableStmt{Name: name, Cols: cols, IfNotExists: ifNotExists}, nil
+}
+
+// parseCreateIndex parses the tail of CREATE INDEX [IF NOT EXISTS] name ON
+// table (column). Only single-column indexes are supported.
+func (p *parser) parseCreateIndex() (Statement, error) {
+	ifNotExists := false
+	if p.accept(tkKeyword, "IF") {
+		if _, err := p.expect(tkKeyword, "NOT"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkKeyword, "EXISTS"); err != nil {
+			return nil, err
+		}
+		ifNotExists = true
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Column: col, IfNotExists: ifNotExists}, nil
 }
 
 func (p *parser) parseColumnType() (Type, error) {
@@ -282,6 +340,20 @@ func (p *parser) parseUpdate() (Statement, error) {
 
 func (p *parser) parseDrop() (Statement, error) {
 	p.next() // DROP
+	if p.acceptIndexWord() {
+		ifExists := false
+		if p.accept(tkKeyword, "IF") {
+			if _, err := p.expect(tkKeyword, "EXISTS"); err != nil {
+				return nil, err
+			}
+			ifExists = true
+		}
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndexStmt{Name: name, IfExists: ifExists}, nil
+	}
 	if _, err := p.expect(tkKeyword, "TABLE"); err != nil {
 		return nil, err
 	}
@@ -745,6 +817,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case t.kind == tkString:
 		p.next()
 		return &Literal{Val: Text(t.text)}, nil
+	case t.kind == tkSymbol && t.text == "?":
+		p.next()
+		e := &ParamExpr{Index: p.params}
+		p.params++
+		return e, nil
 	case t.kind == tkKeyword && t.text == "NULL":
 		p.next()
 		return &Literal{Val: Null()}, nil

@@ -1,0 +1,86 @@
+package sqldb
+
+import "fmt"
+
+// Stmt is a compiled SQL statement: the parse happens once, at Prepare time,
+// and every execution reuses the AST. A Stmt is bound to no particular
+// database — the same compiled statement may be executed against any number
+// of DBs (the canned questions are compiled once per process and run against
+// every applicant session's database). A Stmt is immutable after Prepare and
+// safe for concurrent use.
+type Stmt struct {
+	sql       string
+	stmt      Statement
+	numParams int
+}
+
+// Prepare compiles a single SQL statement. `?` placeholders become
+// positional parameters bound by the args of Query/Exec.
+func Prepare(sql string) (*Stmt, error) {
+	stmt, nparams, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sql: sql, stmt: stmt, numParams: nparams}, nil
+}
+
+// MustPrepare is Prepare that panics on error, for statements fixed at
+// compile time.
+func MustPrepare(sql string) *Stmt {
+	st, err := Prepare(sql)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// Prepare compiles a statement. The result is not bound to the receiver:
+// like the package-level Prepare, the compiled statement runs against any
+// database.
+func (db *DB) Prepare(sql string) (*Stmt, error) { return Prepare(sql) }
+
+// SQL returns the statement's source text.
+func (st *Stmt) SQL() string { return st.sql }
+
+// IsSelect reports whether the statement is a SELECT (executable via Query;
+// anything else goes through Exec).
+func (st *Stmt) IsSelect() bool {
+	_, ok := st.stmt.(*SelectStmt)
+	return ok
+}
+
+// NumParams returns the number of `?` placeholders.
+func (st *Stmt) NumParams() int { return st.numParams }
+
+func (st *Stmt) checkArgs(args []Value) error {
+	if len(args) != st.numParams {
+		return fmt.Errorf("sqldb: statement has %d parameter(s), got %d argument(s)", st.numParams, len(args))
+	}
+	return nil
+}
+
+// Query executes a prepared SELECT against db under its read lock.
+func (st *Stmt) Query(db *DB, args ...Value) (*Result, error) {
+	sel, ok := st.stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	if err := st.checkArgs(args); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ex := &executor{db: db, params: args}
+	return ex.execSelect(sel, nil)
+}
+
+// Exec executes a prepared non-SELECT statement against db under its write
+// lock, returning the number of rows affected (0 for DDL).
+func (st *Stmt) Exec(db *DB, args ...Value) (int, error) {
+	if err := st.checkArgs(args); err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execStatement(st.stmt, args)
+}

@@ -15,7 +15,7 @@ const (
 	tkKeyword
 	tkNumber
 	tkString
-	tkSymbol // ( ) , . * = != <> < <= > >= + - / %
+	tkSymbol // ( ) , . * = != <> < <= > >= + - / % ?
 )
 
 type token struct {
@@ -39,6 +39,8 @@ var keywords = map[string]bool{
 	"DROP": true, "INT": true, "INTEGER": true, "FLOAT": true, "DOUBLE": true,
 	"REAL": true, "TEXT": true, "VARCHAR": true, "BOOL": true, "BOOLEAN": true,
 	"IF": true,
+	// INDEX is deliberately NOT reserved: user schemas may name a column
+	// "index". CREATE/DROP INDEX match it as a contextual identifier.
 }
 
 // lex tokenizes the SQL input. Strings use single quotes with ” escaping;
@@ -126,7 +128,7 @@ func lex(input string) ([]token, error) {
 				return nil, fmt.Errorf("sqldb: unexpected '!' at offset %d", start)
 			}
 			toks = append(toks, token{tkSymbol, input[start:i], start})
-		case strings.ContainsRune("(),.*=+-/%;", rune(c)):
+		case strings.ContainsRune("(),.*=+-/%;?", rune(c)):
 			toks = append(toks, token{tkSymbol, string(c), i})
 			i++
 		default:

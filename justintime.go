@@ -53,6 +53,35 @@
 // evaluation metrics (accuracy, AUC, log-loss, threshold calibration) score
 // their datasets the same way.
 //
+// # Query engine: prepared statements, indexes, concurrency
+//
+// internal/sqldb is a small query engine, not just an interpreter. SQL
+// compiles once via sqldb.Prepare into a Stmt whose `?` placeholders bind
+// positionally at execution; a Stmt is database-independent, so core.System
+// caches each canned question and the plan query compiled once per process
+// and runs them against every session's database. Session databases load
+// through typed catalog registration (DB.CreateTable / DB.InsertRows — no
+// SQL text is built or parsed per session) and carry secondary indexes
+// (DB.CreateIndex or CREATE INDEX ... ON t (col)); candidates(time) and
+// temporal_inputs(time) are indexed automatically. Indexes answer equality
+// conjuncts from a hash table and range / BETWEEN conjuncts from sorted
+// keys; the executor pushes sargable WHERE conjuncts — including correlated
+// ones, evaluated against the enclosing row — down to the index of the
+// first FROM table and keeps the full WHERE as a residual filter, so
+// results (and type errors) are identical to the scan path. Indexes rebuild
+// lazily after mutations under an internal latch.
+//
+// The concurrency contract: sqldb.DB serializes writers behind an RWMutex
+// while any number of readers query concurrently, which is how many
+// requests share one applicant session. Session creation is context-aware —
+// System.NewSessionContext threads its ctx into every candidate generator
+// (candgen.GenerateContext), and the beam search checks cancellation each
+// iteration, so a disconnected client's workers exit instead of burning
+// CPU. internal/server holds sessions under crypto/rand capability IDs
+// with an idle TTL and an LRU-evicting cap, bounds the expert SQL endpoint
+// to row-capped SELECTs, and cmd/jitd drains in-flight requests on
+// SIGINT/SIGTERM.
+//
 // # Benchmarks
 //
 // The experiment-shaped benchmarks live in bench_test.go; run them with
