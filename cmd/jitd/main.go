@@ -5,6 +5,7 @@
 //
 //	jitd [-addr :8080] [-method ki] [-eras 12] [-rows 1200] [-horizon 3] [-k 8]
 //	     [-max-sessions 1024] [-session-ttl 30m] [-max-sql-rows 10000]
+//	     [-data-dir ""] [-wal-sync always]
 //
 // Endpoints:
 //
@@ -13,15 +14,26 @@
 //	GET    /api/profiles               the five demo rejected applicants
 //	GET    /api/questions              canned question catalog
 //	POST   /api/sessions               {"profile": {...}, "constraints": [...]}
-//	DELETE /api/sessions/{id}          drop a session
+//	DELETE /api/sessions/{id}          drop a session (memory and disk)
 //	GET    /api/sessions/{id}/inputs   temporal inputs x_0..x_T
 //	GET    /api/sessions/{id}/plan     structured best plan per time point
 //	POST   /api/sessions/{id}/ask      {"kind": "...", "feature": "...", "alpha": 0.7}
 //	POST   /api/sessions/{id}/sql      {"query": "SELECT ..."} (SELECT only, row-capped)
+//	GET    /debug/vars                 expvar metrics (sessions, evictions, WAL)
 //
 // Sessions are held in memory under an idle TTL and an LRU-evicting cap;
-// session creation is cancelled when the client disconnects. SIGINT/SIGTERM
-// drain in-flight requests before exiting (graceful shutdown).
+// session creation is cancelled when the client disconnects.
+//
+// With -data-dir set, the durability subsystem persists every session's
+// candidates database (snapshot + write-ahead log) under
+// <data-dir>/sessions/<id>/: evictions checkpoint to disk instead of
+// destroying the session, cache misses rehydrate from disk instead of
+// 404ing, and SIGINT/SIGTERM checkpoints all live sessions after draining
+// in-flight requests — a restart with the same -data-dir resumes every
+// session without re-running candidate generation. -wal-sync picks the WAL
+// durability/latency trade-off: "always" fsyncs per mutation, "batched"
+// defers fsync to checkpoints (an OS crash may lose the un-synced tail; a
+// plain process crash loses nothing).
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 
 	"justintime"
 	"justintime/internal/server"
+	"justintime/internal/sqldb/persist"
 )
 
 func main() {
@@ -47,10 +60,17 @@ func main() {
 	horizon := flag.Int("horizon", 3, "future time points T")
 	k := flag.Int("k", 8, "candidates per time point")
 	seed := flag.Int64("seed", 1, "random seed")
-	maxSessions := flag.Int("max-sessions", 1024, "live session cap (LRU eviction past it)")
-	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
+	maxSessions := flag.Int("max-sessions", 1024, "in-memory session cap (LRU eviction past it)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime in memory")
 	maxSQLRows := flag.Int("max-sql-rows", 10000, "row cap on the expert SQL endpoint")
+	dataDir := flag.String("data-dir", "", "directory for session persistence (snapshot+WAL); empty = memory-only")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (per mutation) or batched (at checkpoints)")
 	flag.Parse()
+
+	syncMode, err := persist.ParseSyncMode(*walSync)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := justintime.DefaultLoanDemoConfig()
 	cfg.Method = *method
@@ -70,7 +90,12 @@ func main() {
 		MaxSessions: *maxSessions,
 		SessionTTL:  *sessionTTL,
 		MaxSQLRows:  *maxSQLRows,
+		DataDir:     *dataDir,
+		WALSync:     syncMode,
 	})
+	if *dataDir != "" {
+		log.Printf("session durability on: %s (wal-sync=%s)", *dataDir, syncMode)
+	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,6 +118,9 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
+		}
+		if n := handler.Close(); n > 0 {
+			log.Printf("checkpointed %d live session(s) to disk", n)
 		}
 		log.Printf("jitd stopped")
 	}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"justintime/internal/candgen"
+	"justintime/internal/feature"
+	"justintime/internal/sqldb"
+)
+
+// restoreInputsSQL reloads the temporal inputs a session was created with.
+// It is the same canonical table NewSession writes, so a session round-trips
+// through persistence without re-running the candidate generators.
+const restoreInputsSQL = "SELECT * FROM temporal_inputs ORDER BY time"
+
+// RestoreSession rebuilds a live Session around a previously generated (and
+// persisted) candidates database, without re-running the T+1 beam searches.
+// The temporal inputs x_0..x_T are reloaded from the database's own
+// temporal_inputs table; profile is the applicant's original feature vector
+// (recorded by the caller at creation time) and may be nil, in which case
+// x_0 stands in for it — identical under the default temporal rules, which
+// leave every feature unchanged at t=0.
+//
+// The database must carry this system's schema: a temporal_inputs table with
+// columns (time, <schema feature names...>) holding exactly T+1 rows for
+// times 0..T, and a candidates table. Generator search statistics are not
+// persisted; GenStats on a restored session reports zeros.
+func (s *System) RestoreSession(db *sqldb.DB, profile []float64) (*Session, error) {
+	if db == nil {
+		return nil, fmt.Errorf("core: restore: nil database")
+	}
+	hasCandidates := false
+	for _, name := range db.TableNames() {
+		if name == "candidates" {
+			hasCandidates = true
+		}
+	}
+	if !hasCandidates {
+		return nil, fmt.Errorf("core: restore: database has no candidates table")
+	}
+	st, err := s.prepared(restoreInputsSQL)
+	if err != nil {
+		return nil, err
+	}
+	res, err := st.Query(db)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	schema := s.cfg.Schema
+	wantCols := append([]string{"time"}, schema.Names()...)
+	if len(res.Columns) != len(wantCols) {
+		return nil, fmt.Errorf("core: restore: temporal_inputs has %d columns, want %d", len(res.Columns), len(wantCols))
+	}
+	for i, name := range wantCols {
+		if res.Columns[i] != name {
+			return nil, fmt.Errorf("core: restore: temporal_inputs column %d is %q, want %q (schema mismatch?)", i, res.Columns[i], name)
+		}
+	}
+	if len(res.Rows) != s.cfg.T+1 {
+		return nil, fmt.Errorf("core: restore: temporal_inputs has %d rows, want %d (horizon mismatch?)", len(res.Rows), s.cfg.T+1)
+	}
+	inputs := make([][]float64, len(res.Rows))
+	for ri, row := range res.Rows {
+		tv, ok := row[0].AsInt()
+		if !ok || int(tv) != ri {
+			return nil, fmt.Errorf("core: restore: temporal_inputs row %d has time %v, want %d", ri, row[0], ri)
+		}
+		x := make([]float64, schema.Dim())
+		for i := range x {
+			f, ok := row[1+i].AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("core: restore: temporal_inputs row %d: non-numeric %q value %v", ri, wantCols[1+i], row[1+i])
+			}
+			x[i] = f
+		}
+		inputs[ri] = x
+	}
+	if profile == nil {
+		profile = inputs[0]
+	}
+	if len(profile) != schema.Dim() {
+		return nil, fmt.Errorf("core: restore: profile has %d features, schema has %d", len(profile), schema.Dim())
+	}
+	return &Session{
+		sys:     s,
+		profile: feature.Clone(profile),
+		user:    nil, // user constraints only shape generation, which is done
+		inputs:  inputs,
+		db:      db,
+		stats:   make([]candgen.Stats, s.cfg.T+1),
+	}, nil
+}

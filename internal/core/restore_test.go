@@ -1,0 +1,134 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"justintime/internal/sqldb"
+)
+
+// TestRestoreSessionRoundTrip rebuilds a session from its own database dump
+// — the persistence path — and asserts the restored session answers exactly
+// like the original without re-running generation.
+func TestRestoreSessionRoundTrip(t *testing.T) {
+	sys := testSystem(t)
+	orig, err := sys.NewSession(rejectedProfile(t, sys), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the database through a structural dump, as the snapshot
+	// codec does, so the restored session owns an independent DB.
+	db2, err := sqldb.NewFromDump(orig.DB().Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sys.RestoreSession(db2, orig.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(orig.Profile(), restored.Profile()) {
+		t.Fatal("restored profile differs")
+	}
+	for tp := 0; tp <= sys.Horizon(); tp++ {
+		if !reflect.DeepEqual(orig.TemporalInput(tp), restored.TemporalInput(tp)) {
+			t.Fatalf("restored temporal input at t=%d differs", tp)
+		}
+	}
+	if !reflect.DeepEqual(orig.DB().Dump(), restored.DB().Dump()) {
+		t.Fatal("restored database differs row-for-row")
+	}
+
+	// Every canned question answers identically.
+	origIns, err := orig.AskAll("income", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restIns, err := restored.AskAll("income", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(origIns) != len(restIns) {
+		t.Fatalf("insight counts differ: %d vs %d", len(origIns), len(restIns))
+	}
+	for i := range origIns {
+		if origIns[i].Text != restIns[i].Text {
+			t.Errorf("question %s: %q vs %q", origIns[i].Question.Kind, origIns[i].Text, restIns[i].Text)
+		}
+	}
+
+	// The structured plan matches too.
+	origPlan, err := orig.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restPlan, err := restored.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(origPlan, restPlan) {
+		t.Fatalf("plans differ:\n%v\nvs\n%v", origPlan, restPlan)
+	}
+
+	// A nil profile falls back to x_0.
+	db3, err := sqldb.NewFromDump(orig.DB().Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromX0, err := sys.RestoreSession(db3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromX0.TemporalInput(0), fromX0.Profile()) {
+		t.Fatal("nil-profile restore should use x_0")
+	}
+}
+
+func TestRestoreSessionValidation(t *testing.T) {
+	sys := testSystem(t)
+
+	if _, err := sys.RestoreSession(nil, nil); err == nil {
+		t.Error("nil db accepted")
+	}
+
+	// Missing candidates table.
+	db := sqldb.New()
+	db.MustExec("CREATE TABLE temporal_inputs (time INT)")
+	if _, err := sys.RestoreSession(db, nil); err == nil {
+		t.Error("db without candidates accepted")
+	}
+
+	// Wrong temporal_inputs arity.
+	db = sqldb.New()
+	db.MustExec("CREATE TABLE temporal_inputs (time INT, x FLOAT)")
+	db.MustExec("CREATE TABLE candidates (time INT)")
+	db.MustExec("INSERT INTO temporal_inputs VALUES (0, 1.0)")
+	if _, err := sys.RestoreSession(db, nil); err == nil {
+		t.Error("schema-mismatched temporal_inputs accepted")
+	}
+
+	// Row count mismatch (horizon changed between persist and restore).
+	orig, err := sys.NewSession(rejectedProfile(t, sys), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := sqldb.NewFromDump(orig.DB().Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Exec("DELETE FROM temporal_inputs WHERE time = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RestoreSession(db2, nil); err == nil {
+		t.Error("missing temporal input row accepted")
+	}
+
+	// Profile arity mismatch.
+	db3, err := sqldb.NewFromDump(orig.DB().Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RestoreSession(db3, []float64{1, 2}); err == nil {
+		t.Error("short profile accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package server
+
+import "expvar"
+
+// Process-wide serving metrics, exported on /debug/vars (the expvar page the
+// jitd daemon mounts). They are the first slice of the ROADMAP observability
+// item: session population, eviction pressure split by cause, how often the
+// durability layer saves a regeneration, and how much WAL it writes.
+//
+// expvar registers into a process-global map, so these are package-level
+// singletons shared by every Server in the process; tests assert on deltas,
+// not absolute values.
+var (
+	// metricSessionsLive is the number of sessions currently resident in
+	// memory across all session managers.
+	metricSessionsLive = expvar.NewInt("jitd_sessions_live")
+	// metricEvictionsTTL counts sessions dropped from memory by idle-TTL
+	// expiry.
+	metricEvictionsTTL = expvar.NewInt("jitd_evictions_ttl")
+	// metricEvictionsLRU counts sessions dropped from memory by the
+	// least-recently-used cap.
+	metricEvictionsLRU = expvar.NewInt("jitd_evictions_lru")
+	// metricRehydrations counts sessions reloaded from disk on a cache miss
+	// — each one is a T+1 beam-search regeneration avoided.
+	metricRehydrations = expvar.NewInt("jitd_rehydrations")
+	// metricWALBytes is the total bytes of WAL records written.
+	metricWALBytes = expvar.NewInt("jitd_wal_bytes")
+	// metricCheckpoints counts snapshot checkpoints (WAL folds).
+	metricCheckpoints = expvar.NewInt("jitd_checkpoints")
+)

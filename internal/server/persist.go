@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"time"
+
+	"justintime/internal/core"
+	"justintime/internal/sqldb/persist"
+)
+
+// sessionIDPattern is the exact shape newSessionID produces. Session IDs
+// name directories under the data dir, so anything else — in particular a
+// path-traversing id from the URL — must never reach the filesystem.
+var sessionIDPattern = regexp.MustCompile(`^s-[0-9a-f]{32}$`)
+
+const metaFile = "meta.json"
+
+// sessionMeta is the per-session sidecar holding what the candidates
+// database alone cannot reconstruct: the applicant's original profile (x_0
+// may differ from it under custom temporal rules) and the constraint sources
+// for operator inspection.
+type sessionMeta struct {
+	Profile     []float64 `json:"profile"`
+	Constraints []string  `json:"constraints,omitempty"`
+	CreatedAt   time.Time `json:"created_at"`
+}
+
+// persister owns the on-disk session area (<data-dir>/sessions/<id>/) and
+// the snapshot/WAL lifecycle of each session database.
+type persister struct {
+	root string
+	sys  *core.System
+	opts persist.Options
+}
+
+// newPersister prepares <dataDir>/sessions and sweeps orphans left by a
+// crash (directories without a complete snapshot, stray temp files).
+func newPersister(dataDir string, sys *core.System, sync persist.SyncMode) *persister {
+	p := &persister{
+		root: filepath.Join(dataDir, "sessions"),
+		sys:  sys,
+		opts: persist.Options{
+			Sync:       sync,
+			OnWALWrite: func(n int) { metricWALBytes.Add(int64(n)) },
+		},
+	}
+	_ = os.MkdirAll(p.root, 0o755)
+	p.sweepOrphans()
+	return p
+}
+
+// dir maps a validated session id to its directory.
+func (p *persister) dir(id string) (string, bool) {
+	if !sessionIDPattern.MatchString(id) {
+		return "", false
+	}
+	return filepath.Join(p.root, id), true
+}
+
+// create makes id's directory the durable home of a freshly generated
+// session: the sidecar metadata, a full snapshot of the candidates database,
+// and an empty WAL attached to it. A failure cleans the directory up —
+// creation is atomic-or-absent from the rehydrator's point of view.
+func (p *persister) create(id string, sess *core.Session, constraintSrcs []string) (*persist.Store, error) {
+	dir, ok := p.dir(id)
+	if !ok {
+		return nil, fmt.Errorf("server: unsafe session id %q", id)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	meta := sessionMeta{Profile: sess.Profile(), Constraints: constraintSrcs, CreatedAt: time.Now().UTC()}
+	if err := writeFileAtomic(filepath.Join(dir, metaFile), meta); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	store, err := persist.Create(dir, sess.DB(), p.opts)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return store, nil
+}
+
+// errSessionNotOnDisk distinguishes "this id was never persisted" (a plain
+// 404) from "persisted but unreadable" (worth logging).
+var errSessionNotOnDisk = errors.New("server: session not on disk")
+
+// open rehydrates id from disk: snapshot + WAL into a database, then a live
+// Session around it — no candidate regeneration.
+func (p *persister) open(id string) (*core.Session, *persist.Store, error) {
+	dir, ok := p.dir(id)
+	if !ok {
+		return nil, nil, errSessionNotOnDisk
+	}
+	if _, err := os.Stat(filepath.Join(dir, persist.SnapshotFile)); err != nil {
+		return nil, nil, errSessionNotOnDisk
+	}
+	var meta sessionMeta
+	if raw, err := os.ReadFile(filepath.Join(dir, metaFile)); err == nil {
+		_ = json.Unmarshal(raw, &meta) // tolerate a missing/corrupt sidecar: x_0 stands in
+	}
+	db, store, err := persist.Open(dir, p.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess, err := p.sys.RestoreSession(db, meta.Profile)
+	if err != nil {
+		store.Close()
+		return nil, nil, err
+	}
+	return sess, store, nil
+}
+
+// remove deletes id's on-disk files, reporting whether any existed.
+func (p *persister) remove(id string) bool {
+	dir, ok := p.dir(id)
+	if !ok {
+		return false
+	}
+	if _, err := os.Stat(dir); err != nil {
+		return false
+	}
+	return persist.Remove(dir) == nil
+}
+
+// sweepOrphans removes the debris an unclean shutdown can leave in the
+// session area: entries that are not session directories, directories whose
+// snapshot never completed (creation crashed before the atomic rename), and
+// stray *.tmp files anywhere in between.
+func (p *persister) sweepOrphans() {
+	entries, err := os.ReadDir(p.root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		full := filepath.Join(p.root, e.Name())
+		if !e.IsDir() {
+			if filepath.Ext(e.Name()) == ".tmp" {
+				_ = os.Remove(full)
+			}
+			continue
+		}
+		if !sessionIDPattern.MatchString(e.Name()) {
+			continue // not ours; leave it alone
+		}
+		if _, err := os.Stat(filepath.Join(full, persist.SnapshotFile)); err != nil {
+			_ = os.RemoveAll(full) // create never committed
+		}
+	}
+}
+
+// writeFileAtomic JSON-encodes v into path via the temp-write-rename dance,
+// so a crash never leaves a partial file under the final name.
+func writeFileAtomic(path string, v interface{}) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

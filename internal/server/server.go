@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"justintime/internal/core"
 	"justintime/internal/dataset"
 	"justintime/internal/sqldb"
+	"justintime/internal/sqldb/persist"
 )
 
 // Config bounds the server's resource usage per deployment.
@@ -30,6 +32,17 @@ type Config struct {
 	// MaxSQLRows caps the rows returned by the expert SQL endpoint (the
 	// response carries "truncated": true past the cap). <= 0 selects 10000.
 	MaxSQLRows int
+	// DataDir, when non-empty, turns on the durability subsystem: every
+	// session's candidates database is persisted under
+	// DataDir/sessions/<id>/ (snapshot + write-ahead log), evictions
+	// checkpoint to disk instead of destroying the session, and a cache
+	// miss rehydrates from disk instead of returning 404 — so a daemon
+	// restart resumes its sessions without re-running candidate
+	// generation. Empty keeps sessions memory-only.
+	DataDir string
+	// WALSync selects the WAL fsync policy under DataDir (persist.SyncAlways
+	// fsyncs per mutation; persist.SyncBatched defers fsync to checkpoints).
+	WALSync persist.SyncMode
 }
 
 func (c Config) withDefaults() Config {
@@ -59,7 +72,11 @@ func New(sys *core.System) *Server { return NewWithConfig(sys, Config{}) }
 // NewWithConfig builds a Server with explicit session/query limits.
 func NewWithConfig(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{sys: sys, cfg: cfg, sessions: newSessionManager(cfg.MaxSessions, cfg.SessionTTL)}
+	var p *persister
+	if cfg.DataDir != "" {
+		p = newPersister(cfg.DataDir, sys, cfg.WALSync)
+	}
+	s := &Server{sys: sys, cfg: cfg, sessions: newSessionManager(cfg.MaxSessions, cfg.SessionTTL, p)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/schema", s.handleSchema)
 	mux.HandleFunc("GET /api/models", s.handleModels)
@@ -71,12 +88,18 @@ func NewWithConfig(sys *core.System, cfg Config) *Server {
 	mux.HandleFunc("GET /api/sessions/{id}/plan", s.handlePlan)
 	mux.HandleFunc("POST /api/sessions/{id}/ask", s.handleAsk)
 	mux.HandleFunc("POST /api/sessions/{id}/sql", s.handleSQL)
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux = mux
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close checkpoints every resident session to disk (a no-op without a data
+// dir) and releases their stores. Call it after draining in-flight requests;
+// it returns the number of sessions checkpointed.
+func (s *Server) Close() int { return s.sessions.shutdown() }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -219,7 +242,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	id, err := s.sessions.add(sess)
+	id, err := s.sessions.add(sess, req.Constraints)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

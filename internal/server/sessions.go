@@ -3,11 +3,14 @@ package server
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"expvar"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
 	"justintime/internal/core"
+	"justintime/internal/sqldb/persist"
 )
 
 // newSessionID returns an unguessable session identifier (128 bits from
@@ -22,9 +25,11 @@ func newSessionID() (string, error) {
 	return "s-" + hex.EncodeToString(b[:]), nil
 }
 
-// sessionEntry is one live session with its LRU bookkeeping.
+// sessionEntry is one memory-resident session with its LRU bookkeeping and,
+// when persistence is on, the open snapshot+WAL store backing it.
 type sessionEntry struct {
 	sess     *core.Session
+	store    *persist.Store // nil when running memory-only
 	lastUsed time.Time
 }
 
@@ -35,15 +40,30 @@ type sessionEntry struct {
 // and get, so memory tracks the live session count without a background
 // goroutine (an idle daemon frees its sessions on the next request of any
 // kind that touches the store).
+//
+// With a persister attached, eviction changes meaning: instead of
+// destroying a session, TTL and LRU eviction checkpoint it to disk and
+// release the memory, and a later request for the id rehydrates it — the
+// TTL/cap bound memory residency, not session lifetime. Without a
+// persister the original destroy semantics apply.
+//
+// Known trade-off: persistence I/O (create-snapshot, eviction checkpoints,
+// rehydration) runs under the manager mutex, serializing session-map
+// operations behind disk writes. That keeps the map, the stores, and the
+// metrics trivially consistent (no duplicate rehydrations, no
+// evict-while-rehydrating races) at the cost of add/get latency under
+// churn; once a request resolves its session, queries proceed without this
+// lock. Moving the I/O to per-entry state is a queued ROADMAP item.
 type sessionManager struct {
 	mu      sync.Mutex
 	max     int
 	ttl     time.Duration
 	now     func() time.Time // test hook
 	entries map[string]*sessionEntry
+	persist *persister // nil = memory-only
 }
 
-func newSessionManager(max int, ttl time.Duration) *sessionManager {
+func newSessionManager(max int, ttl time.Duration, p *persister) *sessionManager {
 	if max < 1 {
 		max = 1 // a non-positive cap would make add's eviction loop spin
 	}
@@ -52,13 +72,16 @@ func newSessionManager(max int, ttl time.Duration) *sessionManager {
 		ttl:     ttl,
 		now:     time.Now,
 		entries: make(map[string]*sessionEntry),
+		persist: p,
 	}
 }
 
 // add registers sess under a fresh random ID and returns the ID. Expired
 // sessions are swept first; if the store is still at capacity, the least
-// recently used session is evicted — new applicants always get in.
-func (m *sessionManager) add(sess *core.Session) (string, error) {
+// recently used session is evicted — new applicants always get in. With
+// persistence on, the session's database is snapshotted before the ID is
+// returned, so a crash immediately after the response can still serve it.
+func (m *sessionManager) add(sess *core.Session, constraintSrcs []string) (string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.now()
@@ -70,50 +93,115 @@ func (m *sessionManager) add(sess *core.Session) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	m.entries[id] = &sessionEntry{sess: sess, lastUsed: now}
+	var store *persist.Store
+	if m.persist != nil {
+		store, err = m.persist.create(id, sess, constraintSrcs)
+		if err != nil {
+			return "", fmt.Errorf("server: persisting session: %w", err)
+		}
+	}
+	m.entries[id] = &sessionEntry{sess: sess, store: store, lastUsed: now}
+	metricSessionsLive.Add(1)
 	return id, nil
 }
 
-// get returns the session for id and marks it used; an expired or unknown
-// id reports false. Every get also sweeps all expired entries so an idle
-// daemon's memory shrinks with its live session count, not its peak.
+// get returns the session for id and marks it used. A miss on the in-memory
+// map falls through to disk when persistence is on: an evicted (or
+// pre-restart) session is rehydrated from its snapshot + WAL instead of
+// reporting 404, counting against the cap like any resident session. Every
+// get also sweeps expired entries so an idle daemon's memory shrinks with
+// its live session count, not its peak.
 func (m *sessionManager) get(id string) (*core.Session, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.now()
+	// Resolve a resident entry before sweeping: with persistence on, the
+	// TTL bounds residency, not lifetime, so an expired-but-still-resident
+	// session is served directly instead of being checkpointed to disk and
+	// immediately rehydrated byte-identical. Memory-only keeps the original
+	// semantics (expired means gone) via the sweep below.
+	if e, ok := m.entries[id]; ok && (m.persist != nil || now.Sub(e.lastUsed) <= m.ttl) {
+		e.lastUsed = now
+		m.sweepLocked(now)
+		return e.sess, true
+	}
 	m.sweepLocked(now)
-	e, ok := m.entries[id]
-	if !ok {
+	if m.persist == nil {
 		return nil, false
 	}
-	e.lastUsed = now
-	return e.sess, true
+	sess, store, err := m.persist.open(id)
+	if err != nil {
+		if err != errSessionNotOnDisk {
+			log.Printf("server: rehydrating session %s: %v", id, err)
+		}
+		return nil, false
+	}
+	for len(m.entries) >= m.max {
+		m.evictLRULocked()
+	}
+	m.entries[id] = &sessionEntry{sess: sess, store: store, lastUsed: now}
+	metricSessionsLive.Add(1)
+	metricRehydrations.Add(1)
+	return sess, true
 }
 
-// remove deletes the session, reporting whether it existed (and had not
-// expired).
+// remove deletes the session from memory AND disk (the DELETE endpoint's
+// contract: after it, the capability is dead and no files remain). It
+// reports whether anything existed to delete.
 func (m *sessionManager) remove(id string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e, ok := m.entries[id]
-	if ok && m.now().Sub(e.lastUsed) > m.ttl {
-		ok = false
+	if ok {
+		if m.persist == nil && m.now().Sub(e.lastUsed) > m.ttl {
+			ok = false // memory-only: an expired session is already gone
+		}
+		if e.store != nil {
+			e.store.Close() // no checkpoint: the files are about to go
+		}
+		delete(m.entries, id)
+		metricSessionsLive.Add(-1)
 	}
-	delete(m.entries, id)
+	if m.persist != nil && m.persist.remove(id) {
+		ok = true
+	}
 	return ok
 }
 
-// count returns the number of stored (possibly expired) sessions.
+// count returns the number of memory-resident (possibly expired) sessions.
 func (m *sessionManager) count() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.entries)
 }
 
+// shutdown checkpoints every resident session to disk and closes its store.
+// jitd calls it after draining requests on SIGTERM, so a restart with the
+// same data dir resumes every session where it left off. It returns the
+// number of sessions checkpointed.
+func (m *sessionManager) shutdown() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id, e := range m.entries {
+		if e.store != nil {
+			if err := checkpointStore(e.store); err != nil {
+				log.Printf("server: checkpointing session %s on shutdown: %v", id, err)
+			} else {
+				n++
+			}
+			e.store.Close()
+		}
+		delete(m.entries, id)
+		metricSessionsLive.Add(-1)
+	}
+	return n
+}
+
 func (m *sessionManager) sweepLocked(now time.Time) {
 	for id, e := range m.entries {
 		if now.Sub(e.lastUsed) > m.ttl {
-			delete(m.entries, id)
+			m.dropLocked(id, e, metricEvictionsTTL)
 		}
 	}
 }
@@ -127,6 +215,30 @@ func (m *sessionManager) evictLRULocked() {
 		}
 	}
 	if oldestID != "" {
-		delete(m.entries, oldestID)
+		m.dropLocked(oldestID, m.entries[oldestID], metricEvictionsLRU)
 	}
+}
+
+// dropLocked evicts one entry from memory, checkpointing it to disk first
+// when persistence is on (so the WAL folds into a compact snapshot and the
+// session survives for rehydration).
+func (m *sessionManager) dropLocked(id string, e *sessionEntry, cause *expvar.Int) {
+	if e.store != nil {
+		if err := checkpointStore(e.store); err != nil {
+			log.Printf("server: checkpointing session %s on eviction: %v", id, err)
+		}
+		e.store.Close()
+	}
+	delete(m.entries, id)
+	metricSessionsLive.Add(-1)
+	cause.Add(1)
+}
+
+// checkpointStore folds a session's WAL into a fresh snapshot, counting it.
+func checkpointStore(st *persist.Store) error {
+	if err := st.Checkpoint(); err != nil {
+		return err
+	}
+	metricCheckpoints.Add(1)
+	return nil
 }

@@ -13,10 +13,10 @@ import (
 )
 
 func TestSessionIDsAreUnguessable(t *testing.T) {
-	m := newSessionManager(10, time.Minute)
+	m := newSessionManager(10, time.Minute, nil)
 	seen := map[string]bool{}
 	for i := 0; i < 5; i++ {
-		id, err := m.add(nil)
+		id, err := m.add(nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -34,10 +34,10 @@ func TestSessionIDsAreUnguessable(t *testing.T) {
 }
 
 func TestSessionManagerTTL(t *testing.T) {
-	m := newSessionManager(10, time.Minute)
+	m := newSessionManager(10, time.Minute, nil)
 	now := time.Unix(1000, 0)
 	m.now = func() time.Time { return now }
-	id, err := m.add(nil)
+	id, err := m.add(nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,19 +59,19 @@ func TestSessionManagerTTL(t *testing.T) {
 }
 
 func TestSessionManagerLRUCap(t *testing.T) {
-	m := newSessionManager(2, time.Hour)
+	m := newSessionManager(2, time.Hour, nil)
 	now := time.Unix(1000, 0)
 	m.now = func() time.Time { return now }
-	a, _ := m.add(nil)
+	a, _ := m.add(nil, nil)
 	now = now.Add(time.Second)
-	b, _ := m.add(nil)
+	b, _ := m.add(nil, nil)
 	now = now.Add(time.Second)
 	// Touch a so b becomes the least recently used.
 	if _, ok := m.get(a); !ok {
 		t.Fatal("a should resolve")
 	}
 	now = now.Add(time.Second)
-	c, _ := m.add(nil)
+	c, _ := m.add(nil, nil)
 	if m.count() != 2 {
 		t.Fatalf("count = %d, want 2 (cap)", m.count())
 	}
@@ -86,8 +86,8 @@ func TestSessionManagerLRUCap(t *testing.T) {
 }
 
 func TestSessionManagerRemove(t *testing.T) {
-	m := newSessionManager(10, time.Hour)
-	id, _ := m.add(nil)
+	m := newSessionManager(10, time.Hour, nil)
+	id, _ := m.add(nil, nil)
 	if !m.remove(id) {
 		t.Fatal("remove of a live session should report true")
 	}

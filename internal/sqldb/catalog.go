@@ -83,6 +83,10 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 
+	// logger, when non-nil, receives every applied mutation under the write
+	// lock (see MutationLogger). Attach/detach via SetLogger.
+	logger MutationLogger
+
 	// DisableHashJoin forces nested-loop joins; used by the join ablation
 	// benchmark. Set before issuing queries.
 	DisableHashJoin bool
@@ -219,6 +223,11 @@ func (db *DB) CreateTable(name string, cols []Column) error {
 		return fmt.Errorf("sqldb: table %q already exists", name)
 	}
 	db.tables[name] = t
+	if db.logger != nil {
+		if err := db.logger.LogCreateTable(name, cols); err != nil {
+			return fmt.Errorf("sqldb: table %q created but not logged: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -228,7 +237,15 @@ func (db *DB) CreateTable(name string, cols []Column) error {
 func (db *DB) CreateIndex(name, table, column string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.createIndexLocked(name, table, column, false)
+	if err := db.createIndexLocked(name, table, column, false); err != nil {
+		return err
+	}
+	if db.logger != nil {
+		if err := db.logger.LogCreateIndex(name, table, column); err != nil {
+			return fmt.Errorf("sqldb: index %q created but not logged: %w", name, err)
+		}
+	}
+	return nil
 }
 
 func (db *DB) createIndexLocked(name, table, column string, ifNotExists bool) error {
@@ -316,6 +333,11 @@ func (db *DB) InsertRows(table string, rows [][]Value) error {
 	if len(prepared) > 0 {
 		t.rows = append(t.rows, prepared...)
 		t.version++
+		if db.logger != nil {
+			if err := db.logger.LogInsertRows(table, prepared); err != nil {
+				return fmt.Errorf("sqldb: rows inserted but not logged: %w", err)
+			}
+		}
 	}
 	return nil
 }

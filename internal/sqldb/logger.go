@@ -1,0 +1,37 @@
+package sqldb
+
+// MutationLogger receives every mutation applied to a DB, in apply order.
+// It is the hook a write-ahead log attaches to: each method is invoked under
+// the database's exclusive write lock, immediately after the mutation has
+// been applied in memory, so the log sequence is exactly the serialization
+// order of the writes and a replay of the sequence against the pre-log state
+// reproduces the database.
+//
+// LogExec is also invoked for a statement that failed after partially
+// applying (an INSERT appending some rows before an evaluation error):
+// execution is deterministic, so replaying the statement reproduces the
+// identical partial effect. Statements that failed without mutating anything
+// are not logged.
+//
+// A logger error is returned to the caller of the mutating operation wrapped
+// in the operation's error — the in-memory mutation stays applied, but the
+// caller learns durability was not achieved.
+type MutationLogger interface {
+	// LogExec records a mutating SQL statement with its bound parameters.
+	LogExec(sql string, params []Value) error
+	// LogInsertRows records a typed bulk load into table.
+	LogInsertRows(table string, rows [][]Value) error
+	// LogCreateTable records a typed table creation.
+	LogCreateTable(name string, cols []Column) error
+	// LogCreateIndex records a typed index creation.
+	LogCreateIndex(name, table, column string) error
+}
+
+// SetLogger attaches (or, with nil, detaches) the mutation logger. The swap
+// happens under the write lock, so it serializes against in-flight mutations:
+// every mutation is logged to exactly one of the old or new logger.
+func (db *DB) SetLogger(l MutationLogger) {
+	db.mu.Lock()
+	db.logger = l
+	db.mu.Unlock()
+}

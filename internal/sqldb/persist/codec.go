@@ -1,0 +1,250 @@
+// Package persist is the durability subsystem under sqldb: a versioned
+// binary snapshot codec, an append-only write-ahead log of mutations, and a
+// Store tying the two into crash-safe open/checkpoint/close lifecycle for a
+// whole database. The on-disk unit is a directory holding one snapshot file
+// (the state as of the last checkpoint) plus one WAL file (every mutation
+// since). Opening the directory loads the snapshot and replays the WAL,
+// tolerating a torn final record from a crash mid-append.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"justintime/internal/sqldb"
+)
+
+// maxRecord bounds a single framed record; a length prefix past it is
+// treated as corruption rather than an allocation request.
+const maxRecord = 1 << 30
+
+// errTorn marks a record that ends early or fails its checksum — the shape a
+// crash mid-append leaves behind. The WAL reader treats it as end-of-log;
+// the snapshot reader (whose file is written atomically) treats it as real
+// corruption.
+var errTorn = errors.New("persist: torn record")
+
+// ---- value / primitive encoding ----------------------------------------
+
+// enc is an append-only little-endian buffer encoder.
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Value tags on the wire. They mirror sqldb.Type but are pinned here so the
+// file format survives reorderings of the in-memory enum.
+const (
+	tagNull  uint8 = 0
+	tagInt   uint8 = 1
+	tagFloat uint8 = 2
+	tagText  uint8 = 3
+	tagBool  uint8 = 4
+)
+
+func (e *enc) value(v sqldb.Value) {
+	switch v.Type() {
+	case sqldb.IntType:
+		i, _ := v.AsInt()
+		e.u8(tagInt)
+		e.u64(uint64(i))
+	case sqldb.FloatType:
+		f, _ := v.AsFloat()
+		e.u8(tagFloat)
+		e.u64(math.Float64bits(f))
+	case sqldb.TextType:
+		s, _ := v.AsText()
+		e.u8(tagText)
+		e.str(s)
+	case sqldb.BoolType:
+		b, _ := v.AsBool()
+		e.u8(tagBool)
+		if b {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	default:
+		e.u8(tagNull)
+	}
+}
+
+func (e *enc) rows(rows [][]sqldb.Value) {
+	e.u32(uint32(len(rows)))
+	for _, row := range rows {
+		e.u32(uint32(len(row)))
+		for _, v := range row {
+			e.value(v)
+		}
+	}
+}
+
+func (e *enc) cols(cols []sqldb.Column) {
+	e.u32(uint32(len(cols)))
+	for _, c := range cols {
+		e.str(c.Name)
+		e.u8(uint8(c.Type))
+	}
+}
+
+// dec is the matching decoder; the first malformed read latches err and
+// turns every later read into a no-op zero value.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("persist: malformed record: %s at offset %d", msg, d.off)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) value() sqldb.Value {
+	switch tag := d.u8(); tag {
+	case tagNull:
+		return sqldb.Null()
+	case tagInt:
+		return sqldb.Int(int64(d.u64()))
+	case tagFloat:
+		return sqldb.Float(math.Float64frombits(d.u64()))
+	case tagText:
+		return sqldb.Text(d.str())
+	case tagBool:
+		return sqldb.Bool(d.u8() == 1)
+	default:
+		d.fail(fmt.Sprintf("value tag %d", tag))
+		return sqldb.Null()
+	}
+}
+
+func (d *dec) rows() [][]sqldb.Value {
+	n := int(d.u32())
+	if d.err != nil || n > maxRecord {
+		d.fail("row count")
+		return nil
+	}
+	rows := make([][]sqldb.Value, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		w := int(d.u32())
+		if d.err != nil || w > maxRecord {
+			d.fail("row width")
+			return nil
+		}
+		row := make([]sqldb.Value, 0, w)
+		for j := 0; j < w && d.err == nil; j++ {
+			row = append(row, d.value())
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func (d *dec) cols() []sqldb.Column {
+	n := int(d.u32())
+	if d.err != nil || n > maxRecord {
+		d.fail("column count")
+		return nil
+	}
+	cols := make([]sqldb.Column, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		name := d.str()
+		typ := sqldb.Type(d.u8())
+		cols = append(cols, sqldb.Column{Name: name, Type: typ})
+	}
+	return cols
+}
+
+// ---- record framing ------------------------------------------------------
+
+// writeFrame frames a payload as length(u32) | crc32(u32, over payload) |
+// payload and writes it to w.
+func writeFrame(w io.Writer, payload []byte) (int, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if n, err := w.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n, err := w.Write(payload)
+	return 8 + n, err
+}
+
+// readFrame reads one framed payload. A clean end of file (EOF before the
+// first header byte) returns io.EOF; a record cut short or failing its
+// checksum returns errTorn.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.EOF
+		}
+		return nil, errTorn
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxRecord {
+		return nil, errTorn
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTorn
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, errTorn
+	}
+	return payload, nil
+}

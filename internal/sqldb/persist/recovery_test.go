@@ -1,0 +1,200 @@
+package persist
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"justintime/internal/sqldb"
+)
+
+// randomMutation applies one random mutation drawn from rng to db via the
+// public Exec/InsertRows paths, exactly as a live workload would.
+func randomMutation(t *testing.T, db *sqldb.DB, rng *rand.Rand) {
+	t.Helper()
+	var err error
+	switch rng.Intn(6) {
+	case 0, 1: // bias toward inserts so the table grows
+		_, err = db.Exec("INSERT INTO items VALUES (?, ?, ?, ?)",
+			sqldb.Int(rng.Int63n(1000)), sqldb.Text(randWord(rng)),
+			sqldb.Float(rng.NormFloat64()), sqldb.Bool(rng.Intn(2) == 0))
+	case 2:
+		_, err = db.Exec("UPDATE items SET score = score * ? WHERE id < ?",
+			sqldb.Float(rng.Float64()+0.5), sqldb.Int(rng.Int63n(1000)))
+	case 3:
+		_, err = db.Exec("DELETE FROM items WHERE id = ?", sqldb.Int(rng.Int63n(1000)))
+	case 4:
+		rows := make([][]sqldb.Value, rng.Intn(3)+1)
+		for i := range rows {
+			rows[i] = []sqldb.Value{
+				sqldb.Int(rng.Int63n(1000)), sqldb.Null(),
+				sqldb.Float(rng.Float64()), sqldb.Bool(false),
+			}
+		}
+		err = db.InsertRows("items", rows)
+	case 5:
+		_, err = db.Exec("UPDATE items SET name = ? WHERE ok = TRUE", sqldb.Text(randWord(rng)))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randWord(rng *rand.Rand) string {
+	b := make([]byte, rng.Intn(8)+1)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+// TestTornWALRecovery is the crash-recovery property test: it replays a
+// random mutation sequence against a persisted database, recording the
+// expected state and the WAL length after every mutation, then simulates a
+// crash that tears the final record by truncating the log copy at EVERY byte
+// offset of that record. Each reopened database must equal snapshot +
+// replayed-prefix — all records before the torn one, nothing of the torn
+// one.
+func TestTornWALRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+
+	db := sqldb.New()
+	db.MustExec("CREATE TABLE items (id INT, name TEXT, score FLOAT, ok BOOL)")
+	db.MustExec("CREATE INDEX items_id ON items (id)")
+	db.MustExec("INSERT INTO items VALUES (1, 'seed', 1.0, TRUE)")
+
+	st, err := Create(dir, db, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nMutations = 10
+	// states[i] is the expected dump after i mutations; bounds[i] the WAL
+	// length at that point (SyncAlways keeps the file exact after each).
+	states := make([]*sqldb.Dump, nMutations+1)
+	bounds := make([]int64, nMutations+1)
+	states[0] = db.Dump()
+	bounds[0] = st.WALSize()
+	for i := 1; i <= nMutations; i++ {
+		randomMutation(t, db, rng)
+		states[i] = db.Dump()
+		bounds[i] = st.WALSize()
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walBytes, err := os.ReadFile(filepath.Join(dir, WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(walBytes)) != bounds[nMutations] {
+		t.Fatalf("WAL file is %d bytes, expected %d", len(walBytes), bounds[nMutations])
+	}
+	snapBytes, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// reopenAt opens a copy of the store whose WAL is truncated to cut bytes
+	// and asserts the recovered state equals states[wantState].
+	reopenAt := func(t *testing.T, cut int64, wantState int) {
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, SnapshotFile), snapBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cdir, WALFile), walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rdb, rst, err := Open(cdir, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		defer rst.Close()
+		if got := rdb.Dump(); !reflect.DeepEqual(got, states[wantState]) {
+			t.Fatalf("cut at %d: recovered state != snapshot+%d-record prefix", cut, wantState)
+		}
+		// The torn tail must be gone from the file so appends restart on a
+		// clean boundary.
+		fi, err := os.Stat(filepath.Join(cdir, WALFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bounds[wantState]
+		if cut < walHeaderLen {
+			want = walHeaderLen // torn header is rebuilt
+		}
+		if fi.Size() != want {
+			t.Fatalf("cut at %d: WAL not truncated to last good boundary: size %d, want %d", cut, fi.Size(), want)
+		}
+	}
+
+	// Every byte offset of the LAST record (the crash-torn append).
+	last := nMutations
+	for cut := bounds[last-1]; cut < bounds[last]; cut++ {
+		reopenAt(t, cut, last-1)
+	}
+	// Whole-file and every earlier record boundary for good measure.
+	for i := 0; i <= nMutations; i++ {
+		reopenAt(t, bounds[i], i)
+	}
+	// Mid-record cuts sampled across the whole log, including inside the
+	// header.
+	for cut := int64(1); cut < bounds[last]; cut += 37 {
+		want := 0
+		for i := 0; i <= nMutations; i++ {
+			if bounds[i] <= cut {
+				want = i
+			}
+		}
+		reopenAt(t, cut, want)
+	}
+}
+
+// TestTornWALThenContinue verifies the store stays usable after recovering
+// from a torn tail: new mutations append cleanly and survive another reopen.
+func TestTornWALThenContinue(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	db := sqldb.New()
+	db.MustExec("CREATE TABLE items (id INT, name TEXT, score FLOAT, ok BOOL)")
+	st, err := Create(dir, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		randomMutation(t, db, rng)
+	}
+	preTear := st.WALSize()
+	randomMutation(t, db, rng)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half.
+	walPath := filepath.Join(dir, WALFile)
+	full, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, (preTear+full.Size())/2); err != nil {
+		t.Fatal(err)
+	}
+	db2, st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		randomMutation(t, db2, rng)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, st3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	sameDump(t, db2, db3)
+}

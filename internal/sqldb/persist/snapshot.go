@@ -1,0 +1,159 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"justintime/internal/sqldb"
+)
+
+// snapshotMagic identifies a snapshot file; the trailing byte is the format
+// version.
+var snapshotMagic = []byte("JITSNAP\x01")
+
+// Snapshot record types.
+const (
+	recTable uint8 = 1 // one whole table: schema + rows
+	recIndex uint8 = 2 // one secondary index declaration
+	recEnd   uint8 = 3 // completeness marker; a snapshot without one is invalid
+)
+
+// WriteSnapshot serializes a structural dump to path atomically: the bytes
+// land in a sibling .tmp file which is fsynced and renamed over path, so a
+// crash at any point leaves either the old snapshot or the new one — never a
+// half-written file. The containing directory is fsynced after the rename so
+// the rename itself is durable.
+//
+// epoch is the checkpoint generation this snapshot represents; a WAL is only
+// replayed on top of the snapshot carrying the same epoch (see Store), which
+// is what makes the snapshot-then-reset checkpoint sequence crash-safe: a
+// crash between the two leaves a new-epoch snapshot and an old-epoch WAL,
+// and the stale WAL — whose effects the snapshot already contains — is
+// discarded instead of double-applied.
+func WriteSnapshot(path string, d *sqldb.Dump, epoch uint64) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: snapshot: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp) // never leave an orphaned temp file behind
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err = w.Write(snapshotMagic); err != nil {
+		return err
+	}
+	var epochBuf [8]byte
+	binary.LittleEndian.PutUint64(epochBuf[:], epoch)
+	if _, err = w.Write(epochBuf[:]); err != nil {
+		return err
+	}
+	for _, td := range d.Tables {
+		e := &enc{}
+		e.u8(recTable)
+		e.str(td.Name)
+		e.cols(td.Cols)
+		e.rows(td.Rows)
+		if _, err = writeFrame(w, e.buf); err != nil {
+			return err
+		}
+	}
+	for _, ix := range d.Indexes {
+		e := &enc{}
+		e.u8(recIndex)
+		e.str(ix.Name)
+		e.str(ix.Table)
+		e.str(ix.Column)
+		if _, err = writeFrame(w, e.buf); err != nil {
+			return err
+		}
+	}
+	if _, err = writeFrame(w, []byte{recEnd}); err != nil {
+		return err
+	}
+	if err = w.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot, returning the dump
+// and its checkpoint epoch. Because snapshots are replaced atomically, any
+// damage (bad magic, torn record, missing end marker) is a hard error, not a
+// tolerated tail.
+func ReadSnapshot(path string) (*sqldb.Dump, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, snapshotMagic) {
+		return nil, 0, fmt.Errorf("persist: %s: not a snapshot file (bad magic)", path)
+	}
+	var epochBuf [8]byte
+	if _, err := io.ReadFull(r, epochBuf[:]); err != nil {
+		return nil, 0, fmt.Errorf("persist: %s: truncated snapshot header", path)
+	}
+	epoch := binary.LittleEndian.Uint64(epochBuf[:])
+	d := &sqldb.Dump{}
+	sawEnd := false
+	for !sawEnd {
+		payload, err := readFrame(r)
+		if err != nil {
+			return nil, 0, fmt.Errorf("persist: %s: corrupt snapshot: %w", path, err)
+		}
+		dd := &dec{buf: payload}
+		switch typ := dd.u8(); typ {
+		case recTable:
+			td := sqldb.TableDump{Name: dd.str()}
+			td.Cols = dd.cols()
+			td.Rows = dd.rows()
+			if dd.err != nil {
+				return nil, 0, dd.err
+			}
+			d.Tables = append(d.Tables, td)
+		case recIndex:
+			ix := sqldb.IndexDump{Name: dd.str(), Table: dd.str(), Column: dd.str()}
+			if dd.err != nil {
+				return nil, 0, dd.err
+			}
+			d.Indexes = append(d.Indexes, ix)
+		case recEnd:
+			sawEnd = true
+		default:
+			return nil, 0, fmt.Errorf("persist: %s: unknown snapshot record type %d", path, typ)
+		}
+	}
+	return d, epoch, nil
+}
+
+// syncDir fsyncs a directory so a just-performed rename survives a power
+// loss. Filesystems that reject directory fsync are tolerated.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer df.Close()
+	_ = df.Sync()
+	return nil
+}

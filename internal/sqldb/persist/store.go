@@ -1,0 +1,168 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"justintime/internal/sqldb"
+)
+
+const (
+	// SnapshotFile is the snapshot's file name inside a store directory.
+	SnapshotFile = "snapshot.db"
+	// WALFile is the write-ahead log's file name inside a store directory.
+	WALFile = "wal.log"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// Sync selects the WAL fsync policy (default SyncAlways).
+	Sync SyncMode
+	// OnWALWrite, when set, observes every appended WAL record's framed
+	// size in bytes — the hook metrics counters attach to.
+	OnWALWrite func(bytes int)
+}
+
+// Store is the durable home of one database: a snapshot of its state at the
+// last checkpoint plus a WAL of every mutation since, together under one
+// directory. While open, the store is attached to the database as its
+// mutation logger; Checkpoint folds the WAL into a fresh snapshot; Close
+// detaches and releases the files.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	db     *sqldb.DB
+	wal    *WAL
+	epoch  uint64 // checkpoint generation of the current snapshot + WAL pair
+	closed bool
+}
+
+// Create initializes dir as the durable home of db: it snapshots db's
+// current state and attaches an empty WAL, so every later mutation is
+// logged. Any stale temporary files in dir are removed first.
+func Create(dir string, db *sqldb.DB, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	removeTempFiles(dir)
+	const firstEpoch = 1
+	if err := WriteSnapshot(filepath.Join(dir, SnapshotFile), db.Dump(), firstEpoch); err != nil {
+		return nil, err
+	}
+	// A fresh store must not inherit records from a previous life of the
+	// directory: drop any existing WAL before opening.
+	if err := os.Remove(filepath.Join(dir, WALFile)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return attach(dir, db, firstEpoch, opts)
+}
+
+// Open loads the database persisted in dir: the snapshot, then every intact
+// WAL record of the snapshot's epoch on top (a torn final record — the
+// signature of a crash mid-append — is dropped and truncated away; a
+// stale-epoch WAL left by a crash mid-checkpoint is discarded whole). The
+// returned database has the store attached as its logger, so mutations keep
+// accruing to the WAL.
+func Open(dir string, opts Options) (*sqldb.DB, *Store, error) {
+	removeTempFiles(dir)
+	dump, epoch, err := ReadSnapshot(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := sqldb.NewFromDump(dump)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := attach(dir, db, epoch, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, st, nil
+}
+
+// attach opens the WAL (replaying it onto db) and wires the store up as the
+// database's mutation logger.
+func attach(dir string, db *sqldb.DB, epoch uint64, opts Options) (*Store, error) {
+	wal, _, err := openWAL(filepath.Join(dir, WALFile), db, epoch, opts.Sync, opts.OnWALWrite)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, db: db, wal: wal, epoch: epoch}
+	db.SetLogger(wal)
+	return st, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// WALSize returns the WAL's current length in bytes.
+func (s *Store) WALSize() int64 { return s.wal.Size() }
+
+// Sync forces any batched WAL records to stable storage.
+func (s *Store) Sync() error { return s.wal.Sync() }
+
+// Checkpoint folds the WAL into a fresh snapshot: under the database's
+// exclusive lock (no mutation, and therefore no WAL append, can interleave)
+// it writes the current state as the snapshot of the next epoch, then resets
+// the WAL to a bare header carrying that epoch. Every crash window is
+// covered: before the snapshot rename, the old snapshot + same-epoch WAL
+// replay as before; between rename and reset, the new snapshot sees the old
+// WAL's epoch as stale and discards it (its effects are inside the
+// snapshot); after the reset, the pair is simply the new epoch.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	next := s.epoch + 1
+	err := s.db.CheckpointWith(func(d *sqldb.Dump) error {
+		if err := WriteSnapshot(filepath.Join(s.dir, SnapshotFile), d, next); err != nil {
+			return err
+		}
+		return s.wal.Reset(next)
+	})
+	if err == nil {
+		s.epoch = next
+	}
+	return err
+}
+
+// Close detaches the store from its database and closes the WAL. The files
+// stay on disk for a later Open; pass through Checkpoint first to fold the
+// WAL down. Mutations applied after Close are not persisted (the logger is
+// detached), so callers must stop writers first.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.db.SetLogger(nil)
+	return s.wal.Close()
+}
+
+// Remove deletes a store directory and everything in it. Use for session
+// destruction; the store must be closed first if it was open.
+func Remove(dir string) error {
+	return os.RemoveAll(dir)
+}
+
+// removeTempFiles clears stale atomic-write leftovers (*.tmp) from dir, so
+// a crash between temp-write and rename never accumulates orphans.
+func removeTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

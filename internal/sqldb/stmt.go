@@ -82,5 +82,20 @@ func (st *Stmt) Exec(db *DB, args ...Value) (int, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.execStatement(st.stmt, args)
+	n, err := db.execStatement(st.stmt, args)
+	// Log whenever state may have changed: a clean success (DDL reports
+	// n=0, err=nil) or a partial INSERT (n>0 with an error; replaying the
+	// deterministic statement reproduces the identical partial effect).
+	// SELECT-through-Exec and pure failures mutate nothing and are skipped.
+	if db.logger != nil && (err == nil || n > 0) {
+		if lerr := db.logger.LogExec(st.sql, args); lerr != nil {
+			lerr = fmt.Errorf("sqldb: statement applied but not logged: %w", lerr)
+			if err == nil {
+				err = lerr
+			} else {
+				err = fmt.Errorf("%w (additionally: %v)", err, lerr)
+			}
+		}
+	}
+	return n, err
 }
