@@ -102,6 +102,11 @@ func (sess *Session) questionSQL(q Question) (string, []sqldb.Value, error) {
 		if _, ok := sess.sys.cfg.Schema.Index(f); !ok {
 			return "", nil, fmt.Errorf("core: dominant-feature question: unknown feature %q", q.Feature)
 		}
+		// The `gap <= 1` conjunct is implied by the OR that follows; it is
+		// spelled out because it is sargable where the OR is not, letting
+		// the planner intersect candidates(time) with the gap range of
+		// candidates(gap, diff) before evaluating the residual OR, and the
+		// join probes temporal_inputs(time) as an index nested loop.
 		return fmt.Sprintf(`SELECT distinct time as t
 FROM candidates
 WHERE EXISTS
@@ -110,6 +115,7 @@ WHERE EXISTS
  INNER JOIN temporal_inputs as ti
  ON ti.time = cnd.time
  WHERE cnd.time = t
+ AND gap <= 1
  AND ((gap = 0) OR (gap = 1 AND cnd.%s != ti.%s)))
 ORDER BY t`, f, f), nil, nil
 	case QMinimalOverall:

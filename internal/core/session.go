@@ -125,9 +125,19 @@ func (s *System) NewSessionContext(ctx context.Context, profile []float64, user 
 
 // loadDatabase creates and fills the session's temporal_inputs and
 // candidates tables. Tables and indexes register directly against the
-// catalog (no SQL text is built or parsed), and candidates(time) — the
-// column every canned question and plan lookup filters on — gets a
-// secondary index automatically.
+// catalog (no SQL text is built or parsed). The auto-created indexes back
+// every canned-question and plan-query shape the planner knows:
+//
+//	candidates(time)     equality/range prefilter and the intersection
+//	                     partner of the dominant-feature EXISTS probe
+//	candidates(diff)     no-modification question (diff = 0)
+//	candidates(p)        maximal-confidence top-k and turning-point p > ?
+//	candidates(gap,diff) minimal-features top-k (ORDER BY gap, diff) and
+//	                     the gap range arm of index intersections
+//	candidates(time,p)   plan query top-k (time = ? ORDER BY p DESC)
+//	temporal_inputs(time) index nested-loop probes of the inner join side
+//
+// Indexes build lazily on first use, so unused shapes cost nothing.
 func (sess *Session) loadDatabase(results [][]candgen.Candidate) error {
 	schema := sess.sys.cfg.Schema
 	db := sqldb.New()
@@ -150,11 +160,20 @@ func (sess *Session) loadDatabase(results [][]candgen.Candidate) error {
 	if err := db.CreateTable("candidates", candCols); err != nil {
 		return err
 	}
-	if err := db.CreateIndex("temporal_inputs_time", "temporal_inputs", "time"); err != nil {
-		return err
-	}
-	if err := db.CreateIndex("candidates_time", "candidates", "time"); err != nil {
-		return err
+	for _, ix := range []struct {
+		name, table string
+		cols        []string
+	}{
+		{"temporal_inputs_time", "temporal_inputs", []string{"time"}},
+		{"candidates_time", "candidates", []string{"time"}},
+		{"candidates_diff", "candidates", []string{"diff"}},
+		{"candidates_p", "candidates", []string{"p"}},
+		{"candidates_gap_diff", "candidates", []string{"gap", "diff"}},
+		{"candidates_time_p", "candidates", []string{"time", "p"}},
+	} {
+		if err := db.CreateIndex(ix.name, ix.table, ix.cols...); err != nil {
+			return err
+		}
 	}
 
 	tiRows := make([][]sqldb.Value, len(sess.inputs))

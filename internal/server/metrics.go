@@ -1,6 +1,10 @@
 package server
 
-import "expvar"
+import (
+	"expvar"
+
+	"justintime/internal/sqldb"
+)
 
 // Process-wide serving metrics, exported on /debug/vars (the expvar page the
 // jitd daemon mounts). They are the first slice of the ROADMAP observability
@@ -28,3 +32,15 @@ var (
 	// metricCheckpoints counts snapshot checkpoints (WAL folds).
 	metricCheckpoints = expvar.NewInt("jitd_checkpoints")
 )
+
+func init() {
+	// jitd_plan_shapes mirrors the query planner's per-plan-shape counters
+	// (full_scan, index_scan, index_intersection, empty_probe, top_k,
+	// index_join, hash_join, nested_loop_join): how often each access-path
+	// and join shape was chosen across every session database since process
+	// start. A rising full_scan share on the hot canned-question paths is
+	// the signal a session schema lost its expected indexes.
+	expvar.Publish("jitd_plan_shapes", expvar.Func(func() interface{} {
+		return sqldb.PlanCounters()
+	}))
+}

@@ -45,11 +45,11 @@ type DropTableStmt struct {
 	IfExists bool
 }
 
-// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table (column).
+// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table (col, ...).
 type CreateIndexStmt struct {
 	Name        string
 	Table       string
-	Column      string
+	Columns     []string // most significant key part first
 	IfNotExists bool
 }
 
@@ -57,6 +57,13 @@ type CreateIndexStmt struct {
 type DropIndexStmt struct {
 	Name     string
 	IfExists bool
+}
+
+// ExplainStmt is EXPLAIN SELECT ...: it executes the SELECT against the
+// current database state, discards the rows, and returns the plan the
+// executor actually chose as one text line per row.
+type ExplainStmt struct {
+	Sel *SelectStmt
 }
 
 // SelectStmt is a full SELECT query.
@@ -103,6 +110,7 @@ func (*DropTableStmt) stmt()   {}
 func (*CreateIndexStmt) stmt() {}
 func (*DropIndexStmt) stmt()   {}
 func (*SelectStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
 
 // Expr is any SQL expression node.
 type Expr interface{ expr() }

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -153,6 +154,111 @@ func BenchmarkIndexRange(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// The three planner-v2 benchmarks compare each new plan shape against the
+// scan path it replaces, at a seed-sized candidate count (500) and at 100x
+// (50000) — the scale the ROADMAP targets for production sessions.
+
+func plannerBenchSizes() []struct {
+	label string
+	rows  int
+} {
+	return []struct {
+		label string
+		rows  int
+	}{{"seed", 500}, {"100x", 50000}}
+}
+
+// BenchmarkIndexIntersection: two single-column indexes merged before the
+// residual filter vs the full scan.
+func BenchmarkIndexIntersection(b *testing.B) {
+	const q = "SELECT COUNT(*) FROM candidates WHERE time = 3 AND gap <= 1"
+	for _, size := range plannerBenchSizes() {
+		for _, planned := range []bool{false, true} {
+			b.Run(fmt.Sprintf("rows=%s/planned=%v", size.label, planned), func(b *testing.B) {
+				db := benchDB(size.rows, 64)
+				db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
+				db.MustExec("CREATE INDEX candidates_gap ON candidates (gap)")
+				db.DisableIndexScan = !planned
+				if planned {
+					assertBenchPlan(b, db, q, "index intersection of candidates_time (time=) and candidates_gap (gap range)")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIndexJoin: the inner (large) table probed through its index per
+// outer row vs rebuilding a hash table over it on every query.
+func BenchmarkIndexJoin(b *testing.B) {
+	const q = "SELECT COUNT(*) FROM temporal_inputs ti INNER JOIN candidates c ON c.time = ti.time"
+	for _, size := range plannerBenchSizes() {
+		for _, planned := range []bool{false, true} {
+			b.Run(fmt.Sprintf("rows=%s/planned=%v", size.label, planned), func(b *testing.B) {
+				db := benchDB(size.rows, 64)
+				db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
+				db.DisableIndexScan = !planned
+				if planned {
+					assertBenchPlan(b, db, q, "index nested loop (candidates_time)")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTopK: ORDER BY ... LIMIT streamed off the sorted index vs
+// materializing and sorting every row.
+func BenchmarkTopK(b *testing.B) {
+	const q = "SELECT * FROM candidates ORDER BY p DESC LIMIT 1"
+	for _, size := range plannerBenchSizes() {
+		for _, planned := range []bool{false, true} {
+			b.Run(fmt.Sprintf("rows=%s/planned=%v", size.label, planned), func(b *testing.B) {
+				db := benchDB(size.rows, 64)
+				db.MustExec("CREATE INDEX candidates_p ON candidates (p)")
+				db.DisableIndexScan = !planned
+				if planned {
+					assertBenchPlan(b, db, q, "top-k scan candidates using index candidates_p (p desc) limit 1")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// assertBenchPlan guards the benchmarks against silently measuring the
+// wrong plan shape after a planner change.
+func assertBenchPlan(b *testing.B, db *DB, q, fragment string) {
+	b.Helper()
+	res, err := db.Query("EXPLAIN " + q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	txt := ""
+	for _, row := range res.Rows {
+		s, _ := row[0].AsText()
+		txt += s + "\n"
+	}
+	if !strings.Contains(txt, fragment) {
+		b.Fatalf("benchmark plan lacks %q:\n%s", fragment, txt)
 	}
 }
 

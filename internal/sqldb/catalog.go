@@ -25,6 +25,11 @@ type Table struct {
 	// rebuild lazily when stale.
 	version uint64
 	indexes []*tableIndex
+	// idxCols caches the column positions covered by any index. It is
+	// rebuilt under the write lock on index DDL and read immutably by the
+	// planner on every scan (correlated subqueries plan once per outer
+	// row, so recomputing it there would be a hot-path allocation).
+	idxCols map[int]bool
 }
 
 func newTable(name string, cols []Column) (*Table, error) {
@@ -44,14 +49,32 @@ func newTable(name string, cols []Column) (*Table, error) {
 	return &Table{Name: name, Cols: cols, colIdx: idx, version: 1}, nil
 }
 
-// indexOn returns the table's index over column col, if any.
+// indexOn returns the table's single-column index over exactly column col,
+// if any (the shape index nested-loop joins probe).
 func (t *Table) indexOn(col int) *tableIndex {
 	for _, ix := range t.indexes {
-		if ix.col == col {
+		if len(ix.cols) == 1 && ix.cols[0] == col {
 			return ix
 		}
 	}
 	return nil
+}
+
+// indexedCols returns the cached set of column positions covered by any
+// index (at any position within a composite key); only sargs on these
+// columns can ever contribute to an access path.
+func (t *Table) indexedCols() map[int]bool { return t.idxCols }
+
+// rebuildIdxCols refreshes the cache; call under the DB write lock after
+// any index DDL.
+func (t *Table) rebuildIdxCols() {
+	out := make(map[int]bool)
+	for _, ix := range t.indexes {
+		for _, ci := range ix.cols {
+			out[ci] = true
+		}
+	}
+	t.idxCols = out
 }
 
 // RowCount returns the number of stored rows.
@@ -187,7 +210,7 @@ func (db *DB) execStatement(stmt Statement, params []Value) (int, error) {
 	case *DropTableStmt:
 		return 0, db.execDrop(s)
 	case *CreateIndexStmt:
-		return 0, db.createIndexLocked(s.Name, s.Table, s.Column, s.IfNotExists)
+		return 0, db.createIndexLocked(s.Name, s.Table, s.Columns, s.IfNotExists)
 	case *DropIndexStmt:
 		return 0, db.dropIndexLocked(s.Name, s.IfExists)
 	case *InsertStmt:
@@ -196,7 +219,7 @@ func (db *DB) execStatement(stmt Statement, params []Value) (int, error) {
 		return db.execDelete(s, params)
 	case *UpdateStmt:
 		return db.execUpdate(s, params)
-	case *SelectStmt:
+	case *SelectStmt, *ExplainStmt:
 		return 0, fmt.Errorf("sqldb: use Query for SELECT statements")
 	default:
 		return 0, fmt.Errorf("sqldb: unsupported statement %T", stmt)
@@ -231,26 +254,38 @@ func (db *DB) CreateTable(name string, cols []Column) error {
 	return nil
 }
 
-// CreateIndex registers a secondary index named name over table.column. The
-// index serves equality lookups from a hash table and range scans from
-// sorted keys; it is built lazily on first use and rebuilt after mutations.
-func (db *DB) CreateIndex(name, table, column string) error {
+// CreateIndex registers a secondary index named name over one or more
+// columns of table (the first column is the most significant key part). The
+// index serves equality lookups from a hash table, range and prefix scans
+// from sorted key tuples, and top-k streaming in key order; it is built
+// lazily on first use and rebuilt after mutations. A comma-joined column
+// list is also accepted inside a single string (the persistence layer's
+// wire form).
+func (db *DB) CreateIndex(name, table string, columns ...string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.createIndexLocked(name, table, column, false); err != nil {
+	if err := db.createIndexLocked(name, table, columns, false); err != nil {
 		return err
 	}
 	if db.logger != nil {
-		if err := db.logger.LogCreateIndex(name, table, column); err != nil {
+		if err := db.logger.LogCreateIndex(name, table, strings.Join(columns, ",")); err != nil {
 			return fmt.Errorf("sqldb: index %q created but not logged: %w", name, err)
 		}
 	}
 	return nil
 }
 
-func (db *DB) createIndexLocked(name, table, column string, ifNotExists bool) error {
+func (db *DB) createIndexLocked(name, table string, columns []string, ifNotExists bool) error {
 	if name == "" {
 		return fmt.Errorf("sqldb: index needs a name")
+	}
+	// Accept the persistence wire form: column lists joined with ",".
+	var cols []string
+	for _, c := range columns {
+		cols = append(cols, strings.Split(c, ",")...)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("sqldb: index %q needs at least one column", name)
 	}
 	for _, t := range db.tables {
 		for _, ix := range t.indexes {
@@ -266,11 +301,21 @@ func (db *DB) createIndexLocked(name, table, column string, ifNotExists bool) er
 	if !ok {
 		return fmt.Errorf("sqldb: unknown table %q", table)
 	}
-	ci, ok := t.colIdx[column]
-	if !ok {
-		return fmt.Errorf("sqldb: table %q has no column %q", table, column)
+	cis := make([]int, len(cols))
+	seen := make(map[int]bool, len(cols))
+	for i, column := range cols {
+		ci, ok := t.colIdx[column]
+		if !ok {
+			return fmt.Errorf("sqldb: table %q has no column %q", table, column)
+		}
+		if seen[ci] {
+			return fmt.Errorf("sqldb: index %q repeats column %q", name, column)
+		}
+		seen[ci] = true
+		cis[i] = ci
 	}
-	t.indexes = append(t.indexes, &tableIndex{name: name, col: ci})
+	t.indexes = append(t.indexes, &tableIndex{name: name, cols: cis})
+	t.rebuildIdxCols()
 	return nil
 }
 
@@ -279,6 +324,7 @@ func (db *DB) dropIndexLocked(name string, ifExists bool) error {
 		for i, ix := range t.indexes {
 			if ix.name == name {
 				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+				t.rebuildIdxCols()
 				return nil
 			}
 		}

@@ -1,0 +1,150 @@
+package sqldb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCompositeIndexPrefixSuperset pins the planner's NULL-superset rule: a
+// row excluded from a composite index only because an UNCONSTRAINED
+// trailing column is NULL still matches a prefix-only predicate, so prefix
+// scans must fold nullRows back into the candidate set.
+func TestCompositeIndexPrefixSuperset(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT, c TEXT)")
+	db.MustExec("CREATE INDEX t_ab ON t (a, b)")
+	db.MustExec("INSERT INTO t VALUES (1, 2, 'full'), (1, NULL, 'btail'), (NULL, 2, 'ahead'), (2, 2, 'other')")
+	res := queryBoth(t, db, "SELECT c FROM t WHERE a = 1")
+	if len(res.Rows) != 2 {
+		t.Fatalf("a=1 rows = %d, want 2 (row with NULL b must survive the prefix scan)", len(res.Rows))
+	}
+	got := map[string]bool{}
+	for _, row := range res.Rows {
+		s, _ := row[0].AsText()
+		got[s] = true
+	}
+	if !got["full"] || !got["btail"] {
+		t.Fatalf("a=1 rows = %v", got)
+	}
+	// Fully constrained composite: the NULL rows cannot match and stay out.
+	res = queryBoth(t, db, "SELECT c FROM t WHERE a = 1 AND b = 2")
+	if len(res.Rows) != 1 {
+		t.Fatalf("a=1,b=2 rows = %d, want 1", len(res.Rows))
+	}
+	// Range on the second key column under an equality prefix.
+	queryBoth(t, db, "SELECT c FROM t WHERE a = 1 AND b >= 0")
+	queryBoth(t, db, "SELECT c FROM t WHERE a = 1 AND b BETWEEN 0 AND 9")
+}
+
+// TestCompositeIndexMaintenance re-runs prefix queries across mutations so
+// the lazy composite rebuild is exercised, not just the first build.
+func TestCompositeIndexMaintenance(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)")
+	db.MustExec("CREATE INDEX t_ab ON t (a, b)")
+	db.MustExec("INSERT INTO t VALUES (1, 1), (1, 2), (2, 1)")
+	if res := queryBoth(t, db, "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2"); res.Rows[0][0].String() != "1" {
+		t.Fatalf("count = %s", res.Rows[0][0])
+	}
+	db.MustExec("INSERT INTO t VALUES (1, 2)")
+	if res := queryBoth(t, db, "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2"); res.Rows[0][0].String() != "2" {
+		t.Fatalf("after insert: count = %s", res.Rows[0][0])
+	}
+	db.MustExec("UPDATE t SET b = 9 WHERE b = 2")
+	if res := queryBoth(t, db, "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 9"); res.Rows[0][0].String() != "2" {
+		t.Fatalf("after update: count = %s", res.Rows[0][0])
+	}
+	db.MustExec("DELETE FROM t WHERE a = 1")
+	if res := queryBoth(t, db, "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 9"); res.Rows[0][0].String() != "0" {
+		t.Fatalf("after delete: count = %s", res.Rows[0][0])
+	}
+}
+
+// TestTopKNullOrderKeys pins the top-k NULL placement: rows whose order key
+// is NULL sort first ascending and last descending, exactly as the stable
+// scan sort places them — and the plan really is top-k, not a silent
+// fallback.
+func TestTopKNullOrderKeys(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (p FLOAT, tag TEXT)")
+	db.MustExec("CREATE INDEX t_p ON t (p)")
+	db.MustExec("INSERT INTO t VALUES (0.9, 'hi'), (NULL, 'n1'), (0.1, 'lo'), (NULL, 'n2'), (0.5, 'mid')")
+	for _, q := range []string{
+		"SELECT tag FROM t ORDER BY p LIMIT 3",
+		"SELECT tag FROM t ORDER BY p DESC LIMIT 3",
+		"SELECT tag FROM t ORDER BY p LIMIT 2 OFFSET 1",
+		"SELECT tag FROM t ORDER BY p DESC LIMIT 9",
+		"SELECT tag FROM t WHERE p > 0.2 ORDER BY p DESC LIMIT 2",
+		"SELECT tag FROM t ORDER BY p LIMIT 0",
+	} {
+		queryBoth(t, db, q)
+		res, err := db.Query("EXPLAIN " + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if txt := resultPlanText(res); !strings.Contains(txt, "top-k scan t using index t_p") {
+			t.Errorf("%s: expected a top-k plan, got:\n%s", q, txt)
+		}
+	}
+	res, err := db.Query("SELECT tag FROM t ORDER BY p LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tags []string
+	for _, row := range res.Rows {
+		s, _ := row[0].AsText()
+		tags = append(tags, s)
+	}
+	if !reflect.DeepEqual(tags, []string{"n1", "n2", "lo"}) {
+		t.Fatalf("ascending NULLs-first order = %v", tags)
+	}
+}
+
+// TestTopKStability pins that ties at the LIMIT boundary keep original row
+// order, matching the stable scan sort.
+func TestTopKStability(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (k INT, seq INT)")
+	db.MustExec("CREATE INDEX t_k ON t (k)")
+	db.MustExec("INSERT INTO t VALUES (1, 0), (0, 1), (1, 2), (0, 3), (1, 4)")
+	res := queryBoth(t, db, "SELECT seq FROM t ORDER BY k DESC LIMIT 2")
+	want := [][]Value{{Int(0)}, {Int(2)}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("descending tie order = %v, want %v", res.Rows, want)
+	}
+}
+
+// TestCompositeIndexDumpRoundTrip ensures composite declarations survive
+// Dump/NewFromDump (the persistence wire form joins columns with ",").
+func TestCompositeIndexDumpRoundTrip(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b FLOAT, c TEXT)")
+	db.MustExec("CREATE INDEX t_ab ON t (a, b)")
+	db.MustExec("CREATE INDEX t_c ON t (c)")
+	db.MustExec("INSERT INTO t VALUES (1, 0.5, 'x'), (1, 0.7, 'y')")
+	d := db.Dump()
+	found := false
+	for _, ix := range d.Indexes {
+		if ix.Name == "t_ab" {
+			found = true
+			if ix.Column != "a,b" {
+				t.Fatalf("composite dump column = %q, want \"a,b\"", ix.Column)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("composite index missing from dump")
+	}
+	db2, err := NewFromDump(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Query("EXPLAIN SELECT * FROM t WHERE a = 1 AND b = 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt := resultPlanText(res); !strings.Contains(txt, "index t_ab (a=, b=)") {
+		t.Fatalf("restored composite index not used:\n%s", txt)
+	}
+}

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // TableDump is the structural state of one table: its declared schema and a
@@ -14,7 +15,10 @@ type TableDump struct {
 	Rows [][]Value
 }
 
-// IndexDump is one secondary index declaration.
+// IndexDump is one secondary index declaration. Column holds the indexed
+// column names joined with "," (identifiers cannot contain commas), so
+// composite indexes ride in the same snapshot/WAL wire slot single-column
+// indexes always used — old snapshots load unchanged.
 type IndexDump struct {
 	Name   string
 	Table  string
@@ -68,7 +72,11 @@ func (db *DB) dumpLocked() *Dump {
 		}
 		d.Tables = append(d.Tables, TableDump{Name: t.Name, Cols: cols, Rows: rows})
 		for _, ix := range t.indexes {
-			d.Indexes = append(d.Indexes, IndexDump{Name: ix.name, Table: t.Name, Column: t.Cols[ix.col].Name})
+			names := make([]string, len(ix.cols))
+			for i, ci := range ix.cols {
+				names[i] = t.Cols[ci].Name
+			}
+			d.Indexes = append(d.Indexes, IndexDump{Name: ix.name, Table: t.Name, Column: strings.Join(names, ",")})
 		}
 	}
 	return d

@@ -70,10 +70,12 @@ func not3(v Value) Value {
 
 // executor evaluates expressions and runs SELECT plans against a DB whose
 // lock is already held by the caller. params holds the positional arguments
-// bound to `?` placeholders for this execution.
+// bound to `?` placeholders for this execution. trace, when non-nil,
+// records every plan decision for EXPLAIN.
 type executor struct {
 	db     *DB
 	params []Value
+	trace  *planTrace
 }
 
 // eval evaluates e in the given scope (which may be nil for constant

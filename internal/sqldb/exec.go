@@ -12,6 +12,16 @@ type tuple [][]Value
 // execSelect runs a SELECT with the given parent scope (nil at top level,
 // the enclosing row scope for subqueries).
 func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) {
+	if ex.trace != nil {
+		ex.tracePush(sel)
+		defer ex.tracePop()
+	}
+
+	// --- Top-k fast path: ORDER BY ... LIMIT streamed from a sorted index.
+	if res, ok, err := ex.tryTopK(sel, parent); ok {
+		return res, err
+	}
+
 	// --- FROM: materialize and join row sources.
 	rels, tuples, err := ex.execFrom(sel, parent)
 	if err != nil {
@@ -74,30 +84,7 @@ func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) 
 	var outputs []outRow
 
 	project := func(sc *scope) ([]Value, []string, error) {
-		var vals []Value
-		var names []string
-		for _, item := range sel.Items {
-			if item.Star {
-				for i, rel := range rels {
-					if item.StarTable != "" && rel.alias != item.StarTable {
-						continue
-					}
-					vals = append(vals, sc.rows[i]...)
-					names = append(names, rel.cols...)
-				}
-				if item.StarTable != "" && !hasRel(rels, item.StarTable) {
-					return nil, nil, fmt.Errorf("sqldb: unknown relation %q in %s.*", item.StarTable, item.StarTable)
-				}
-				continue
-			}
-			v, err := ex.eval(item.Expr, sc)
-			if err != nil {
-				return nil, nil, err
-			}
-			vals = append(vals, v)
-			names = append(names, itemName(item))
-		}
-		return vals, names, nil
+		return ex.projectRow(sel, rels, sc)
 	}
 
 	orderKeys := func(sc *scope, projected []Value) ([]Value, error) {
@@ -126,6 +113,7 @@ func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) 
 
 	var columns []string
 	if grouped {
+		ex.note("group")
 		groups, err := ex.groupTuples(sel, tuples, mkScope)
 		if err != nil {
 			return nil, err
@@ -189,6 +177,7 @@ func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) 
 
 	// --- DISTINCT.
 	if sel.Distinct {
+		ex.note("distinct")
 		seen := make(map[string]bool, len(outputs))
 		kept := outputs[:0]
 		for _, o := range outputs {
@@ -208,6 +197,7 @@ func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) 
 
 	// --- ORDER BY (stable; NULLs sort first ascending, last descending).
 	if len(sel.OrderBy) > 0 {
+		ex.note("sort")
 		var sortErr error
 		sort.SliceStable(outputs, func(a, b int) bool {
 			for i, o := range sel.OrderBy {
@@ -237,6 +227,7 @@ func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) 
 		if off < 0 {
 			return nil, fmt.Errorf("sqldb: negative OFFSET")
 		}
+		ex.note("offset %d", off)
 		if off > len(outputs) {
 			off = len(outputs)
 		}
@@ -250,6 +241,7 @@ func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) 
 		if lim < len(outputs) {
 			outputs = outputs[:lim]
 		}
+		ex.note("limit %d", lim)
 	}
 
 	res := &Result{Columns: columns, Rows: make([][]Value, len(outputs))}
@@ -299,6 +291,36 @@ func itemName(item SelectItem) string {
 	}
 }
 
+// projectRow evaluates the select list against one row scope, returning the
+// projected values and output column names. Shared by the general pipeline
+// and the top-k streaming path so both produce identical projections.
+func (ex *executor) projectRow(sel *SelectStmt, rels []relation, sc *scope) ([]Value, []string, error) {
+	var vals []Value
+	var names []string
+	for _, item := range sel.Items {
+		if item.Star {
+			for i, rel := range rels {
+				if item.StarTable != "" && rel.alias != item.StarTable {
+					continue
+				}
+				vals = append(vals, sc.rows[i]...)
+				names = append(names, rel.cols...)
+			}
+			if item.StarTable != "" && !hasRel(rels, item.StarTable) {
+				return nil, nil, fmt.Errorf("sqldb: unknown relation %q in %s.*", item.StarTable, item.StarTable)
+			}
+			continue
+		}
+		v, err := ex.eval(item.Expr, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals = append(vals, v)
+		names = append(names, itemName(item))
+	}
+	return vals, names, nil
+}
+
 // staticColumns computes output column names without any rows.
 func (ex *executor) staticColumns(sel *SelectStmt, rels []relation) ([]string, error) {
 	var names []string
@@ -323,11 +345,12 @@ func (ex *executor) staticColumns(sel *SelectStmt, rels []relation) ([]string, e
 }
 
 // execFrom materializes the FROM clause into relations and joined tuples.
-// When the first FROM item is a stored table and a WHERE conjunct is
-// sargable against one of its secondary indexes, the table's rows are
-// pre-filtered through the index instead of scanned in full; the WHERE
-// clause is still evaluated over the survivors, so residual predicates and
-// three-valued logic behave exactly as in the scan path.
+// When the first FROM item is a stored table and WHERE conjuncts are
+// sargable against its secondary indexes, the table's rows are pre-filtered
+// through the planner's chosen access paths (single index scan or index
+// intersection) instead of scanned in full; the WHERE clause is still
+// evaluated over the survivors, so residual predicates and three-valued
+// logic behave exactly as in the scan path.
 func (ex *executor) execFrom(sel *SelectStmt, parent *scope) ([]relation, []tuple, error) {
 	refs := sel.From
 	if len(refs) == 0 {
@@ -337,16 +360,23 @@ func (ex *executor) execFrom(sel *SelectStmt, parent *scope) ([]relation, []tupl
 	var rels []relation
 	tuples := []tuple{{}}
 	for i, ref := range refs {
-		rel, rows, err := ex.sourceRows(ref, parent)
+		rel, rows, t, err := ex.sourceRows(ref, parent)
 		if err != nil {
 			return nil, nil, err
 		}
-		if i == 0 && ref.Subquery == nil && sel.Where != nil && !ex.db.DisableIndexScan {
-			if filtered, ok := ex.indexScan(ex.db.tables[ref.Name], rel, sel, parent); ok {
-				rows = filtered
+		if i == 0 && ref.Subquery == nil {
+			used := false
+			if sel.Where != nil && !ex.db.DisableIndexScan {
+				if filtered, ok := ex.indexScan(t, rel, sel, parent); ok {
+					rows, used = filtered, true
+				}
+			}
+			if !used {
+				planCounts.fullScan.Add(1)
+				ex.note("scan %s", rel.alias)
 			}
 		}
-		joined, err := ex.join(rels, tuples, rel, rows, ref.JoinCond, ref.LeftJoin, parent)
+		joined, err := ex.join(rels, tuples, rel, rows, t, ref.JoinCond, ref.LeftJoin, parent)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -354,305 +384,6 @@ func (ex *executor) execFrom(sel *SelectStmt, parent *scope) ([]relation, []tupl
 		tuples = joined
 	}
 	return rels, tuples, nil
-}
-
-// sarg is one index-usable WHERE conjunct: column op constant, with the
-// constant already evaluated (op "between" carries both bounds in v, hi).
-type sarg struct {
-	ix *tableIndex
-	op string
-	v  Value
-	hi Value
-}
-
-// indexScan tries to answer the sargable WHERE conjuncts on the first FROM
-// table through one of its secondary indexes. It returns the filtered rows
-// (a superset of the rows the full WHERE will keep — the residual WHERE
-// still runs over every returned row) and whether an index was used.
-//
-// Error parity with the scan path: an incomparable probe (text against a
-// numeric column) falls back to the full scan so the comparison error
-// surfaces identically, and when the index eliminates every row of a
-// non-empty table one sentinel row is kept so row-independent errors in
-// residual conjuncts (an unknown column, say) still surface from the WHERE
-// evaluation instead of being silently skipped. Row-dependent errors on
-// rows the index pruned are not re-raised — like any planner, choosing a
-// plan that never evaluates a predicate on a pruned row also skips that
-// row's evaluation errors.
-func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *scope) ([][]Value, bool) {
-	if t == nil || len(t.indexes) == 0 {
-		return nil, false
-	}
-	var conjs []Expr
-	collectConjuncts(sel.Where, &conjs)
-
-	var (
-		ix                 *tableIndex
-		eq, lo, hi         *Value
-		loStrict, hiStrict bool
-		empty              bool
-	)
-	tightenLo := func(v Value, strict bool) {
-		if lo == nil {
-			lo, loStrict = &v, strict
-			return
-		}
-		if c, _ := Compare(v, *lo); c > 0 || (c == 0 && strict && !loStrict) {
-			lo, loStrict = &v, strict
-		}
-	}
-	tightenHi := func(v Value, strict bool) {
-		if hi == nil {
-			hi, hiStrict = &v, strict
-			return
-		}
-		if c, _ := Compare(v, *hi); c < 0 || (c == 0 && strict && !hiStrict) {
-			hi, hiStrict = &v, strict
-		}
-	}
-	for _, c := range conjs {
-		sg, ok := ex.sargable(c, t, rel, sel, parent)
-		if !ok {
-			continue
-		}
-		if ix == nil {
-			ix = sg.ix
-		} else if sg.ix != ix {
-			continue // one index per scan; extra conjuncts stay residual
-		}
-		colType := t.Cols[ix.col].Type
-		if sg.v.IsNull() || (sg.op == "between" && sg.hi.IsNull()) {
-			// A comparison with NULL is never TRUE, and the conjunct is
-			// AND-ed into WHERE: no row can survive.
-			empty = true
-			continue
-		}
-		if !comparableWith(colType, sg.v) || (sg.op == "between" && !comparableWith(colType, sg.hi)) {
-			// Incomparable probe: scan so the type error surfaces exactly
-			// as it would without the index.
-			return nil, false
-		}
-		switch sg.op {
-		case "=":
-			if eq == nil {
-				v := sg.v
-				eq = &v
-			}
-		case "<":
-			tightenHi(sg.v, true)
-		case "<=":
-			tightenHi(sg.v, false)
-		case ">":
-			tightenLo(sg.v, true)
-		case ">=":
-			tightenLo(sg.v, false)
-		case "between":
-			tightenLo(sg.v, false)
-			tightenHi(sg.hi, false)
-		}
-	}
-	if ix == nil {
-		return nil, false
-	}
-	if eq == nil && lo == nil && hi == nil && !empty {
-		return nil, false
-	}
-	var pos []int
-	if !empty {
-		ix.ensure(t)
-		if ix.nan {
-			return nil, false // NaN in the column: only a scan has parity
-		}
-		if eq != nil {
-			// The bucket is built by scanning t.rows in order, so it is
-			// already ascending; it is shared with the index — read only.
-			pos = ix.lookupEqual(*eq)
-		} else {
-			pos = ix.lookupRange(lo, hi, loStrict, hiStrict)
-			sort.Ints(pos) // restore table order across key buckets
-		}
-	}
-	if len(pos) == 0 && len(t.rows) > 0 {
-		// Keep one sentinel row: the sargable conjunct is not TRUE on it,
-		// so the residual WHERE drops it — but row-independent errors in
-		// other conjuncts still surface (see the error-parity note above).
-		pos = []int{0}
-	}
-	rows := make([][]Value, len(pos))
-	for i, p := range pos {
-		rows[i] = t.rows[p]
-	}
-	return rows, true
-}
-
-// collectConjuncts flattens a WHERE tree over AND into its conjuncts.
-func collectConjuncts(e Expr, out *[]Expr) {
-	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
-		collectConjuncts(be.L, out)
-		collectConjuncts(be.R, out)
-		return
-	}
-	*out = append(*out, e)
-}
-
-// sargable decides whether one conjunct has the shape `indexed-column op
-// constant` (either orientation, or BETWEEN with constant bounds), where
-// "constant" means: no reference to any relation of this FROM clause, so
-// the value is fixed for the whole scan (literals, parameters, and
-// correlated references to enclosing scopes all qualify).
-func (ex *executor) sargable(c Expr, t *Table, rel relation, sel *SelectStmt, parent *scope) (sarg, bool) {
-	switch n := c.(type) {
-	case *BinaryExpr:
-		if n.Quant != "" || n.Sub != nil {
-			return sarg{}, false
-		}
-		switch n.Op {
-		case "=", "<", "<=", ">", ">=":
-		default:
-			return sarg{}, false
-		}
-		if ix := ex.sargColumn(n.L, t, rel, sel); ix != nil && ex.outerConst(n.R, sel) {
-			v, err := ex.eval(n.R, parent)
-			if err != nil {
-				return sarg{}, false
-			}
-			return sarg{ix: ix, op: n.Op, v: v}, true
-		}
-		if ix := ex.sargColumn(n.R, t, rel, sel); ix != nil && ex.outerConst(n.L, sel) {
-			v, err := ex.eval(n.L, parent)
-			if err != nil {
-				return sarg{}, false
-			}
-			return sarg{ix: ix, op: flipCmp(n.Op), v: v}, true
-		}
-	case *BetweenExpr:
-		if n.Not {
-			return sarg{}, false
-		}
-		ix := ex.sargColumn(n.E, t, rel, sel)
-		if ix == nil || !ex.outerConst(n.Lo, sel) || !ex.outerConst(n.Hi, sel) {
-			return sarg{}, false
-		}
-		lo, err := ex.eval(n.Lo, parent)
-		if err != nil {
-			return sarg{}, false
-		}
-		hi, err := ex.eval(n.Hi, parent)
-		if err != nil {
-			return sarg{}, false
-		}
-		return sarg{ix: ix, op: "between", v: lo, hi: hi}, true
-	}
-	return sarg{}, false
-}
-
-// flipCmp mirrors a comparison for the `constant op column` orientation.
-func flipCmp(op string) string {
-	switch op {
-	case "<":
-		return ">"
-	case "<=":
-		return ">="
-	case ">":
-		return "<"
-	case ">=":
-		return "<="
-	default:
-		return op
-	}
-}
-
-// sargColumn resolves e as an indexed column of the scan table, returning
-// nil when e is not a column of that table, when the reference could be
-// ambiguous against another FROM item, or when no index covers it.
-func (ex *executor) sargColumn(e Expr, t *Table, rel relation, sel *SelectStmt) *tableIndex {
-	cr, ok := e.(*ColumnRef)
-	if !ok {
-		return nil
-	}
-	ci, ok := t.colIdx[cr.Column]
-	if !ok {
-		return nil
-	}
-	if cr.Table != "" {
-		if cr.Table != rel.alias {
-			return nil
-		}
-		for _, other := range sel.From[1:] {
-			if fromAlias(other) == rel.alias {
-				return nil // duplicate alias: resolution is ambiguous
-			}
-		}
-	} else {
-		for _, other := range sel.From[1:] {
-			if other.Subquery != nil {
-				return nil // unknown columns: could shadow or be ambiguous
-			}
-			ot, ok := ex.db.tables[other.Name]
-			if !ok {
-				return nil
-			}
-			if _, dup := ot.colIdx[cr.Column]; dup {
-				return nil // ambiguous with a joined table's column
-			}
-		}
-	}
-	return t.indexOn(ci)
-}
-
-// outerConst reports whether e cannot reference any relation or select
-// alias of this query level, making it constant for the whole scan.
-func (ex *executor) outerConst(e Expr, sel *SelectStmt) bool {
-	switch n := e.(type) {
-	case *Literal, *ParamExpr:
-		return true
-	case *ColumnRef:
-		if n.Table != "" {
-			for _, ref := range sel.From {
-				if fromAlias(ref) == n.Table {
-					return false
-				}
-			}
-			return true // qualified with an enclosing scope's alias
-		}
-		for _, ref := range sel.From {
-			if ref.Subquery != nil {
-				return false
-			}
-			ot, ok := ex.db.tables[ref.Name]
-			if !ok {
-				return false
-			}
-			if _, local := ot.colIdx[n.Column]; local {
-				return false
-			}
-		}
-		for _, item := range sel.Items {
-			if item.Alias == n.Column {
-				return false // select-list alias would shadow the outer name
-			}
-		}
-		return true
-	case *UnaryExpr:
-		return ex.outerConst(n.E, sel)
-	case *BinaryExpr:
-		if n.Quant != "" || n.Sub != nil {
-			return false
-		}
-		return ex.outerConst(n.L, sel) && ex.outerConst(n.R, sel)
-	case *FuncCall:
-		if n.Star || aggregateFuncs[n.Name] {
-			return false
-		}
-		for _, a := range n.Args {
-			if !ex.outerConst(a, sel) {
-				return false
-			}
-		}
-		return true
-	default:
-		return false // subqueries, CASE, LIKE, ...: conservatively local
-	}
 }
 
 // fromAlias is the name a FROM item is visible under.
@@ -663,34 +394,73 @@ func fromAlias(ref TableRef) string {
 	return ref.Name
 }
 
-// sourceRows resolves one FROM item to a relation and its rows.
-func (ex *executor) sourceRows(ref TableRef, parent *scope) (relation, [][]Value, error) {
+// sourceRows resolves one FROM item to a relation, its rows and, for stored
+// tables, the backing *Table (nil for subqueries) so join planning can
+// probe its indexes.
+func (ex *executor) sourceRows(ref TableRef, parent *scope) (relation, [][]Value, *Table, error) {
 	if ref.Subquery != nil {
 		res, err := ex.execSelect(ref.Subquery, parent)
 		if err != nil {
-			return relation{}, nil, err
+			return relation{}, nil, nil, err
 		}
-		return relationFromResult(ref.Alias, res), res.Rows, nil
+		return relationFromResult(ref.Alias, res), res.Rows, nil, nil
 	}
 	t, ok := ex.db.tables[ref.Name]
 	if !ok {
-		return relation{}, nil, fmt.Errorf("sqldb: unknown table %q", ref.Name)
+		return relation{}, nil, nil, fmt.Errorf("sqldb: unknown table %q", ref.Name)
 	}
 	rel := relationOf(t)
 	if ref.Alias != "" {
 		rel.alias = ref.Alias
 	}
-	return rel, t.rows, nil
+	return rel, t.rows, t, nil
 }
 
 // join combines existing tuples with a new relation's rows, applying the
-// optional join condition. Simple equi-joins use a hash join unless
-// disabled. When leftJoin is set, tuples with no matching row are kept and
-// padded with a NULL row for the new relation.
-func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][]Value, cond Expr, leftJoin bool, parent *scope) ([]tuple, error) {
-	if cond != nil && !ex.db.DisableHashJoin && len(rels) > 0 {
+// optional join condition. Simple equi-joins probe a single-column index of
+// the inner table with each outer row's key (index nested-loop join) when
+// one exists, and fall back to a hash join (unless disabled), then to the
+// nested loop. When leftJoin is set, tuples with no matching row are kept
+// and padded with a NULL row for the new relation.
+func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][]Value, t *Table, cond Expr, leftJoin bool, parent *scope) ([]tuple, error) {
+	kind := "join"
+	if leftJoin {
+		kind = "left join"
+	}
+	if cond != nil && len(rels) > 0 {
 		if left, right, ok := splitEquiJoin(cond, rels, rel); ok {
-			return ex.hashJoin(rels, tuples, rel, rows, left, right, leftJoin, parent)
+			// Index nested-loop: the inner side must be a bare column of a
+			// stored table with a single-column index (the inner rows are
+			// then exactly t.rows, so index positions address them), and
+			// the index must be NaN-free (Compare treats NaN as equal to
+			// every number; only the hash/scan paths reproduce that).
+			if !ex.db.DisableIndexScan && t != nil {
+				if cr, isCol := right.(*ColumnRef); isCol {
+					if ci, ok := t.colIdx[cr.Column]; ok {
+						if ix := t.indexOn(ci); ix != nil {
+							ix.ensure(t)
+							if !ix.nan {
+								planCounts.indexJoin.Add(1)
+								ex.note("%s %s using index nested loop (%s)", kind, rel.alias, ix.name)
+								return ex.indexNestedLoopJoin(rels, tuples, rel, t, ix, left, leftJoin, parent)
+							}
+						}
+					}
+				}
+			}
+			if !ex.db.DisableHashJoin {
+				planCounts.hashJoin.Add(1)
+				ex.note("%s %s using hash join", kind, rel.alias)
+				return ex.hashJoin(rels, tuples, rel, rows, left, right, leftJoin, parent)
+			}
+		}
+	}
+	if len(rels) > 0 {
+		if cond == nil {
+			ex.note("cross join %s", rel.alias)
+		} else {
+			planCounts.nestedLoopJoin.Add(1)
+			ex.note("%s %s using nested loop", kind, rel.alias)
 		}
 	}
 	var out []tuple
@@ -716,6 +486,49 @@ func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][
 			}
 			matched = true
 			out = append(out, nt)
+		}
+		if leftJoin && !matched {
+			out = append(out, padTuple(tp, rel))
+		}
+	}
+	return out, nil
+}
+
+// indexNestedLoopJoin matches each outer tuple against the inner table by
+// probing ix (a single-column index on the join column) with the outer join
+// key. Match semantics are byte-identical to the hash join's: candidates
+// come from the normalized index bucket, then each is verified with the
+// same Value.key() equality the hash join groups by (the index normalizes
+// BOOL to its numeric key and -0.0 to 0.0, which Value.key() does not — the
+// verification keeps the two join paths in exact agreement). NULL keys
+// never join on either side.
+func (ex *executor) indexNestedLoopJoin(rels []relation, tuples []tuple, rel relation, t *Table, ix *tableIndex, left Expr, leftJoin bool, parent *scope) ([]tuple, error) {
+	col := ix.cols[0]
+	probe := make([]Value, 1)
+	var out []tuple
+	for _, tp := range tuples {
+		sc := newScope(parent)
+		for i, lr := range rels {
+			sc.push(lr, tp[i])
+		}
+		v, err := ex.eval(left, sc)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		if !v.IsNull() {
+			probe[0] = v
+			pk := v.key()
+			for _, ri := range ix.lookupEqual(probe) {
+				if t.rows[ri][col].key() != pk {
+					continue
+				}
+				nt := make(tuple, len(tp)+1)
+				copy(nt, tp)
+				nt[len(tp)] = t.rows[ri]
+				out = append(out, nt)
+				matched = true
+			}
 		}
 		if leftJoin && !matched {
 			out = append(out, padTuple(tp, rel))

@@ -1,0 +1,178 @@
+package sqldb
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the EXPLAIN golden files under testdata/explain")
+
+// explainFixture is a deterministic session-shaped database carrying every
+// index shape the planner knows, so each golden case demonstrates one plan.
+func explainFixture(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec("CREATE TABLE candidates (time INT, income FLOAT, diff FLOAT, gap INT, p FLOAT)")
+	db.MustExec("CREATE TABLE temporal_inputs (time INT, income FLOAT)")
+	var cands [][]Value
+	for tm := 0; tm < 4; tm++ {
+		for i := 0; i < 6; i++ {
+			cands = append(cands, []Value{
+				Int(int64(tm)),
+				Float(40000 + float64(i*1000)),
+				Float(float64((tm*7+i*3)%11) / 2),
+				Int(int64(i % 3)),
+				Float(float64((tm*5+i)%10) / 10),
+			})
+		}
+	}
+	if err := db.InsertRows("candidates", cands); err != nil {
+		t.Fatal(err)
+	}
+	var ti [][]Value
+	for tm := 0; tm < 4; tm++ {
+		ti = append(ti, []Value{Int(int64(tm)), Float(48000)})
+	}
+	if err := db.InsertRows("temporal_inputs", ti); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
+	db.MustExec("CREATE INDEX candidates_diff ON candidates (diff)")
+	db.MustExec("CREATE INDEX candidates_p ON candidates (p)")
+	db.MustExec("CREATE INDEX candidates_gap_diff ON candidates (gap, diff)")
+	db.MustExec("CREATE INDEX candidates_time_p ON candidates (time, p)")
+	db.MustExec("CREATE INDEX temporal_inputs_time ON temporal_inputs (time)")
+	return db
+}
+
+// TestExplainGolden renders EXPLAIN for one query per plan shape and diffs
+// it against testdata/explain/<name>.golden; run with -update to accept
+// intentional plan changes as readable diffs in review.
+func TestExplainGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"full_scan", "SELECT * FROM candidates"},
+		{"index_eq", "SELECT * FROM candidates WHERE time = 3"},
+		{"index_range", "SELECT COUNT(*) FROM candidates WHERE p > 0.5"},
+		{"composite_prefix", "SELECT COUNT(*) FROM candidates WHERE time = 3 AND p > 0.5"},
+		{"index_intersection", "SELECT COUNT(*) FROM candidates WHERE time = 2 AND gap <= 1"},
+		{"null_probe", "SELECT * FROM candidates WHERE time = NULL"},
+		{"index_join", "SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON ti.time = c.time"},
+		{"hash_join", "SELECT COUNT(*) FROM candidates c LEFT JOIN temporal_inputs ti ON c.income = ti.income"},
+		{"nested_loop_join", "SELECT COUNT(*) FROM temporal_inputs a INNER JOIN temporal_inputs b ON a.time < b.time"},
+		{"topk_desc", "SELECT * FROM candidates ORDER BY p DESC LIMIT 1"},
+		{"topk_eq_prefix", "SELECT * FROM candidates WHERE time = 2 ORDER BY p DESC LIMIT 3"},
+		{"topk_composite", "SELECT * FROM candidates ORDER BY gap, diff LIMIT 1"},
+		{"sort_fallback", "SELECT * FROM candidates ORDER BY income LIMIT 2"},
+		{"dominant_feature", `SELECT distinct time as t FROM candidates WHERE EXISTS
+(SELECT * FROM candidates as cnd INNER JOIN temporal_inputs as ti ON ti.time = cnd.time
+ WHERE cnd.time = t AND gap <= 1
+ AND ((gap = 0) OR (gap = 1 AND cnd.income != ti.income))) ORDER BY t`},
+		{"turning_point", `SELECT Min(time) FROM candidates WHERE p > 0.5 AND time > ALL
+(SELECT ti.time FROM temporal_inputs ti WHERE NOT EXISTS
+ (SELECT * FROM candidates c WHERE c.time = ti.time AND c.p > 0.5))`},
+	}
+	db := explainFixture(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := db.Query("EXPLAIN " + tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+				t.Fatalf("EXPLAIN columns = %v", res.Columns)
+			}
+			var lines []string
+			for _, row := range res.Rows {
+				s, _ := row[0].AsText()
+				lines = append(lines, s)
+			}
+			got := strings.Join(lines, "\n") + "\n"
+			path := filepath.Join("testdata", "explain", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run go test ./internal/sqldb -run TestExplainGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan changed for %q:\n--- want\n%s--- got\n%s", tc.sql, want, got)
+			}
+		})
+	}
+}
+
+// TestExplainExecutesForReal pins the EXPLAIN contract: the query actually
+// runs, so execution errors surface and parameters bind.
+func TestExplainExecutesForReal(t *testing.T) {
+	db := explainFixture(t)
+	if _, err := db.Query("EXPLAIN SELECT bogus FROM candidates"); err == nil {
+		t.Fatal("EXPLAIN of an erroring query should error")
+	}
+	res, err := db.Query("EXPLAIN SELECT * FROM candidates WHERE time = ? ORDER BY p DESC LIMIT 1", Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := resultPlanText(res)
+	if !strings.Contains(joined, "top-k scan candidates using index candidates_time_p") {
+		t.Errorf("parameterized EXPLAIN missed the top-k plan:\n%s", joined)
+	}
+	// EXPLAIN is Query-only.
+	if _, err := db.Exec("EXPLAIN SELECT * FROM candidates"); err == nil {
+		t.Fatal("EXPLAIN via Exec should error")
+	}
+	st := MustPrepare("EXPLAIN SELECT * FROM candidates")
+	if !st.IsSelect() {
+		t.Fatal("EXPLAIN must be classified read-only (IsSelect)")
+	}
+}
+
+// TestPlanCountersAdvance asserts the per-shape counters move when their
+// plans run (deltas only: the counters are process-wide).
+func TestPlanCountersAdvance(t *testing.T) {
+	db := explainFixture(t)
+	checks := []struct {
+		key string
+		sql string
+	}{
+		{"full_scan", "SELECT COUNT(*) FROM candidates"},
+		{"index_scan", "SELECT COUNT(*) FROM candidates WHERE time = 1"},
+		{"index_intersection", "SELECT COUNT(*) FROM candidates WHERE time = 1 AND gap <= 1"},
+		{"empty_probe", "SELECT COUNT(*) FROM candidates WHERE time = NULL"},
+		{"top_k", "SELECT * FROM candidates ORDER BY p DESC LIMIT 1"},
+		{"index_join", "SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON ti.time = c.time"},
+		{"hash_join", "SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON c.income = ti.income"},
+		{"nested_loop_join", "SELECT COUNT(*) FROM temporal_inputs a INNER JOIN temporal_inputs b ON a.time < b.time"},
+	}
+	for _, c := range checks {
+		before := PlanCounters()[c.key]
+		if _, err := db.Query(c.sql); err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if after := PlanCounters()[c.key]; after <= before {
+			t.Errorf("%s: counter %q did not advance (%d -> %d)", c.sql, c.key, before, after)
+		}
+	}
+}
+
+func resultPlanText(res *Result) string {
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		s, _ := row[0].AsText()
+		fmt.Fprintln(&sb, s)
+	}
+	return sb.String()
+}

@@ -3,13 +3,19 @@ package sqldb
 import (
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
-// tableIndex is a secondary index over one column: a hash table from value
-// key to row positions for equality lookups, plus the distinct keys in
-// sorted order for range scans. NULLs are not indexed (no comparison
-// matches them).
+// tableIndex is a secondary index over one or more columns: a hash table
+// from full key tuples to row positions for equality lookups, plus the
+// distinct key tuples in lexicographic sorted order for range scans, prefix
+// scans and top-k streaming. A row is excluded from the key structures when
+// ANY indexed column is NULL (no comparison matches a NULL); the excluded
+// rows are remembered in nullRows so prefix scans that constrain only a
+// leading subset of the columns can still return a superset of the matching
+// rows, and so top-k scans can place NULL order keys first or last.
 //
 // The index is built lazily: lookups call ensure, which compares the
 // version the index was built at against the table's mutation counter and
@@ -19,16 +25,20 @@ import (
 // later readers wait, then everyone reads the immutable built state.
 type tableIndex struct {
 	name string
-	col  int
+	cols []int // indexed column positions, most significant first
 
 	mu      sync.Mutex
 	built   uint64 // table version the structures below reflect; 0 = never
 	hash    map[string][]int
-	keys    []Value // distinct non-null keys, sorted by Compare
-	keyRows [][]int // row positions per key, aligned with keys
-	// nan records that the column holds a NaN: Compare treats NaN as equal
-	// to every number, which neither the hash keys nor the sorted order
-	// can represent, so the index disables itself and scans keep parity.
+	keys    [][]Value // distinct key tuples, sorted lexicographically by Compare
+	keyRows [][]int   // row positions per key, aligned with keys, ascending
+	// nullRows are the positions excluded from keys because some indexed
+	// column is NULL, in ascending row order.
+	nullRows []int
+	// nan records that an indexed column holds a NaN: Compare treats NaN as
+	// equal to every number, which neither the hash keys nor the sorted
+	// order can represent, so the index disables itself and scans keep
+	// parity.
 	nan bool
 }
 
@@ -48,6 +58,31 @@ func indexKey(v Value) (string, bool) {
 	return "", false
 }
 
+// compositeKey concatenates per-column keys unambiguously (length-prefixed,
+// so a TEXT key containing the separator of another cannot collide).
+func compositeKey(parts []string) string {
+	var sb strings.Builder
+	for _, p := range parts {
+		sb.WriteString(strconv.Itoa(len(p)))
+		sb.WriteByte(':')
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
+
+// compareKeyTuples orders two key tuples lexicographically. Keys of one
+// column share a comparable group (values are coerced to the column type on
+// insert), so Compare cannot fail here.
+func compareKeyTuples(a, b []Value) int {
+	for i := range a {
+		c, _ := Compare(a[i], b[i])
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
 // ensure (re)builds the index if the table mutated since the last build.
 func (ix *tableIndex) ensure(t *Table) {
 	ix.mu.Lock()
@@ -56,27 +91,40 @@ func (ix *tableIndex) ensure(t *Table) {
 		return
 	}
 	hash := make(map[string][]int)
-	var keys []Value
+	var keys [][]Value
 	var keyRows [][]int
+	var nullRows []int
 	nan := false
 	pos := make(map[string]int)
+	parts := make([]string, len(ix.cols))
+rows:
 	for ri, row := range t.rows {
-		v := row[ix.col]
-		if v.IsNull() {
-			continue
+		for i, ci := range ix.cols {
+			v := row[ci]
+			if v.IsNull() {
+				nullRows = append(nullRows, ri)
+				continue rows
+			}
+			if f, isNum := v.AsFloat(); isNum && math.IsNaN(f) {
+				nan = true
+			}
+			k, ok := indexKey(v)
+			if !ok { // unreachable for non-null values; keep the superset honest
+				nullRows = append(nullRows, ri)
+				continue rows
+			}
+			parts[i] = k
 		}
-		if f, isNum := v.AsFloat(); isNum && math.IsNaN(f) {
-			nan = true
-		}
-		k, ok := indexKey(v)
-		if !ok {
-			continue
-		}
+		k := compositeKey(parts)
 		if i, seen := pos[k]; seen {
 			keyRows[i] = append(keyRows[i], ri)
 		} else {
+			tup := make([]Value, len(ix.cols))
+			for i, ci := range ix.cols {
+				tup[i] = row[ci]
+			}
 			pos[k] = len(keys)
-			keys = append(keys, v)
+			keys = append(keys, tup)
 			keyRows = append(keyRows, []int{ri})
 		}
 	}
@@ -85,59 +133,87 @@ func (ix *tableIndex) ensure(t *Table) {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
-		// Keys of one column share a comparable group (values are coerced
-		// to the column type on insert), so Compare cannot fail here.
-		c, _ := Compare(keys[order[a]], keys[order[b]])
-		return c < 0
+		return compareKeyTuples(keys[order[a]], keys[order[b]]) < 0
 	})
-	sortedKeys := make([]Value, len(keys))
+	sortedKeys := make([][]Value, len(keys))
 	sortedRows := make([][]int, len(keys))
 	for i, o := range order {
 		sortedKeys[i] = keys[o]
 		sortedRows[i] = keyRows[o]
-		k, _ := indexKey(keys[o])
-		hash[k] = keyRows[o]
+	}
+	// pos already maps each composite key to its tuple slot; the row
+	// buckets are shared with sortedRows, so no key re-derivation needed.
+	for k, i := range pos {
+		hash[k] = keyRows[i]
 	}
 	ix.hash = hash
 	ix.keys = sortedKeys
 	ix.keyRows = sortedRows
+	ix.nullRows = nullRows
 	ix.nan = nan
 	ix.built = t.version
 }
 
-// lookupEqual returns the positions of rows whose key equals v. Call ensure
-// first. v must be comparable with the column (see comparableWith).
-func (ix *tableIndex) lookupEqual(v Value) []int {
-	k, ok := indexKey(v)
-	if !ok {
-		return nil
+// lookupEqual returns the positions of rows whose full key tuple equals
+// vals (one probe per indexed column). Call ensure first. The returned
+// slice is shared with the index — read only. Positions are ascending.
+func (ix *tableIndex) lookupEqual(vals []Value) []int {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		k, ok := indexKey(v)
+		if !ok {
+			return nil
+		}
+		parts[i] = k
 	}
-	return ix.hash[k]
+	return ix.hash[compositeKey(parts)]
 }
 
-// lookupRange returns the positions of rows whose key lies between lo and
-// hi (nil bound = unbounded; strict excludes the bound). Call ensure first.
-func (ix *tableIndex) lookupRange(lo, hi *Value, loStrict, hiStrict bool) []int {
-	start := 0
-	if lo != nil {
-		start = sort.Search(len(ix.keys), func(i int) bool {
-			c, _ := Compare(ix.keys[i], *lo)
-			if loStrict {
-				return c > 0
-			}
-			return c >= 0
-		})
-	}
-	end := len(ix.keys)
-	if hi != nil {
-		end = sort.Search(len(ix.keys), func(i int) bool {
-			c, _ := Compare(ix.keys[i], *hi)
-			if hiStrict {
-				return c >= 0
-			}
+// prefixRange returns the half-open key range [start, end) of tuples whose
+// leading len(eq) columns equal eq and whose next column, when lo/hi are
+// set, lies within the bounds (strict excludes the bound). With empty eq
+// and nil bounds this is the whole key space. Call ensure first.
+func (ix *tableIndex) prefixRange(eq []Value, lo, hi *Value, loStrict, hiStrict bool) (int, int) {
+	m := len(eq)
+	start := sort.Search(len(ix.keys), func(i int) bool {
+		k := ix.keys[i]
+		if c := compareKeyTuples(k[:m], eq); c != 0 {
 			return c > 0
-		})
+		}
+		if lo == nil {
+			return true
+		}
+		c, _ := Compare(k[m], *lo)
+		if loStrict {
+			return c > 0
+		}
+		return c >= 0
+	})
+	end := sort.Search(len(ix.keys), func(i int) bool {
+		k := ix.keys[i]
+		if c := compareKeyTuples(k[:m], eq); c != 0 {
+			return c > 0
+		}
+		if hi == nil {
+			return false
+		}
+		c, _ := Compare(k[m], *hi)
+		if hiStrict {
+			return c >= 0
+		}
+		return c > 0
+	})
+	if end < start {
+		end = start
 	}
+	return start, end
+}
+
+// lookupPrefixRange gathers the row positions of every key in the prefix
+// range (see prefixRange). The returned slice is freshly allocated; the
+// positions are NOT globally sorted (they follow key order).
+func (ix *tableIndex) lookupPrefixRange(eq []Value, lo, hi *Value, loStrict, hiStrict bool) []int {
+	start, end := ix.prefixRange(eq, lo, hi, loStrict, hiStrict)
 	var out []int
 	for i := start; i < end; i++ {
 		out = append(out, ix.keyRows[i]...)
@@ -145,7 +221,7 @@ func (ix *tableIndex) lookupRange(lo, hi *Value, loStrict, hiStrict bool) []int 
 	return out
 }
 
-// comparableWith reports whether probing the index's column (declared type
+// comparableWith reports whether probing an indexed column (declared type
 // colType) with v has well-defined Compare semantics. When it does not, the
 // caller must fall back to a full scan so type errors surface exactly as in
 // the unindexed path.

@@ -23,7 +23,10 @@ type MutationLogger interface {
 	LogInsertRows(table string, rows [][]Value) error
 	// LogCreateTable records a typed table creation.
 	LogCreateTable(name string, cols []Column) error
-	// LogCreateIndex records a typed index creation.
+	// LogCreateIndex records a typed index creation. column carries the
+	// indexed column names joined with "," for composite indexes (the form
+	// DB.CreateIndex accepts back on replay), keeping the WAL record layout
+	// identical to the single-column era.
 	LogCreateIndex(name, table, column string) error
 }
 

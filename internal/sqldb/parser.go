@@ -84,6 +84,15 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case p.at(tkKeyword, "DROP"):
 		return p.parseDrop()
+	case p.at(tkIdent, "") && strings.EqualFold(p.cur().text, "EXPLAIN"):
+		// EXPLAIN is contextual (columns named "explain" keep working): a
+		// statement can never start with a bare identifier otherwise.
+		p.next()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Sel: sel}, nil
 	default:
 		return nil, p.errorf("expected a statement, got %q", p.cur().text)
 	}
@@ -153,7 +162,8 @@ func (p *parser) parseCreate() (Statement, error) {
 }
 
 // parseCreateIndex parses the tail of CREATE INDEX [IF NOT EXISTS] name ON
-// table (column). Only single-column indexes are supported.
+// table (col, ...); composite indexes list the most significant key part
+// first.
 func (p *parser) parseCreateIndex() (Statement, error) {
 	ifNotExists := false
 	if p.accept(tkKeyword, "IF") {
@@ -179,14 +189,21 @@ func (p *parser) parseCreateIndex() (Statement, error) {
 	if _, err := p.expect(tkSymbol, "("); err != nil {
 		return nil, err
 	}
-	col, err := p.parseIdent()
-	if err != nil {
-		return nil, err
+	var cols []string
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if !p.accept(tkSymbol, ",") {
+			break
+		}
 	}
 	if _, err := p.expect(tkSymbol, ")"); err != nil {
 		return nil, err
 	}
-	return &CreateIndexStmt{Name: name, Table: table, Column: col, IfNotExists: ifNotExists}, nil
+	return &CreateIndexStmt{Name: name, Table: table, Columns: cols, IfNotExists: ifNotExists}, nil
 }
 
 func (p *parser) parseColumnType() (Type, error) {

@@ -273,6 +273,37 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseCompositeIndexAndExplain(t *testing.T) {
+	st, err := Parse("CREATE INDEX t_ab ON t (a, b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := st.(*CreateIndexStmt)
+	if !ok || len(ci.Columns) != 3 || ci.Columns[0] != "a" || ci.Columns[2] != "c" {
+		t.Fatalf("composite CREATE INDEX parsed as %+v", st)
+	}
+	st, err = Parse("EXPLAIN SELECT * FROM t WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*ExplainStmt); !ok {
+		t.Fatalf("EXPLAIN parsed as %T", st)
+	}
+	// EXPLAIN is contextual: a column named explain still works.
+	if _, err := Parse("SELECT explain FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"EXPLAIN INSERT INTO t VALUES (1)", // SELECT only
+		"CREATE INDEX i ON t ()",
+		"EXPLAIN",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
 func TestParseTrailingSemicolonAndComments(t *testing.T) {
 	for _, q := range []string{
 		"SELECT 1;",

@@ -19,6 +19,8 @@ func fixtureDB(t *testing.T) *sqldb.DB {
 	db.MustExec("INSERT INTO items VALUES (3, 'gamma', -7.5, NULL)")
 	db.MustExec("CREATE TABLE empty (x INT, y TEXT)")
 	db.MustExec("CREATE INDEX items_id ON items (id)")
+	// Composite: rides the snapshot/WAL wire as the comma-joined "id,score".
+	db.MustExec("CREATE INDEX items_id_score ON items (id, score)")
 	return db
 }
 

@@ -1,0 +1,765 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the cost-aware access-path planner behind SELECT execution:
+// it decides, per query level, how the first FROM table is scanned (full
+// scan, single/composite index scan, index intersection, or an impossible
+// NULL probe) and whether an ORDER BY ... LIMIT can stream top-k rows out
+// of a sorted index instead of materializing and sorting. Index
+// nested-loop joins live in exec.go next to the other join strategies.
+//
+// Error parity with the scan path is the planner's contract (the
+// differential harness asserts it): an incomparable probe falls back to
+// the full scan so the type error surfaces identically, and when a plan
+// eliminates every row of a non-empty table one sentinel row is kept so
+// row-independent errors in residual predicates (an unknown column, say)
+// still surface. Row-dependent errors on rows the plan pruned are not
+// re-raised — like any planner, choosing a plan that never evaluates a
+// predicate on a pruned row also skips that row's evaluation errors.
+
+// colSarg accumulates the index-usable constraints on one column of the
+// scan table: at most one equality probe (first wins; later equalities stay
+// residual) and the tightest lower/upper bounds.
+type colSarg struct {
+	eq       *Value
+	lo, hi   *Value
+	loStrict bool
+	hiStrict bool
+}
+
+func (s *colSarg) tightenLo(v Value, strict bool) {
+	if s.lo == nil {
+		s.lo, s.loStrict = &v, strict
+		return
+	}
+	if c, _ := Compare(v, *s.lo); c > 0 || (c == 0 && strict && !s.loStrict) {
+		s.lo, s.loStrict = &v, strict
+	}
+}
+
+func (s *colSarg) tightenHi(v Value, strict bool) {
+	if s.hi == nil {
+		s.hi, s.hiStrict = &v, strict
+		return
+	}
+	if c, _ := Compare(v, *s.hi); c < 0 || (c == 0 && strict && !s.hiStrict) {
+		s.hi, s.hiStrict = &v, strict
+	}
+}
+
+func (s *colSarg) hasRange() bool { return s.lo != nil || s.hi != nil }
+
+// sargSet is every per-column constraint extracted from the WHERE conjuncts
+// of one query level, keyed by column position of the scan table.
+type sargSet struct {
+	byCol map[int]*colSarg
+	// empty records a NULL probe on an indexable column: the conjunct is
+	// AND-ed into WHERE and a comparison with NULL is never TRUE, so no row
+	// can survive.
+	empty bool
+}
+
+// sarg is one index-usable WHERE conjunct in raw form: column op constant,
+// with the constant already evaluated (op "between" carries both bounds).
+type sarg struct {
+	ci int
+	op string
+	v  Value
+	hi Value
+}
+
+// collectSargs extracts the sargable conjuncts of sel.Where that touch an
+// indexed column of the scan table. ok=false demands a full-scan fallback
+// (an incomparable probe must surface its type error exactly as the scan
+// path would).
+func (ex *executor) collectSargs(t *Table, rel relation, sel *SelectStmt, parent *scope) (sargSet, bool) {
+	set := sargSet{byCol: make(map[int]*colSarg)}
+	indexed := t.indexedCols()
+	var conjs []Expr
+	collectConjuncts(sel.Where, &conjs)
+	for _, c := range conjs {
+		sg, ok := ex.sargable(c, t, rel, sel, parent)
+		if !ok || !indexed[sg.ci] {
+			continue // stays residual
+		}
+		colType := t.Cols[sg.ci].Type
+		if sg.v.IsNull() || (sg.op == "between" && sg.hi.IsNull()) {
+			set.empty = true
+			continue
+		}
+		if !comparableWith(colType, sg.v) || (sg.op == "between" && !comparableWith(colType, sg.hi)) {
+			return sargSet{}, false
+		}
+		cs := set.byCol[sg.ci]
+		if cs == nil {
+			cs = &colSarg{}
+			set.byCol[sg.ci] = cs
+		}
+		switch sg.op {
+		case "=":
+			if cs.eq == nil {
+				v := sg.v
+				cs.eq = &v
+			}
+		case "<":
+			cs.tightenHi(sg.v, true)
+		case "<=":
+			cs.tightenHi(sg.v, false)
+		case ">":
+			cs.tightenLo(sg.v, true)
+		case ">=":
+			cs.tightenLo(sg.v, false)
+		case "between":
+			cs.tightenLo(sg.v, false)
+			cs.tightenHi(sg.hi, false)
+		}
+	}
+	return set, true
+}
+
+// sargable decides whether one conjunct has the shape `column op constant`
+// (either orientation, or BETWEEN with constant bounds), where "constant"
+// means: no reference to any relation of this FROM clause, so the value is
+// fixed for the whole scan (literals, parameters, and correlated references
+// to enclosing scopes all qualify).
+func (ex *executor) sargable(c Expr, t *Table, rel relation, sel *SelectStmt, parent *scope) (sarg, bool) {
+	switch n := c.(type) {
+	case *BinaryExpr:
+		if n.Quant != "" || n.Sub != nil {
+			return sarg{}, false
+		}
+		switch n.Op {
+		case "=", "<", "<=", ">", ">=":
+		default:
+			return sarg{}, false
+		}
+		if ci, ok := ex.sargColumn(n.L, t, rel, sel); ok && ex.outerConst(n.R, sel) {
+			v, err := ex.eval(n.R, parent)
+			if err != nil {
+				return sarg{}, false
+			}
+			return sarg{ci: ci, op: n.Op, v: v}, true
+		}
+		if ci, ok := ex.sargColumn(n.R, t, rel, sel); ok && ex.outerConst(n.L, sel) {
+			v, err := ex.eval(n.L, parent)
+			if err != nil {
+				return sarg{}, false
+			}
+			return sarg{ci: ci, op: flipCmp(n.Op), v: v}, true
+		}
+	case *BetweenExpr:
+		if n.Not {
+			return sarg{}, false
+		}
+		ci, ok := ex.sargColumn(n.E, t, rel, sel)
+		if !ok || !ex.outerConst(n.Lo, sel) || !ex.outerConst(n.Hi, sel) {
+			return sarg{}, false
+		}
+		lo, err := ex.eval(n.Lo, parent)
+		if err != nil {
+			return sarg{}, false
+		}
+		hi, err := ex.eval(n.Hi, parent)
+		if err != nil {
+			return sarg{}, false
+		}
+		return sarg{ci: ci, op: "between", v: lo, hi: hi}, true
+	}
+	return sarg{}, false
+}
+
+// flipCmp mirrors a comparison for the `constant op column` orientation.
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// sargColumn resolves e as a column of the scan table, returning false when
+// e is not a column of that table or when the reference could be ambiguous
+// against another FROM item.
+func (ex *executor) sargColumn(e Expr, t *Table, rel relation, sel *SelectStmt) (int, bool) {
+	cr, ok := e.(*ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	ci, ok := t.colIdx[cr.Column]
+	if !ok {
+		return 0, false
+	}
+	if cr.Table != "" {
+		if cr.Table != rel.alias {
+			return 0, false
+		}
+		for _, other := range sel.From[1:] {
+			if fromAlias(other) == rel.alias {
+				return 0, false // duplicate alias: resolution is ambiguous
+			}
+		}
+	} else {
+		for _, other := range sel.From[1:] {
+			if other.Subquery != nil {
+				return 0, false // unknown columns: could shadow or be ambiguous
+			}
+			ot, ok := ex.db.tables[other.Name]
+			if !ok {
+				return 0, false
+			}
+			if _, dup := ot.colIdx[cr.Column]; dup {
+				return 0, false // ambiguous with a joined table's column
+			}
+		}
+	}
+	return ci, true
+}
+
+// outerConst reports whether e cannot reference any relation or select
+// alias of this query level, making it constant for the whole scan.
+func (ex *executor) outerConst(e Expr, sel *SelectStmt) bool {
+	switch n := e.(type) {
+	case *Literal, *ParamExpr:
+		return true
+	case *ColumnRef:
+		if n.Table != "" {
+			for _, ref := range sel.From {
+				if fromAlias(ref) == n.Table {
+					return false
+				}
+			}
+			return true // qualified with an enclosing scope's alias
+		}
+		for _, ref := range sel.From {
+			if ref.Subquery != nil {
+				return false
+			}
+			ot, ok := ex.db.tables[ref.Name]
+			if !ok {
+				return false
+			}
+			if _, local := ot.colIdx[n.Column]; local {
+				return false
+			}
+		}
+		for _, item := range sel.Items {
+			if item.Alias == n.Column {
+				return false // select-list alias would shadow the outer name
+			}
+		}
+		return true
+	case *UnaryExpr:
+		return ex.outerConst(n.E, sel)
+	case *BinaryExpr:
+		if n.Quant != "" || n.Sub != nil {
+			return false
+		}
+		return ex.outerConst(n.L, sel) && ex.outerConst(n.R, sel)
+	case *FuncCall:
+		if n.Star || aggregateFuncs[n.Name] {
+			return false
+		}
+		for _, a := range n.Args {
+			if !ex.outerConst(a, sel) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false // subqueries, CASE, LIKE, ...: conservatively local
+	}
+}
+
+// accessPath is one usable way to probe one index: equality on a leading
+// prefix of its columns, optionally followed by a range on the next column.
+type accessPath struct {
+	ix  *tableIndex
+	eq  []Value  // probes for ix.cols[:len(eq)]
+	rng *colSarg // optional bounds on ix.cols[len(eq)]
+}
+
+// usedCols is the number of leading index columns the path constrains.
+func (p accessPath) usedCols() int {
+	n := len(p.eq)
+	if p.rng != nil {
+		n++
+	}
+	return n
+}
+
+// coveredCols lists the table column positions the path constrains.
+func (p accessPath) coveredCols() []int {
+	return p.ix.cols[:p.usedCols()]
+}
+
+// describe renders the path for EXPLAIN: eq columns as "col=", the range
+// column as "col range".
+func (p accessPath) describe(t *Table) string {
+	parts := make([]string, 0, p.usedCols())
+	for i := range p.eq {
+		parts = append(parts, t.Cols[p.ix.cols[i]].Name+"=")
+	}
+	if p.rng != nil {
+		parts = append(parts, t.Cols[p.ix.cols[len(p.eq)]].Name+" range")
+	}
+	return fmt.Sprintf("%s (%s)", p.ix.name, strings.Join(parts, ", "))
+}
+
+// buildPaths derives every usable access path from the table's indexes and
+// the collected sargs: the longest equality prefix of each index, plus a
+// range on the following column when bounds exist.
+func buildPaths(t *Table, set sargSet) []accessPath {
+	var out []accessPath
+	for _, ix := range t.indexes {
+		var eq []Value
+		for _, ci := range ix.cols {
+			cs := set.byCol[ci]
+			if cs == nil || cs.eq == nil {
+				break
+			}
+			eq = append(eq, *cs.eq)
+		}
+		var rng *colSarg
+		if len(eq) < len(ix.cols) {
+			if cs := set.byCol[ix.cols[len(eq)]]; cs != nil && cs.hasRange() {
+				rng = cs
+			}
+		}
+		if len(eq) == 0 && rng == nil {
+			continue
+		}
+		out = append(out, accessPath{ix: ix, eq: eq, rng: rng})
+	}
+	return out
+}
+
+// choosePaths orders the candidate paths by estimated selectivity —
+// most constrained columns first, equality beating range, narrower indexes
+// beating wider ones, name as the deterministic tiebreak — then keeps the
+// best path plus any path that constrains a column no kept path covers
+// (intersecting a redundant path would cost lookups without pruning rows).
+func choosePaths(paths []accessPath) []accessPath {
+	if len(paths) == 0 {
+		return nil
+	}
+	sort.Slice(paths, func(a, b int) bool {
+		pa, pb := paths[a], paths[b]
+		if pa.usedCols() != pb.usedCols() {
+			return pa.usedCols() > pb.usedCols()
+		}
+		if len(pa.eq) != len(pb.eq) {
+			return len(pa.eq) > len(pb.eq)
+		}
+		if len(pa.ix.cols) != len(pb.ix.cols) {
+			return len(pa.ix.cols) < len(pb.ix.cols)
+		}
+		return pa.ix.name < pb.ix.name
+	})
+	covered := make(map[int]bool)
+	var chosen []accessPath
+	for _, p := range paths {
+		adds := false
+		for _, ci := range p.coveredCols() {
+			if !covered[ci] {
+				adds = true
+			}
+		}
+		if !adds {
+			continue
+		}
+		for _, ci := range p.coveredCols() {
+			covered[ci] = true
+		}
+		chosen = append(chosen, p)
+	}
+	return chosen
+}
+
+// pathPositions computes the candidate row positions of one path. When the
+// path leaves trailing index columns unconstrained, rows missing from the
+// key structures only because of a NULL in such a column could still match,
+// so nullRows join the candidate set (the residual WHERE filters them).
+// The result is a superset of the rows the full WHERE keeps.
+func pathPositions(p accessPath) []int {
+	var pos []int
+	if p.rng == nil && len(p.eq) == len(p.ix.cols) {
+		pos = p.ix.lookupEqual(p.eq) // shared with the index — read only
+	} else {
+		var lo, hi *Value
+		var loS, hiS bool
+		if p.rng != nil {
+			lo, hi, loS, hiS = p.rng.lo, p.rng.hi, p.rng.loStrict, p.rng.hiStrict
+		}
+		pos = p.ix.lookupPrefixRange(p.eq, lo, hi, loS, hiS)
+	}
+	if p.usedCols() < len(p.ix.cols) && len(p.ix.nullRows) > 0 {
+		pos = append(append(make([]int, 0, len(pos)+len(p.ix.nullRows)), pos...), p.ix.nullRows...)
+	}
+	return pos
+}
+
+// intersectPositions intersects several candidate sets (each with unique
+// members) and returns the result sorted ascending (table order).
+func intersectPositions(sets [][]int) []int {
+	if len(sets) == 1 {
+		out := append([]int(nil), sets[0]...)
+		sort.Ints(out)
+		return out
+	}
+	counts := make(map[int]int, len(sets[0]))
+	for _, s := range sets {
+		for _, p := range s {
+			counts[p]++
+		}
+	}
+	var out []int
+	for p, n := range counts {
+		if n == len(sets) {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// indexScan tries to answer the sargable WHERE conjuncts on the first FROM
+// table through its secondary indexes: a single (possibly composite) index
+// scan, or the intersection of several paths' row-id sets. It returns the
+// filtered rows (a superset of the rows the full WHERE will keep — the
+// residual WHERE still runs over every returned row) and whether an index
+// was used. See the error-parity contract at the top of this file.
+func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *scope) ([][]Value, bool) {
+	if t == nil || len(t.indexes) == 0 {
+		return nil, false
+	}
+	set, ok := ex.collectSargs(t, rel, sel, parent)
+	if !ok {
+		return nil, false
+	}
+	paths := choosePaths(buildPaths(t, set))
+	if len(paths) == 0 && !set.empty {
+		return nil, false
+	}
+	var pos []int
+	if !set.empty {
+		sets := make([][]int, len(paths))
+		for i, p := range paths {
+			p.ix.ensure(t)
+			if p.ix.nan {
+				return nil, false // NaN in an indexed column: only a scan has parity
+			}
+			sets[i] = pathPositions(p)
+		}
+		pos = intersectPositions(sets)
+	}
+	switch {
+	case set.empty:
+		planCounts.emptyProbe.Add(1)
+		ex.note("scan %s using impossible predicate (NULL probe)", rel.alias)
+	case len(paths) == 1:
+		planCounts.indexScan.Add(1)
+		ex.note("scan %s using index %s", rel.alias, paths[0].describe(t))
+	default:
+		planCounts.indexIntersect.Add(1)
+		descs := make([]string, len(paths))
+		for i, p := range paths {
+			descs[i] = p.describe(t)
+		}
+		ex.note("scan %s using index intersection of %s", rel.alias, strings.Join(descs, " and "))
+	}
+	if len(pos) == 0 && len(t.rows) > 0 {
+		// Keep one sentinel row: the sargable conjuncts are not TRUE on it,
+		// so the residual WHERE drops it — but row-independent errors in
+		// other conjuncts still surface (see the error-parity contract).
+		pos = []int{0}
+	}
+	rows := make([][]Value, len(pos))
+	for i, p := range pos {
+		rows[i] = t.rows[p]
+	}
+	return rows, true
+}
+
+// collectConjuncts flattens a WHERE tree over AND into its conjuncts.
+func collectConjuncts(e Expr, out *[]Expr) {
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		collectConjuncts(be.L, out)
+		collectConjuncts(be.R, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// tryTopK streams ORDER BY ... LIMIT straight out of a sorted index instead
+// of materializing and sorting the whole table. It applies when the query
+// reads one stored table with no grouping/DISTINCT, every ORDER BY key is a
+// bare column, all keys share one direction, and some index has the order
+// keys as a contiguous column run preceded only by equality-constrained
+// columns. Rows whose order key is NULL are not in the index; they are
+// emitted from nullRows first (ascending; NULLs sort first) or last
+// (descending), which is only well-defined for a single order key — other
+// NULL configurations fall back to the general path.
+func (ex *executor) tryTopK(sel *SelectStmt, parent *scope) (*Result, bool, error) {
+	if ex.db.DisableIndexScan || sel.Limit == nil || len(sel.OrderBy) == 0 {
+		return nil, false, nil
+	}
+	if sel.Distinct || len(sel.GroupBy) > 0 || sel.Having != nil {
+		return nil, false, nil
+	}
+	if len(sel.From) != 1 || sel.From[0].Subquery != nil {
+		return nil, false, nil
+	}
+	var aggs []*FuncCall
+	for _, item := range sel.Items {
+		collectAggregates(item.Expr, &aggs)
+	}
+	for _, o := range sel.OrderBy {
+		collectAggregates(o.Expr, &aggs)
+	}
+	if len(aggs) > 0 {
+		return nil, false, nil
+	}
+	t, ok := ex.db.tables[sel.From[0].Name]
+	if !ok || len(t.indexes) == 0 {
+		return nil, false, nil
+	}
+	rel := relationOf(t)
+	if sel.From[0].Alias != "" {
+		rel.alias = sel.From[0].Alias
+	}
+
+	// Every ORDER BY key must be a bare column of the table, one direction.
+	desc := sel.OrderBy[0].Desc
+	orderCols := make([]int, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		if o.Desc != desc {
+			return nil, false, nil
+		}
+		cr, isCol := o.Expr.(*ColumnRef)
+		if !isCol || (cr.Table != "" && cr.Table != rel.alias) {
+			return nil, false, nil
+		}
+		ci, ok := t.colIdx[cr.Column]
+		if !ok {
+			return nil, false, nil
+		}
+		orderCols[i] = ci
+	}
+
+	set, ok := ex.collectSargs(t, rel, sel, parent)
+	if !ok || set.empty {
+		return nil, false, nil // scan fallback / impossible predicate: general path
+	}
+
+	// Find an index whose TRAILING columns are exactly the order run and
+	// whose leading columns all carry equality sargs: the equality prefix
+	// pins the leading key parts to one value, so key order within the
+	// probed range is exactly (order keys, original row position) — the
+	// same total order the stable scan sort produces. An order run that
+	// stops short of the index's last column would let the unused trailing
+	// columns reorder ties, so it never qualifies. Prefer the longest
+	// equality prefix (narrowest key range), then creation order.
+	var ix *tableIndex
+	bestJ := -1
+	for _, cand := range t.indexes {
+		j := len(cand.cols) - len(orderCols)
+		if j < 0 || j <= bestJ {
+			continue
+		}
+		match := true
+		for i, oc := range orderCols {
+			if cand.cols[j+i] != oc {
+				match = false
+				break
+			}
+		}
+		for i := 0; match && i < j; i++ {
+			cs := set.byCol[cand.cols[i]]
+			if cs == nil || cs.eq == nil {
+				match = false
+			}
+		}
+		if match {
+			ix, bestJ = cand, j
+		}
+	}
+	if ix == nil {
+		return nil, false, nil
+	}
+	j := bestJ
+
+	ix.ensure(t)
+	if ix.nan {
+		return nil, false, nil
+	}
+	if len(ix.nullRows) > 0 && len(orderCols) > 1 {
+		// With several order keys a NULL in a later key interleaves inside
+		// each group of the earlier keys; only the general sort reproduces
+		// that ordering.
+		return nil, false, nil
+	}
+
+	off := 0
+	if sel.Offset != nil {
+		off = int(*sel.Offset)
+		if off < 0 {
+			return nil, true, fmt.Errorf("sqldb: negative OFFSET")
+		}
+	}
+	lim := int(*sel.Limit)
+	if lim < 0 {
+		return nil, true, fmt.Errorf("sqldb: negative LIMIT")
+	}
+	need := off + lim
+
+	eq := make([]Value, j)
+	for i := 0; i < j; i++ {
+		eq[i] = *set.byCol[ix.cols[i]].eq
+	}
+	// A range sarg on the first order column narrows the key range further;
+	// rows outside it violate that conjunct, so skipping them is safe.
+	var lo, hi *Value
+	var loS, hiS bool
+	if cs := set.byCol[ix.cols[j]]; cs != nil && cs.hasRange() {
+		lo, hi, loS, hiS = cs.lo, cs.hi, cs.loStrict, cs.hiStrict
+	}
+	start, end := ix.prefixRange(eq, lo, hi, loS, hiS)
+
+	aliasExpr := make(map[string]Expr)
+	for _, item := range sel.Items {
+		if item.Alias != "" && item.Expr != nil {
+			aliasExpr[item.Alias] = item.Expr
+		}
+	}
+	rels := []relation{rel}
+	mkScope := func(row []Value) *scope {
+		sc := newScope(parent)
+		sc.push(rel, row)
+		sc.aliasExpr = aliasExpr
+		sc.aliasBusy = make(map[string]bool)
+		return sc
+	}
+
+	var columns []string
+	var out [][]Value
+	processed := 0
+	emit := func(ri int) (bool, error) {
+		processed++
+		sc := mkScope(t.rows[ri])
+		if sel.Where != nil {
+			v, err := ex.eval(sel.Where, sc)
+			if err != nil {
+				return true, err
+			}
+			if !isTrue(v) {
+				return false, nil
+			}
+		}
+		vals, names, err := ex.projectRow(sel, rels, sc)
+		if err != nil {
+			return true, err
+		}
+		columns = names
+		out = append(out, vals)
+		return len(out) >= need, nil
+	}
+
+	done := need == 0 // LIMIT 0 (without OFFSET) keeps nothing
+	var err error
+	emitNulls := func() {
+		for _, ri := range ix.nullRows {
+			if done || err != nil {
+				return
+			}
+			done, err = emit(ri)
+		}
+	}
+	emitKeys := func() {
+		if !desc {
+			for ki := start; ki < end && !done && err == nil; ki++ {
+				for _, ri := range ix.keyRows[ki] {
+					if done, err = emit(ri); done || err != nil {
+						break
+					}
+				}
+			}
+			return
+		}
+		for ki := end - 1; ki >= start && !done && err == nil; ki-- {
+			for _, ri := range ix.keyRows[ki] {
+				if done, err = emit(ri); done || err != nil {
+					break
+				}
+			}
+		}
+	}
+	if !done {
+		if desc {
+			emitKeys()
+			emitNulls() // NULL order keys sort last descending
+		} else {
+			emitNulls() // NULL order keys sort first ascending
+			emitKeys()
+		}
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	if processed == 0 && len(t.rows) > 0 {
+		// Sentinel evaluation: the scan path runs WHERE (and, on survivors,
+		// the projection) over every row even when LIMIT keeps none, so
+		// row-independent errors must still surface here.
+		if _, serr := emit(0); serr != nil {
+			return nil, true, serr
+		}
+		out = out[:0]
+	}
+
+	if off > len(out) {
+		off = len(out)
+	}
+	out = out[off:]
+	if out == nil {
+		out = [][]Value{} // match the general path's non-nil empty Rows
+	}
+	if columns == nil {
+		if columns, err = ex.staticColumns(sel, rels); err != nil {
+			return nil, true, err
+		}
+	}
+
+	planCounts.topK.Add(1)
+	if ex.trace != nil {
+		parts := make([]string, 0, j+len(orderCols))
+		for i := 0; i < j; i++ {
+			parts = append(parts, t.Cols[ix.cols[i]].Name+"=")
+		}
+		dir := "asc"
+		if desc {
+			dir = "desc"
+		}
+		for _, oc := range orderCols {
+			parts = append(parts, t.Cols[oc].Name+" "+dir)
+		}
+		step := fmt.Sprintf("top-k scan %s using index %s (%s) limit %d", rel.alias, ix.name, strings.Join(parts, ", "), lim)
+		if sel.Offset != nil {
+			// The query's OFFSET, not the clamped one — matching the
+			// general path's note so EXPLAIN text is plan-shape-stable.
+			step += fmt.Sprintf(" offset %d", *sel.Offset)
+		}
+		ex.note("%s", step)
+	}
+	return &Result{Columns: columns, Rows: out}, true, nil
+}

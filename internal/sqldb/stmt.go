@@ -42,11 +42,14 @@ func (db *DB) Prepare(sql string) (*Stmt, error) { return Prepare(sql) }
 // SQL returns the statement's source text.
 func (st *Stmt) SQL() string { return st.sql }
 
-// IsSelect reports whether the statement is a SELECT (executable via Query;
-// anything else goes through Exec).
+// IsSelect reports whether the statement is read-only and executable via
+// Query: a SELECT or an EXPLAIN SELECT (anything else goes through Exec).
 func (st *Stmt) IsSelect() bool {
-	_, ok := st.stmt.(*SelectStmt)
-	return ok
+	switch st.stmt.(type) {
+	case *SelectStmt, *ExplainStmt:
+		return true
+	}
+	return false
 }
 
 // NumParams returns the number of `?` placeholders.
@@ -59,10 +62,10 @@ func (st *Stmt) checkArgs(args []Value) error {
 	return nil
 }
 
-// Query executes a prepared SELECT against db under its read lock.
+// Query executes a prepared SELECT (or EXPLAIN SELECT) against db under its
+// read lock.
 func (st *Stmt) Query(db *DB, args ...Value) (*Result, error) {
-	sel, ok := st.stmt.(*SelectStmt)
-	if !ok {
+	if !st.IsSelect() {
 		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
 	}
 	if err := st.checkArgs(args); err != nil {
@@ -71,7 +74,10 @@ func (st *Stmt) Query(db *DB, args ...Value) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ex := &executor{db: db, params: args}
-	return ex.execSelect(sel, nil)
+	if e, ok := st.stmt.(*ExplainStmt); ok {
+		return ex.explain(e.Sel)
+	}
+	return ex.execSelect(st.stmt.(*SelectStmt), nil)
 }
 
 // Exec executes a prepared non-SELECT statement against db under its write
