@@ -5,7 +5,7 @@
 //
 //	jitd [-addr :8080] [-method ki] [-eras 12] [-rows 1200] [-horizon 3] [-k 8]
 //	     [-max-sessions 1024] [-session-ttl 30m] [-max-sql-rows 10000]
-//	     [-data-dir ""] [-wal-sync always]
+//	     [-data-dir ""] [-wal-sync always] [-shards 0] [-max-pending-creates 32]
 //
 // Endpoints:
 //
@@ -22,7 +22,14 @@
 //	GET    /debug/vars                 expvar metrics (sessions, evictions, WAL)
 //
 // Sessions are held in memory under an idle TTL and an LRU-evicting cap;
-// session creation is cancelled when the client disconnects.
+// session creation is cancelled when the client disconnects. The session
+// manager is hash-sharded (-shards, default GOMAXPROCS) so lookups never
+// contend across shards, and all persistence I/O — creation snapshots,
+// eviction checkpoints, rehydration loads — runs outside the shard locks:
+// checkpointing or rehydrating one session never stalls requests to others.
+// Concurrent cold hits on the same session collapse into a single disk load
+// (singleflight). -max-pending-creates bounds concurrently admitted session
+// creations; past it, POST /api/sessions answers 429 with Retry-After.
 //
 // With -data-dir set, the durability subsystem persists every session's
 // candidates database (snapshot + write-ahead log) under
@@ -65,6 +72,8 @@ func main() {
 	maxSQLRows := flag.Int("max-sql-rows", 10000, "row cap on the expert SQL endpoint")
 	dataDir := flag.String("data-dir", "", "directory for session persistence (snapshot+WAL); empty = memory-only")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (per mutation) or batched (at checkpoints)")
+	shards := flag.Int("shards", 0, "session-manager shard count (0 = GOMAXPROCS)")
+	maxPendingCreates := flag.Int("max-pending-creates", 32, "admitted concurrent session creations; past it POST /api/sessions gets 429")
 	flag.Parse()
 
 	syncMode, err := persist.ParseSyncMode(*walSync)
@@ -87,16 +96,21 @@ func main() {
 	}
 
 	handler := server.NewWithConfig(demo.System, server.Config{
-		MaxSessions: *maxSessions,
-		SessionTTL:  *sessionTTL,
-		MaxSQLRows:  *maxSQLRows,
-		DataDir:     *dataDir,
-		WALSync:     syncMode,
+		MaxSessions:       *maxSessions,
+		SessionTTL:        *sessionTTL,
+		MaxSQLRows:        *maxSQLRows,
+		DataDir:           *dataDir,
+		WALSync:           syncMode,
+		Shards:            *shards,
+		MaxPendingCreates: *maxPendingCreates,
 	})
 	if *dataDir != "" {
 		log.Printf("session durability on: %s (wal-sync=%s)", *dataDir, syncMode)
 	}
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	// ReadHeaderTimeout bounds how long an idle connection can sit in the
+	// header-read phase (slow-loris hygiene); bodies are size-capped and
+	// read before any admission slot is taken.
+	srv := &http.Server{Addr: *addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

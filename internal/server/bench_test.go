@@ -1,0 +1,143 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"justintime/internal/constraints"
+	"justintime/internal/dataset"
+	"justintime/internal/sqldb"
+	"justintime/internal/sqldb/persist"
+)
+
+// benchSessions builds a persisting manager holding `hot` resident sessions
+// plus two more that the LRU cap has already checkpointed to disk. The
+// returned slices are (resident ids, evicted-to-disk ids).
+func benchSessions(b *testing.B, m *sessionManager, hot int) (hotIDs, cold []string) {
+	b.Helper()
+	sys := demoSystem(b)
+	profiles := dataset.RejectedProfiles()
+	ids := make([]string, 0, hot+2)
+	for i := 0; i < hot+2; i++ {
+		sess, err := sys.NewSession(profiles[i%len(profiles)], constraints.NewSet())
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, err := m.add(sess, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// The first two adds are the least recently used, so the cap pushed
+	// exactly them out to disk.
+	return ids[2:], ids[:2]
+}
+
+// BenchmarkConcurrentServe is the PR's acceptance benchmark: aggregate
+// request throughput (and p50/p99 latency) for lookups+queries against hot
+// sessions while a background goroutine continuously forces cold sessions
+// through the rehydrate→dirty→evict→checkpoint cycle. Under a global
+// session-manager mutex every background snapshot+fsync and WAL replay
+// stalls the hot path; with sharded, off-mutex persistence I/O it must not.
+func BenchmarkConcurrentServe(b *testing.B) {
+	const hot = 8
+	sys := demoSystem(b)
+	p := newPersister(b.TempDir(), sys, persist.SyncBatched)
+	m := newSessionManager(hot, time.Hour, 4, p)
+	b.Cleanup(func() { m.shutdown() })
+	hotIDs, cold := benchSessions(b, m, hot)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var churns int64
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Rehydrate one cold session (disk load). At the cap, this
+			// evicts the current LRU entry, checkpointing it to disk —
+			// snapshot write + fsync. The no-op UPDATE dirties the WAL so
+			// the next checkpoint of this session has something to fold.
+			sess, ok := m.get(cold[i%len(cold)])
+			if !ok {
+				b.Errorf("cold session %s lost", cold[i%len(cold)])
+				return
+			}
+			if _, err := sess.DB().Exec("UPDATE candidates SET p = p WHERE time < 0"); err != nil {
+				b.Error(err)
+				return
+			}
+			atomic.AddInt64(&churns, 1)
+		}
+	}()
+
+	stmt := sqldb.MustPrepare("SELECT COUNT(*) FROM candidates WHERE time = 0")
+	var latMu sync.Mutex
+	var lat []time.Duration
+	b.ResetTimer()
+	b.SetParallelism(8) // lock-wait, not CPU, is under test: queue 8 requesters even on 1 core
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]time.Duration, 0, 4096)
+		i := 0
+		for pb.Next() {
+			start := time.Now()
+			id := hotIDs[i%len(hotIDs)]
+			i++
+			sess, ok := m.get(id)
+			if !ok {
+				b.Errorf("hot session %s lost", id)
+				continue
+			}
+			if _, err := stmt.Query(sess.DB()); err != nil {
+				b.Error(err)
+			}
+			local = append(local, time.Since(start))
+		}
+		latMu.Lock()
+		lat = append(lat, local...)
+		latMu.Unlock()
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds())/1e3, "p50-us")
+		b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds())/1e3, "p99-us")
+	}
+	b.ReportMetric(float64(atomic.LoadInt64(&churns)), "bg-churns")
+}
+
+// BenchmarkSessionLookup measures the uncontended fast path: parallel
+// resident-session lookups with no background persistence traffic. It
+// isolates the cost of the manager's locking itself.
+func BenchmarkSessionLookup(b *testing.B) {
+	const hot = 8
+	sys := demoSystem(b)
+	p := newPersister(b.TempDir(), sys, persist.SyncBatched)
+	m := newSessionManager(hot, time.Hour, 4, p)
+	b.Cleanup(func() { m.shutdown() })
+	hotIDs, _ := benchSessions(b, m, hot)
+
+	b.ResetTimer()
+	b.SetParallelism(8)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			id := hotIDs[i%len(hotIDs)]
+			i++
+			if _, ok := m.get(id); !ok {
+				b.Errorf("hot session %s lost", id)
+			}
+		}
+	})
+}

@@ -2,14 +2,20 @@ package server
 
 import (
 	"expvar"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"justintime/internal/core"
 	"justintime/internal/sqldb"
 )
 
 // Process-wide serving metrics, exported on /debug/vars (the expvar page the
-// jitd daemon mounts). They are the first slice of the ROADMAP observability
-// item: session population, eviction pressure split by cause, how often the
-// durability layer saves a regeneration, and how much WAL it writes.
+// jitd daemon mounts): session population, eviction pressure split by cause,
+// how often the durability layer saves a regeneration (and how often
+// singleflight collapses duplicate disk loads), WAL volume, per-question
+// latency histograms and per-shard residency.
 //
 // expvar registers into a process-global map, so these are package-level
 // singletons shared by every Server in the process; tests assert on deltas,
@@ -27,11 +33,107 @@ var (
 	// metricRehydrations counts sessions reloaded from disk on a cache miss
 	// — each one is a T+1 beam-search regeneration avoided.
 	metricRehydrations = expvar.NewInt("jitd_rehydrations")
+	// metricRehydrationsCoalesced counts cache misses that piggybacked on an
+	// already-running disk load of the same session instead of replaying the
+	// snapshot+WAL themselves (the singleflight win).
+	metricRehydrationsCoalesced = expvar.NewInt("jitd_rehydrations_coalesced")
 	// metricWALBytes is the total bytes of WAL records written.
 	metricWALBytes = expvar.NewInt("jitd_wal_bytes")
-	// metricCheckpoints counts snapshot checkpoints (WAL folds).
+	// metricCheckpoints counts snapshot checkpoints (WAL folds). Evictions
+	// of clean (read-only since last fold) sessions skip the checkpoint and
+	// do not count.
 	metricCheckpoints = expvar.NewInt("jitd_checkpoints")
+	// metricCreatesRejected counts session creations refused with 429
+	// because the admission queue was full.
+	metricCreatesRejected = expvar.NewInt("jitd_creates_rejected")
 )
+
+// managerRegistry tracks the live session managers in the process so the
+// per-shard gauge below can enumerate them. expvar names are process-global
+// (double registration panics), so the gauge is one Func over a registry
+// instead of per-manager vars.
+var managerRegistry struct {
+	mu sync.Mutex
+	ms []*sessionManager
+}
+
+func registerManager(m *sessionManager) {
+	managerRegistry.mu.Lock()
+	defer managerRegistry.mu.Unlock()
+	managerRegistry.ms = append(managerRegistry.ms, m)
+}
+
+func unregisterManager(m *sessionManager) {
+	managerRegistry.mu.Lock()
+	defer managerRegistry.mu.Unlock()
+	for i, x := range managerRegistry.ms {
+		if x == m {
+			managerRegistry.ms = append(managerRegistry.ms[:i], managerRegistry.ms[i+1:]...)
+			return
+		}
+	}
+}
+
+// latencyBoundsUs are the jitd_question_latency_us bucket upper bounds, in
+// microseconds. Roughly logarithmic from "index hit" to "beam search".
+var latencyBoundsUs = [...]int64{
+	50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 1000000,
+}
+
+// latencyHist is a fixed-bucket latency histogram with lock-free recording.
+type latencyHist struct {
+	counts [len(latencyBoundsUs) + 1]atomic.Int64 // one per bound, plus +Inf
+	sumUs  atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for i < len(latencyBoundsUs) && us > latencyBoundsUs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumUs.Add(us)
+}
+
+// snapshot renders the histogram in a Prometheus-like cumulative shape.
+// count is derived from the same bucket loads as le_inf, so the invariant
+// count == le_inf holds even when a scrape races an observe (a separate
+// total counter could read one sample ahead of or behind the buckets).
+func (h *latencyHist) snapshot() map[string]int64 {
+	out := make(map[string]int64, len(h.counts)+2)
+	cum := int64(0)
+	for i, b := range latencyBoundsUs {
+		cum += h.counts[i].Load()
+		out["le_"+strconv.FormatInt(b, 10)] = cum
+	}
+	cum += h.counts[len(latencyBoundsUs)].Load()
+	out["le_inf"] = cum
+	out["count"] = cum
+	out["sum_us"] = h.sumUs.Load()
+	return out
+}
+
+// questionLatencies holds one histogram per canned question kind. The set
+// of kinds is closed (ParseQuestionKind rejects anything else), so the map
+// is built once and only read afterwards — no lock needed on observe.
+var questionLatencies = func() map[string]*latencyHist {
+	m := make(map[string]*latencyHist)
+	for _, k := range []core.QuestionKind{
+		core.QNoModification, core.QMinimalFeatures, core.QDominantFeature,
+		core.QMinimalOverall, core.QMaximalConfidence, core.QTurningPoint,
+	} {
+		m[k.String()] = &latencyHist{}
+	}
+	return m
+}()
+
+// observeQuestionLatency records one answered question's latency.
+func observeQuestionLatency(kind core.QuestionKind, d time.Duration) {
+	if h, ok := questionLatencies[kind.String()]; ok {
+		h.observe(d)
+	}
+}
 
 func init() {
 	// jitd_plan_shapes mirrors the query planner's per-plan-shape counters
@@ -42,5 +144,32 @@ func init() {
 	// the signal a session schema lost its expected indexes.
 	expvar.Publish("jitd_plan_shapes", expvar.Func(func() interface{} {
 		return sqldb.PlanCounters()
+	}))
+	// jitd_question_latency_us: per-question-kind latency histograms
+	// (cumulative buckets, microsecond bounds) over the /ask endpoint.
+	expvar.Publish("jitd_question_latency_us", expvar.Func(func() interface{} {
+		out := make(map[string]map[string]int64, len(questionLatencies))
+		for kind, h := range questionLatencies {
+			out[kind] = h.snapshot()
+		}
+		return out
+	}))
+	// jitd_shard_sessions: resident sessions per shard, summed element-wise
+	// across the process's live session managers (one, outside of tests).
+	// Uneven counts reveal hash skew; a stuck shard reveals a lock problem.
+	expvar.Publish("jitd_shard_sessions", expvar.Func(func() interface{} {
+		managerRegistry.mu.Lock()
+		ms := append([]*sessionManager(nil), managerRegistry.ms...)
+		managerRegistry.mu.Unlock()
+		var out []int
+		for _, m := range ms {
+			for i, n := range m.shardSizes() {
+				if i == len(out) {
+					out = append(out, 0)
+				}
+				out[i] += n
+			}
+		}
+		return out
 	}))
 }

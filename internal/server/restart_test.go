@@ -115,13 +115,18 @@ func TestEvictionCheckpointsAndRehydrates(t *testing.T) {
 	t.Cleanup(srv.Close)
 	t.Cleanup(func() { h.Close() })
 
-	now := time.Unix(1000, 0)
-	h.sessions.now = func() time.Time { return now }
+	// The test owns every eviction (explicit sweepAll / cap pressure); the
+	// background sweeper would race it for TTL claims once the clock jumps.
+	h.sessions.stopBackgroundSweeps()
+	advance := installFakeClock(h.sessions, time.Unix(1000, 0))
 
 	idA := createSession(t, srv, nil)
 	rowsA := fetchCandidates(t, srv, idA)
 
-	// LRU: a second session under a cap of 1 evicts the first to disk.
+	// LRU: a second session under a cap of 1 evicts the first to disk. The
+	// clock moves between creates so A is unambiguously the older entry
+	// (eviction breaks lastUsed ties arbitrarily).
+	advance(time.Second)
 	preLRU := metricEvictionsLRU.Value()
 	idB := createSession(t, srv, nil)
 	if got := metricEvictionsLRU.Value() - preLRU; got != 1 {
@@ -130,7 +135,9 @@ func TestEvictionCheckpointsAndRehydrates(t *testing.T) {
 	if h.sessions.count() != 1 {
 		t.Fatalf("resident sessions = %d, want 1", h.sessions.count())
 	}
-	// The evicted session rehydrates on demand (evicting B in turn).
+	// The evicted session rehydrates on demand (evicting B in turn — the
+	// clock advances so B is strictly the LRU entry at that point).
+	advance(time.Second)
 	preRehydrate := metricRehydrations.Value()
 	if got := fetchCandidates(t, srv, idA); !reflect.DeepEqual(rowsA, got) {
 		t.Fatal("rehydrated session differs from original")
@@ -140,10 +147,13 @@ func TestEvictionCheckpointsAndRehydrates(t *testing.T) {
 	}
 
 	// TTL: idle past the TTL checkpoints to disk, then rehydrates on access.
+	// The sweep is driven explicitly (in production the background eviction
+	// loop or any shard access past the throttle does this).
 	preTTL := metricEvictionsTTL.Value()
-	now = now.Add(2 * time.Minute)
+	advance(2 * time.Minute)
+	h.sessions.sweepAll()
 	if _, ok := h.sessions.get("s-00000000000000000000000000000000"); ok {
-		t.Fatal("unknown id resolved") // also triggers the sweep
+		t.Fatal("unknown id resolved")
 	}
 	if got := metricEvictionsTTL.Value() - preTTL; got != 1 {
 		t.Fatalf("TTL evictions delta = %d, want 1 (only A was resident)", got)
@@ -260,19 +270,46 @@ func TestOrphanSweepOnStartup(t *testing.T) {
 }
 
 // TestMetricsEndpoint asserts /debug/vars is mounted and carries the jitd
-// counters.
+// counters, gauges and per-question latency histograms.
 func TestMetricsEndpoint(t *testing.T) {
 	srv := testServer(t)
+	// Drive one question through so its latency histogram has a sample.
+	id := createSession(t, srv, nil)
+	if code, _ := askText(t, srv, id, "no-modification"); code != http.StatusOK {
+		t.Fatalf("ask: %d", code)
+	}
+
 	resp, out := getJSON(t, srv.URL+"/debug/vars")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("debug/vars: %d", resp.StatusCode)
 	}
 	for _, key := range []string{
 		"jitd_sessions_live", "jitd_evictions_ttl", "jitd_evictions_lru",
-		"jitd_rehydrations", "jitd_wal_bytes", "jitd_checkpoints",
+		"jitd_rehydrations", "jitd_rehydrations_coalesced", "jitd_wal_bytes",
+		"jitd_checkpoints", "jitd_creates_rejected",
+		"jitd_question_latency_us", "jitd_shard_sessions",
 	} {
 		if _, ok := out[key]; !ok {
 			t.Errorf("metric %s missing from /debug/vars", key)
 		}
+	}
+	// The histogram is keyed by question kind and cumulative: the answered
+	// question must have count >= 1 and a terminal le_inf equal to count.
+	hists, _ := out["jitd_question_latency_us"].(map[string]interface{})
+	h, _ := hists["no-modification"].(map[string]interface{})
+	count, _ := h["count"].(float64)
+	leInf, _ := h["le_inf"].(float64)
+	if count < 1 || leInf != count {
+		t.Errorf("no-modification histogram malformed: count=%v le_inf=%v (%v)", count, leInf, h)
+	}
+	// Per-shard gauge: an array whose sum covers the resident session.
+	shards, _ := out["jitd_shard_sessions"].([]interface{})
+	sum := 0.0
+	for _, v := range shards {
+		n, _ := v.(float64)
+		sum += n
+	}
+	if sum < 1 {
+		t.Errorf("jitd_shard_sessions sums to %v, want >= 1 resident", sum)
 	}
 }

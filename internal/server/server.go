@@ -43,6 +43,14 @@ type Config struct {
 	// WALSync selects the WAL fsync policy under DataDir (persist.SyncAlways
 	// fsyncs per mutation; persist.SyncBatched defers fsync to checkpoints).
 	WALSync persist.SyncMode
+	// Shards is the session-manager shard count: independent lock domains
+	// for session lookup/eviction/rehydration. <= 0 selects GOMAXPROCS.
+	Shards int
+	// MaxPendingCreates bounds concurrently admitted session creations
+	// (each one runs T+1 beam searches). Past the bound, POST /api/sessions
+	// answers 429 with Retry-After instead of piling goroutines onto the
+	// CPU. <= 0 selects 32.
+	MaxPendingCreates int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +63,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSQLRows <= 0 {
 		c.MaxSQLRows = 10000
 	}
+	if c.MaxPendingCreates <= 0 {
+		c.MaxPendingCreates = 32
+	}
 	return c
 }
 
@@ -64,6 +75,11 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	sessions *sessionManager
+	// createSem is the bounded admission queue for session creation: a slot
+	// must be held for the whole generate+persist span, and an unavailable
+	// slot turns into 429 + Retry-After instead of an unbounded goroutine
+	// pile-up behind the beam searches.
+	createSem chan struct{}
 }
 
 // New builds a Server around a configured system with default limits.
@@ -76,7 +92,12 @@ func NewWithConfig(sys *core.System, cfg Config) *Server {
 	if cfg.DataDir != "" {
 		p = newPersister(cfg.DataDir, sys, cfg.WALSync)
 	}
-	s := &Server{sys: sys, cfg: cfg, sessions: newSessionManager(cfg.MaxSessions, cfg.SessionTTL, p)}
+	s := &Server{
+		sys:       sys,
+		cfg:       cfg,
+		sessions:  newSessionManager(cfg.MaxSessions, cfg.SessionTTL, cfg.Shards, p),
+		createSem: make(chan struct{}, cfg.MaxPendingCreates),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/schema", s.handleSchema)
 	mux.HandleFunc("GET /api/models", s.handleModels)
@@ -96,9 +117,10 @@ func NewWithConfig(sys *core.System, cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close checkpoints every resident session to disk (a no-op without a data
-// dir) and releases their stores. Call it after draining in-flight requests;
-// it returns the number of sessions checkpointed.
+// Close persists every resident session to disk (a no-op without a data
+// dir) and releases their stores; sessions whose WAL is clean keep their
+// current snapshot without a rewrite. Call it after draining in-flight
+// requests; it returns the number of sessions made durable.
 func (s *Server) Close() int { return s.sessions.shutdown() }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -194,9 +216,26 @@ type createSessionRequest struct {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	// Read the (size-capped) body before taking an admission slot: a slot
+	// held during the read would let slow-trickling clients pin every slot
+	// and starve creation outright. Decoding costs microseconds against
+	// the beam searches the slot actually guards.
 	var req createSessionRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	// Admission control: past the bound, reject with a retry hint instead
+	// of piling goroutines onto the CPU behind the generators.
+	select {
+	case s.createSem <- struct{}{}:
+		defer func() { <-s.createSem }()
+	default:
+		metricCreatesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("session creation queue is full (%d pending); retry shortly", cap(s.createSem)))
 		return
 	}
 	schema := s.sys.Schema()
@@ -312,11 +351,13 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	start := time.Now()
 	ins, err := sess.Ask(core.Question{Kind: kind, Feature: req.Feature, Alpha: req.Alpha})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	observeQuestionLatency(kind, time.Since(start))
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"kind":   req.Kind,
 		"sql":    ins.SQL,

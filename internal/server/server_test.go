@@ -22,8 +22,8 @@ var (
 	sysErr  error
 )
 
-// demoSystem trains one small system shared by all server tests.
-func demoSystem(t *testing.T) *core.System {
+// demoSystem trains one small system shared by all server tests and benches.
+func demoSystem(t testing.TB) *core.System {
 	t.Helper()
 	sysOnce.Do(func() {
 		d := dataset.MustGenerate(dataset.Config{Seed: 3, Eras: 4, RowsPerEra: 400, LabelNoise: 0.03, DriftScale: 1})
@@ -51,8 +51,12 @@ func demoSystem(t *testing.T) *core.System {
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(New(demoSystem(t)))
+	h := New(demoSystem(t))
+	srv := httptest.NewServer(h)
 	t.Cleanup(srv.Close)
+	// Release the manager too: its background eviction loop and registry
+	// entry outlive the test otherwise.
+	t.Cleanup(func() { h.Close() })
 	return srv
 }
 

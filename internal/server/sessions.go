@@ -5,8 +5,11 @@ import (
 	"encoding/hex"
 	"expvar"
 	"fmt"
+	"hash/maphash"
 	"log"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"justintime/internal/core"
@@ -25,70 +28,182 @@ func newSessionID() (string, error) {
 	return "s-" + hex.EncodeToString(b[:]), nil
 }
 
-// sessionEntry is one memory-resident session with its LRU bookkeeping and,
-// when persistence is on, the open snapshot+WAL store backing it.
+// entryState is the per-session lifecycle state machine. It exists so that
+// persistence I/O can run outside the shard lock: the shard map only records
+// *which phase* a session is in, and the goroutine that moved an entry into
+// a transitional state owns finishing (or aborting) that transition.
+type entryState uint8
+
+const (
+	// stateLive: resident and servable; any request may touch it.
+	stateLive entryState = iota
+	// stateCheckpointing: an evictor claimed this entry and is writing its
+	// checkpoint outside the shard lock. The session is still fully
+	// servable — a request that arrives mid-checkpoint marks the entry
+	// touched, which aborts the eviction instead of racing it.
+	stateCheckpointing
+)
+
+// sessionEntry is one memory-resident session with its LRU bookkeeping,
+// state-machine phase and, when persistence is on, the open snapshot+WAL
+// store backing it. All fields are guarded by the owning shard's mutex;
+// sess/store are read outside it only by the goroutine that owns the
+// entry's current transition.
 type sessionEntry struct {
 	sess     *core.Session
 	store    *persist.Store // nil when running memory-only
 	lastUsed time.Time
+	state    entryState
+	touched  bool // a get arrived mid-checkpoint: abort the eviction
+	deleted  bool // a DELETE arrived mid-checkpoint: finish by discarding
+}
+
+// rehydration is one in-flight disk load, the unit of singleflight
+// coalescing: the first goroutine to miss on a cold id becomes the winner
+// and performs the load; every later miss for the same id blocks on done
+// and shares the result instead of replaying the WAL again.
+type rehydration struct {
+	done    chan struct{}
+	sess    *core.Session // valid iff ok, set before done closes
+	ok      bool
+	deleted bool // a DELETE raced the load: winner discards, waiters miss
+}
+
+// sessionShard is one lock domain of the manager: a private map of resident
+// entries plus the in-flight rehydrations keyed into this shard. Lookups,
+// inserts and evictions on different shards never contend.
+type sessionShard struct {
+	m        *sessionManager
+	mu       sync.Mutex
+	entries  map[string]*sessionEntry
+	inflight map[string]*rehydration
+	// deleting tombstones ids whose DELETE is between "forgotten in memory"
+	// and "files gone from disk". A rehydration that starts inside that
+	// window would find the files still present and resurrect the session;
+	// the tombstone makes it miss instead (and makes a winner that already
+	// loaded discard). The value is a refcount: a DELETE racing an evictor
+	// that owns the entry hands the evictor a reference too, so the
+	// tombstone outlives whichever of the two finishes its file removal
+	// last (the eviction checkpoint's atomic rename can race RemoveAll and
+	// leave files behind for the other party to clean up).
+	deleting  map[string]int
+	nextSweep time.Time // throttle: full-map TTL scans run at most once per sweepEvery
 }
 
 // sessionManager owns the server's session lifecycle: unguessable IDs, an
-// idle TTL, and a hard cap enforced by least-recently-used eviction, so a
-// long-running daemon serving many users holds a bounded number of
-// candidate databases in memory. Expired entries are swept on every add
-// and get, so memory tracks the live session count without a background
-// goroutine (an idle daemon frees its sessions on the next request of any
-// kind that touches the store).
+// idle TTL, and a global resident cap enforced by least-recently-used
+// eviction. It is hash-sharded by session ID so lookups never contend
+// across shards, and within a shard all persistence I/O (create snapshot,
+// eviction checkpoint+fsync, rehydration load) runs *outside* the shard
+// lock:
 //
-// With a persister attached, eviction changes meaning: instead of
-// destroying a session, TTL and LRU eviction checkpoint it to disk and
-// release the memory, and a later request for the id rehydrates it — the
-// TTL/cap bound memory residency, not session lifetime. Without a
-// persister the original destroy semantics apply.
+//   - Creation snapshots the new session before the entry is published —
+//     the ID is fresh random, so nothing can contend on it.
+//   - Eviction moves the entry to stateCheckpointing under the lock, then
+//     checkpoints off-lock (the dump itself is taken under the DB's own
+//     lock by persist.Store.Checkpoint). A request landing mid-checkpoint
+//     gets the live session back and aborts the eviction; a DELETE landing
+//     mid-checkpoint wins and the evictor discards.
+//   - A cache miss registers a singleflight rehydration and loads from
+//     disk off-lock; concurrent misses for the same ID coalesce onto the
+//     winner's result instead of replaying the WAL N times.
+//   - Checkpoints of sessions whose WAL is clean (read-only since the last
+//     fold — the common case, sessions never mutate after creation) are
+//     skipped entirely.
 //
-// Known trade-off: persistence I/O (create-snapshot, eviction checkpoints,
-// rehydration) runs under the manager mutex, serializing session-map
-// operations behind disk writes. That keeps the map, the stores, and the
-// metrics trivially consistent (no duplicate rehydrations, no
-// evict-while-rehydrating races) at the cost of add/get latency under
-// churn; once a request resolves its session, queries proceed without this
-// lock. Moving the I/O to per-entry state is a queued ROADMAP item.
+// The TTL bounds memory residency when persistence is on (evicted sessions
+// checkpoint to disk and rehydrate on demand) and session lifetime when it
+// is off. Expired entries are swept by whichever shard access trips the
+// per-shard throttle, and by a background eviction loop so an idle daemon's
+// memory shrinks without traffic.
 type sessionManager struct {
-	mu      sync.Mutex
-	max     int
+	shards  []*sessionShard
+	seed    maphash.Seed
+	max     int          // global resident cap, enforced via live
+	live    atomic.Int64 // resident entries across all shards
 	ttl     time.Duration
-	now     func() time.Time // test hook
-	entries map[string]*sessionEntry
 	persist *persister // nil = memory-only
+
+	nowFn      atomic.Pointer[func() time.Time] // test hook, read by every shard
+	sweepEvery time.Duration
+
+	stop   chan struct{}
+	loopWG sync.WaitGroup
+	finMu  sync.Mutex // serializes loopWG.Add for async finishers vs. shutdown's Wait
+	closed atomic.Bool
+
+	// Test seams, set before any traffic: called off-lock at the start of a
+	// rehydration load / an eviction checkpoint / a DELETE's file removal
+	// for the given id.
+	hookRehydrate   func(id string)
+	hookCheckpoint  func(id string)
+	hookRemoveFiles func(id string)
 }
 
-func newSessionManager(max int, ttl time.Duration, p *persister) *sessionManager {
+func newSessionManager(max int, ttl time.Duration, shards int, p *persister) *sessionManager {
 	if max < 1 {
-		max = 1 // a non-positive cap would make add's eviction loop spin
+		max = 1 // a non-positive cap would make the eviction loop spin
 	}
-	return &sessionManager{
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	m := &sessionManager{
+		shards:  make([]*sessionShard, shards),
+		seed:    maphash.MakeSeed(),
 		max:     max,
 		ttl:     ttl,
-		now:     time.Now,
-		entries: make(map[string]*sessionEntry),
 		persist: p,
+		stop:    make(chan struct{}),
 	}
+	m.setNow(time.Now)
+	// Sweep scans a whole shard map, so throttle them well below the TTL
+	// but often enough that expiry is prompt at human time scales.
+	m.sweepEvery = ttl / 8
+	if m.sweepEvery > 30*time.Second {
+		m.sweepEvery = 30 * time.Second
+	}
+	for i := range m.shards {
+		m.shards[i] = &sessionShard{
+			m:        m,
+			entries:  make(map[string]*sessionEntry),
+			inflight: make(map[string]*rehydration),
+			deleting: make(map[string]int),
+		}
+	}
+	registerManager(m)
+	m.loopWG.Add(1)
+	go m.evictionLoop()
+	return m
 }
 
-// add registers sess under a fresh random ID and returns the ID. Expired
-// sessions are swept first; if the store is still at capacity, the least
-// recently used session is evicted — new applicants always get in. With
-// persistence on, the session's database is snapshotted before the ID is
-// returned, so a crash immediately after the response can still serve it.
+// setNow installs the manager's clock (a test seam; production keeps
+// time.Now). It is an atomic so the background eviction loop can read it
+// while a test installs a fake.
+func (m *sessionManager) setNow(fn func() time.Time) { m.nowFn.Store(&fn) }
+
+func (m *sessionManager) now() time.Time { return (*m.nowFn.Load())() }
+
+// shardFor maps an id onto its shard. maphash is seeded per manager, so
+// shard placement is not attacker-predictable even though session IDs
+// travel in URLs.
+func (m *sessionManager) shardFor(id string) *sessionShard {
+	return m.shards[maphash.String(m.seed, id)%uint64(len(m.shards))]
+}
+
+// noteResident adjusts the manager-local cap counter and the process-wide
+// gauge together.
+func (m *sessionManager) noteResident(delta int64) {
+	m.live.Add(delta)
+	metricSessionsLive.Add(delta)
+}
+
+// add registers sess under a fresh random ID and returns the ID. With
+// persistence on, the session's database is snapshotted *before* the entry
+// is published (no lock held — the ID is unguessable and unpublished, so
+// nothing contends), so a crash immediately after the response can still
+// serve it. If the insert pushes the store past the global cap, the least
+// recently used session anywhere is evicted.
 func (m *sessionManager) add(sess *core.Session, constraintSrcs []string) (string, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	now := m.now()
-	m.sweepLocked(now)
-	for len(m.entries) >= m.max {
-		m.evictLRULocked()
-	}
 	id, err := newSessionID()
 	if err != nil {
 		return "", err
@@ -100,142 +215,552 @@ func (m *sessionManager) add(sess *core.Session, constraintSrcs []string) (strin
 			return "", fmt.Errorf("server: persisting session: %w", err)
 		}
 	}
-	m.entries[id] = &sessionEntry{sess: sess, store: store, lastUsed: now}
-	metricSessionsLive.Add(1)
+	m.makeRoom()
+	sh := m.shardFor(id)
+	now := m.now()
+	sh.mu.Lock()
+	sh.entries[id] = &sessionEntry{sess: sess, store: store, lastUsed: now, state: stateLive}
+	victims := sh.maybeExpireLocked(now)
+	sh.mu.Unlock()
+	m.noteResident(1)
+	m.asyncFinish(sh, victims)
+	m.enforceCap()
 	return id, nil
 }
 
-// get returns the session for id and marks it used. A miss on the in-memory
-// map falls through to disk when persistence is on: an evicted (or
-// pre-restart) session is rehydrated from its snapshot + WAL instead of
-// reporting 404, counting against the cap like any resident session. Every
-// get also sweeps expired entries so an idle daemon's memory shrinks with
-// its live session count, not its peak.
+// get returns the session for id and marks it used. A miss on the
+// in-memory map falls through to disk when persistence is on: an evicted
+// (or pre-restart) session is rehydrated from its snapshot + WAL instead
+// of reporting 404, counting against the cap like any resident session.
 func (m *sessionManager) get(id string) (*core.Session, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shardFor(id)
 	now := m.now()
-	// Resolve a resident entry before sweeping: with persistence on, the
-	// TTL bounds residency, not lifetime, so an expired-but-still-resident
-	// session is served directly instead of being checkpointed to disk and
-	// immediately rehydrated byte-identical. Memory-only keeps the original
-	// semantics (expired means gone) via the sweep below.
-	if e, ok := m.entries[id]; ok && (m.persist != nil || now.Sub(e.lastUsed) <= m.ttl) {
+	sh.mu.Lock()
+	if e, ok := sh.entries[id]; ok && !e.deleted {
+		// With persistence on, the TTL bounds residency, not lifetime, so an
+		// expired-but-still-resident session is served directly instead of
+		// being checkpointed to disk and immediately rehydrated
+		// byte-identical. Memory-only keeps expired-means-gone semantics.
+		if m.persist == nil && now.Sub(e.lastUsed) > m.ttl {
+			// Drop the corpse only if no evictor has claimed it; a claimed
+			// entry is the evictor's to delete and count (touching it here
+			// would double-decrement the resident counter).
+			if e.state == stateLive {
+				delete(sh.entries, id)
+				sh.mu.Unlock()
+				m.noteResident(-1)
+				metricEvictionsTTL.Add(1)
+				return nil, false
+			}
+			sh.mu.Unlock()
+			return nil, false
+		}
 		e.lastUsed = now
-		m.sweepLocked(now)
-		return e.sess, true
+		if e.state == stateCheckpointing {
+			// An evictor is mid-checkpoint on this very session. The live
+			// object is still coherent (the checkpoint only reads a dump
+			// taken under the DB's own lock), so serve it and make the
+			// evictor abort instead of closing the store under us.
+			e.touched = true
+		}
+		sess := e.sess
+		victims := sh.maybeExpireLocked(now)
+		sh.mu.Unlock()
+		m.asyncFinish(sh, victims)
+		return sess, true
 	}
-	m.sweepLocked(now)
+	victims := sh.maybeExpireLocked(now)
 	if m.persist == nil {
+		sh.mu.Unlock()
+		m.asyncFinish(sh, victims)
 		return nil, false
 	}
+	if sh.deleting[id] > 0 {
+		// A DELETE is between forgetting the session and removing its
+		// files; starting a load now could resurrect it. Delete wins.
+		sh.mu.Unlock()
+		m.asyncFinish(sh, victims)
+		return nil, false
+	}
+	// Cold miss: singleflight the disk load. Whoever installs the
+	// rehydration first wins and performs the I/O; everyone else blocks on
+	// the winner's result instead of reading the snapshot and replaying the
+	// WAL once per caller.
+	if r, ok := sh.inflight[id]; ok {
+		sh.mu.Unlock()
+		m.asyncFinish(sh, victims)
+		metricRehydrationsCoalesced.Add(1)
+		<-r.done
+		return r.sess, r.ok
+	}
+	r := &rehydration{done: make(chan struct{})}
+	sh.inflight[id] = r
+	sh.mu.Unlock()
+	m.asyncFinish(sh, victims)
+	return sh.rehydrate(id, r)
+}
+
+// rehydrate performs the winner's side of a singleflight disk load: open
+// the snapshot+WAL (no shard lock held), then publish the result — unless a
+// DELETE raced the load, in which case delete wins: the files are removed
+// and every waiter sees a miss.
+func (sh *sessionShard) rehydrate(id string, r *rehydration) (*core.Session, bool) {
+	m := sh.m
+	if m.hookRehydrate != nil {
+		m.hookRehydrate(id)
+	}
 	sess, store, err := m.persist.open(id)
+	if err == nil {
+		// Make room before publishing (as creation does). The inflight
+		// record is still registered, so later misses keep coalescing and a
+		// racing DELETE still finds something to flag; concurrent winners
+		// can overshoot the cap only by the number of in-flight loads.
+		m.makeRoom()
+	}
+
+	sh.mu.Lock()
+	delete(sh.inflight, id)
+	_, corpse := sh.entries[id] // a deleted entry an evictor still owns
+	if r.deleted || corpse || sh.deleting[id] > 0 {
+		sh.mu.Unlock()
+		if err == nil {
+			store.Close()
+			m.persist.remove(id) // in case the open re-created anything
+		}
+		close(r.done)
+		return nil, false
+	}
 	if err != nil {
+		sh.mu.Unlock()
 		if err != errSessionNotOnDisk {
 			log.Printf("server: rehydrating session %s: %v", id, err)
 		}
+		close(r.done)
 		return nil, false
 	}
-	for len(m.entries) >= m.max {
-		m.evictLRULocked()
-	}
-	m.entries[id] = &sessionEntry{sess: sess, store: store, lastUsed: now}
-	metricSessionsLive.Add(1)
+	sh.entries[id] = &sessionEntry{sess: sess, store: store, lastUsed: m.now(), state: stateLive}
+	sh.mu.Unlock()
+	m.noteResident(1)
 	metricRehydrations.Add(1)
+	r.sess, r.ok = sess, true
+	close(r.done)
+	m.enforceCap()
 	return sess, true
 }
 
 // remove deletes the session from memory AND disk (the DELETE endpoint's
 // contract: after it, the capability is dead and no files remain). It
-// reports whether anything existed to delete.
+// reports whether anything existed to delete. Deletion wins every race: an
+// entry mid-checkpoint is flagged for the evictor to discard, and an
+// in-flight rehydration is flagged so the winner drops its load and every
+// coalesced waiter sees a miss.
 func (m *sessionManager) remove(id string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[id]
-	if ok {
-		if m.persist == nil && m.now().Sub(e.lastUsed) > m.ttl {
-			ok = false // memory-only: an expired session is already gone
+	sh := m.shardFor(id)
+	existed := false
+	flaggedEvictor := false
+	var closeStore *persist.Store
+	sh.mu.Lock()
+	if e, ok := sh.entries[id]; ok && !e.deleted {
+		switch {
+		case m.persist == nil && m.now().Sub(e.lastUsed) > m.ttl:
+			// Memory-only: an expired session is already gone; drop the
+			// corpse but report a miss, like get would.
+			delete(sh.entries, id)
+		case e.state == stateCheckpointing:
+			// An evictor owns the entry; flag it and let the evictor
+			// finish by discarding. Resident bookkeeping stays with it,
+			// and it inherits a tombstone reference (below) so the id
+			// stays unrehydratable until its own file cleanup completes.
+			e.deleted = true
+			flaggedEvictor = true
+			existed = true
+		default:
+			delete(sh.entries, id)
+			closeStore = e.store
+			existed = true
 		}
-		if e.store != nil {
-			e.store.Close() // no checkpoint: the files are about to go
+		if e.state == stateLive {
+			defer m.noteResident(-1)
 		}
-		delete(m.entries, id)
-		metricSessionsLive.Add(-1)
 	}
-	if m.persist != nil && m.persist.remove(id) {
-		ok = true
+	if r, ok := sh.inflight[id]; ok {
+		r.deleted = true
+		existed = true
 	}
-	return ok
+	if m.persist != nil {
+		// Tombstone until the files are gone: a rehydration starting in
+		// this window must miss, not reload the doomed files. One
+		// reference for this DELETE's own removal; one more for the
+		// evictor this call flagged (if any), whose checkpoint can race
+		// our RemoveAll and leave files for its discard path to clean up
+		// after us. Only the flipping DELETE grants that reference, so a
+		// repeat DELETE cannot strand the tombstone.
+		refs := 1
+		if flaggedEvictor {
+			refs++
+		}
+		sh.deleting[id] += refs
+	}
+	sh.mu.Unlock()
+	if closeStore != nil {
+		closeStore.Close() // no checkpoint: the files are about to go
+	}
+	if m.persist != nil {
+		if m.hookRemoveFiles != nil {
+			m.hookRemoveFiles(id)
+		}
+		if m.persist.remove(id) {
+			existed = true
+		}
+		sh.dropTombstoneRef(id)
+	}
+	return existed
+}
+
+// dropTombstoneRef releases one delete-tombstone reference for id; the id
+// becomes rehydratable again once the last holder (DELETE or a flagged
+// evictor) has finished removing the files.
+func (sh *sessionShard) dropTombstoneRef(id string) {
+	sh.mu.Lock()
+	if sh.deleting[id] > 1 {
+		sh.deleting[id]--
+	} else {
+		delete(sh.deleting, id)
+	}
+	sh.mu.Unlock()
 }
 
 // count returns the number of memory-resident (possibly expired) sessions.
 func (m *sessionManager) count() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.entries)
-}
-
-// shutdown checkpoints every resident session to disk and closes its store.
-// jitd calls it after draining requests on SIGTERM, so a restart with the
-// same data dir resumes every session where it left off. It returns the
-// number of sessions checkpointed.
-func (m *sessionManager) shutdown() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for id, e := range m.entries {
-		if e.store != nil {
-			if err := checkpointStore(e.store); err != nil {
-				log.Printf("server: checkpointing session %s on shutdown: %v", id, err)
-			} else {
-				n++
-			}
-			e.store.Close()
-		}
-		delete(m.entries, id)
-		metricSessionsLive.Add(-1)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-func (m *sessionManager) sweepLocked(now time.Time) {
-	for id, e := range m.entries {
-		if now.Sub(e.lastUsed) > m.ttl {
-			m.dropLocked(id, e, metricEvictionsTTL)
+// shardSizes returns the resident-session count of every shard, in shard
+// order (the /debug/vars per-shard gauge).
+func (m *sessionManager) shardSizes() []int {
+	sizes := make([]int, len(m.shards))
+	for i, sh := range m.shards {
+		sh.mu.Lock()
+		sizes[i] = len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return sizes
+}
+
+// shutdown stops the eviction loop, persists every resident session to disk
+// and closes its store. jitd calls it after draining requests on SIGTERM,
+// so a restart with the same data dir resumes every session where it left
+// off. It returns the number of sessions made durable. The snapshot+fsync
+// of each session runs outside the shard locks, so shards drain
+// independently.
+func (m *sessionManager) shutdown() int {
+	m.stopBackgroundSweeps()
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		victims := make([]*evictionVictim, 0, len(sh.entries))
+		for id, e := range sh.entries {
+			if e.state != stateLive || e.deleted {
+				continue // owned by an in-flight evictor; it will finish
+			}
+			e.state = stateCheckpointing
+			victims = append(victims, &evictionVictim{id: id, e: e})
+		}
+		sh.mu.Unlock()
+		for _, v := range victims {
+			// Same settle protocol as finishEviction: a DELETE racing the
+			// drain (Close can run before srv.Shutdown finishes if the
+			// drain times out) must win and drop its tombstone ref, and a
+			// request that touched the entry keeps its store open — its
+			// WAL is already flushed per-append, so recovery loses
+			// nothing.
+			sh.mu.Lock()
+			if done := sh.settleClaimLocked(v.id, v.e); done {
+				continue
+			}
+			store := v.e.store
+			sh.mu.Unlock()
+			var cpErr error
+			if store != nil {
+				cpErr = checkpointStoreIfDirty(store)
+			}
+			sh.mu.Lock()
+			if done := sh.settleClaimLocked(v.id, v.e); done {
+				continue
+			}
+			delete(sh.entries, v.id)
+			sh.mu.Unlock()
+			if store != nil {
+				if cpErr != nil {
+					log.Printf("server: checkpointing session %s on shutdown: %v", v.id, cpErr)
+				} else {
+					n++
+				}
+				store.Close()
+			}
+			m.noteResident(-1)
+		}
+	}
+	return n
+}
+
+// stopBackgroundSweeps halts the background eviction loop and waits for
+// its in-flight sweep, idempotently. shutdown uses it; interleaving tests
+// call it directly so that every eviction is owned by a test-driven
+// goroutine (the loop would otherwise race them for eviction claims and
+// read the test hooks concurrently).
+func (m *sessionManager) stopBackgroundSweeps() {
+	if m.closed.CompareAndSwap(false, true) {
+		close(m.stop)
+		// Barrier: any async finisher that saw closed == false has already
+		// done its loopWG.Add under finMu, so the Wait below covers it;
+		// finishers starting after this run inline instead.
+		m.finMu.Lock()
+		m.finMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+		m.loopWG.Wait()
+		unregisterManager(m)
+	}
+}
+
+// asyncFinish completes claimed TTL evictions off the request goroutine, so
+// a lookup that happens to trip the sweep throttle never pays for other
+// sessions' checkpoint I/O. During shutdown the work runs inline instead
+// (the loopWG window is closed).
+func (m *sessionManager) asyncFinish(sh *sessionShard, victims []*evictionVictim) {
+	if len(victims) == 0 {
+		return
+	}
+	m.finMu.Lock()
+	if m.closed.Load() {
+		m.finMu.Unlock()
+		sh.finishEvictions(victims, metricEvictionsTTL)
+		return
+	}
+	m.loopWG.Add(1)
+	m.finMu.Unlock()
+	go func() {
+		defer m.loopWG.Done()
+		sh.finishEvictions(victims, metricEvictionsTTL)
+	}()
+}
+
+// evictionLoop is the shard-independent background sweeper: it wakes every
+// sweepEvery and checkpoints-out expired sessions, so an idle daemon's
+// memory shrinks with its live session count even when no request arrives
+// to trip the per-shard sweep throttle.
+func (m *sessionManager) evictionLoop() {
+	defer m.loopWG.Done()
+	every := m.sweepEvery
+	if every < time.Second {
+		every = time.Second // don't busy-spin on micro TTLs (tests)
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.sweepAll()
 		}
 	}
 }
 
-func (m *sessionManager) evictLRULocked() {
-	oldestID := ""
-	var oldest time.Time
-	for id, e := range m.entries {
-		if oldestID == "" || e.lastUsed.Before(oldest) {
-			oldestID, oldest = id, e.lastUsed
-		}
-	}
-	if oldestID != "" {
-		m.dropLocked(oldestID, m.entries[oldestID], metricEvictionsLRU)
+// sweepAll expires idle sessions across every shard, running each shard's
+// checkpoint I/O outside its lock.
+func (m *sessionManager) sweepAll() {
+	now := m.now()
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		victims := sh.expireLocked(now)
+		sh.mu.Unlock()
+		sh.finishEvictions(victims, metricEvictionsTTL)
 	}
 }
 
-// dropLocked evicts one entry from memory, checkpointing it to disk first
-// when persistence is on (so the WAL folds into a compact snapshot and the
-// session survives for rehydration).
-func (m *sessionManager) dropLocked(id string, e *sessionEntry, cause *expvar.Int) {
-	if e.store != nil {
-		if err := checkpointStore(e.store); err != nil {
-			log.Printf("server: checkpointing session %s on eviction: %v", id, err)
-		}
-		e.store.Close()
+type evictionVictim struct {
+	id string
+	e  *sessionEntry
+}
+
+// maybeExpireLocked runs expireLocked at most once per sweepEvery — the
+// per-access sweep is an opportunistic assist to the background loop, not a
+// full scan on every request.
+func (sh *sessionShard) maybeExpireLocked(now time.Time) []*evictionVictim {
+	if now.Before(sh.nextSweep) {
+		return nil
 	}
-	delete(m.entries, id)
-	metricSessionsLive.Add(-1)
+	return sh.expireLocked(now)
+}
+
+// expireLocked claims every expired live entry for eviction (moving it to
+// stateCheckpointing) and returns the claimed victims. The caller must
+// finish them with finishEvictions after releasing the shard lock.
+func (sh *sessionShard) expireLocked(now time.Time) []*evictionVictim {
+	sh.nextSweep = now.Add(sh.m.sweepEvery)
+	var victims []*evictionVictim
+	for id, e := range sh.entries {
+		if e.state == stateLive && !e.deleted && now.Sub(e.lastUsed) > sh.m.ttl {
+			e.state = stateCheckpointing
+			victims = append(victims, &evictionVictim{id: id, e: e})
+		}
+	}
+	return victims
+}
+
+// finishEvictions completes claimed evictions with no shard lock held
+// during I/O.
+func (sh *sessionShard) finishEvictions(victims []*evictionVictim, cause *expvar.Int) {
+	for _, v := range victims {
+		sh.finishEviction(v.id, v.e, cause)
+	}
+}
+
+// finishEviction is the second half of the eviction state machine, entered
+// with e claimed (stateCheckpointing) by this goroutine. It checkpoints the
+// session outside the shard lock, then commits the eviction — unless a
+// request touched the entry meanwhile (abort: the session stays live) or a
+// DELETE flagged it (discard: close and remove the files).
+func (sh *sessionShard) finishEviction(id string, e *sessionEntry, cause *expvar.Int) {
+	m := sh.m
+
+	sh.mu.Lock()
+	if done := sh.settleClaimLocked(id, e); done {
+		return // settleClaimLocked unlocked for us
+	}
+	store := e.store
+	sh.mu.Unlock()
+
+	var cpErr error
+	if store != nil {
+		if m.hookCheckpoint != nil {
+			m.hookCheckpoint(id)
+		}
+		cpErr = checkpointStoreIfDirty(store)
+	}
+
+	sh.mu.Lock()
+	if done := sh.settleClaimLocked(id, e); done {
+		return
+	}
+	delete(sh.entries, id)
+	sh.mu.Unlock()
+	if cpErr != nil {
+		// The on-disk pair still holds the last good checkpoint + WAL; a
+		// later rehydration recovers that state. Log the gap and proceed.
+		log.Printf("server: checkpointing session %s on eviction: %v", id, cpErr)
+	}
+	if store != nil {
+		store.Close()
+	}
+	m.noteResident(-1)
 	cause.Add(1)
 }
 
-// checkpointStore folds a session's WAL into a fresh snapshot, counting it.
-func checkpointStore(st *persist.Store) error {
+// settleClaimLocked resolves an eviction claim against flags raced onto the
+// entry. It returns true — having released the shard lock and settled the
+// entry — when the eviction must not proceed: either a request resurrected
+// the session (abort, back to stateLive) or a DELETE won (discard: close
+// the store, drop the entry, remove the files). Returns false with the lock
+// still held when the eviction should continue.
+func (sh *sessionShard) settleClaimLocked(id string, e *sessionEntry) bool {
+	if e.deleted {
+		delete(sh.entries, id)
+		sh.mu.Unlock()
+		if e.store != nil {
+			e.store.Close()
+		}
+		if sh.m.persist != nil {
+			sh.m.persist.remove(id) // a checkpoint may have re-written files
+			sh.dropTombstoneRef(id) // the reference remove() granted us
+		}
+		sh.m.noteResident(-1)
+		return true
+	}
+	if e.touched {
+		e.touched = false
+		e.state = stateLive
+		sh.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// enforceCap evicts globally-least-recently-used sessions until the
+// resident count is back under the cap. Victim selection scans shard
+// minima (shard locks taken one at a time, never nested); the checkpoint
+// I/O itself runs off-lock like every other eviction.
+//
+// The cap is enforced eventually, not as a hard pre-insert gate: a new
+// entry is published first and the overflow evicted right after (plus
+// makeRoom before publishing), so concurrent inserts can overshoot the cap
+// briefly — bounded by the number of in-flight creations (createSem) and
+// rehydrations. When every candidate victim is already claimed by another
+// evictor the loop stops; those claims each release one slot as they
+// commit.
+func (m *sessionManager) enforceCap() {
+	for m.live.Load() > int64(m.max) {
+		if !m.evictGlobalLRU() {
+			return // nothing evictable right now (claims in flight)
+		}
+	}
+}
+
+// makeRoom pre-evicts so an imminent insert lands at (or under) the cap,
+// mirroring the old manager's evict-before-insert behavior.
+func (m *sessionManager) makeRoom() {
+	for m.live.Load() >= int64(m.max) {
+		if !m.evictGlobalLRU() {
+			return
+		}
+	}
+}
+
+func (m *sessionManager) evictGlobalLRU() bool {
+	victimShard := -1
+	var victimID string
+	var victimTime time.Time
+	for si, sh := range m.shards {
+		sh.mu.Lock()
+		for id, e := range sh.entries {
+			if e.state != stateLive || e.deleted {
+				continue
+			}
+			if victimShard == -1 || e.lastUsed.Before(victimTime) {
+				victimShard, victimID, victimTime = si, id, e.lastUsed
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if victimShard == -1 {
+		return false
+	}
+	sh := m.shards[victimShard]
+	sh.mu.Lock()
+	e, ok := sh.entries[victimID]
+	if !ok || e.state != stateLive || e.deleted {
+		sh.mu.Unlock()
+		return true // raced away; the caller re-checks the cap and retries
+	}
+	e.state = stateCheckpointing
+	sh.mu.Unlock()
+	sh.finishEviction(victimID, e, metricEvictionsLRU)
+	return true
+}
+
+// checkpointStoreIfDirty folds a session's WAL into a fresh snapshot,
+// counting it — unless the WAL is clean, in which case the snapshot on disk
+// already equals the live state and the write+fsync is skipped.
+func checkpointStoreIfDirty(st *persist.Store) error {
+	if !st.Dirty() {
+		return nil
+	}
 	if err := st.Checkpoint(); err != nil {
 		return err
 	}

@@ -13,7 +13,8 @@ import (
 )
 
 func TestSessionIDsAreUnguessable(t *testing.T) {
-	m := newSessionManager(10, time.Minute, nil)
+	m := newSessionManager(10, time.Minute, 4, nil)
+	t.Cleanup(func() { m.shutdown() })
 	seen := map[string]bool{}
 	for i := 0; i < 5; i++ {
 		id, err := m.add(nil, nil)
@@ -33,10 +34,20 @@ func TestSessionIDsAreUnguessable(t *testing.T) {
 	}
 }
 
+// installFakeClock gives m a mutex-guarded fake clock (the background
+// eviction loop reads the clock concurrently with the test advancing it)
+// and returns the advance function.
+func installFakeClock(m *sessionManager, start time.Time) func(time.Duration) {
+	var mu sync.Mutex
+	now := start
+	m.setNow(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	return func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+}
+
 func TestSessionManagerTTL(t *testing.T) {
-	m := newSessionManager(10, time.Minute, nil)
-	now := time.Unix(1000, 0)
-	m.now = func() time.Time { return now }
+	m := newSessionManager(10, time.Minute, 4, nil)
+	t.Cleanup(func() { m.shutdown() })
+	advance := installFakeClock(m, time.Unix(1000, 0))
 	id, err := m.add(nil, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -44,12 +55,12 @@ func TestSessionManagerTTL(t *testing.T) {
 	if _, ok := m.get(id); !ok {
 		t.Fatal("fresh session should resolve")
 	}
-	now = now.Add(30 * time.Second)
+	advance(30 * time.Second)
 	if _, ok := m.get(id); !ok {
 		t.Fatal("session used within TTL should resolve")
 	}
 	// The get above refreshed lastUsed; idle past the TTL expires it.
-	now = now.Add(time.Minute + time.Second)
+	advance(time.Minute + time.Second)
 	if _, ok := m.get(id); ok {
 		t.Fatal("idle session should expire")
 	}
@@ -59,18 +70,20 @@ func TestSessionManagerTTL(t *testing.T) {
 }
 
 func TestSessionManagerLRUCap(t *testing.T) {
-	m := newSessionManager(2, time.Hour, nil)
-	now := time.Unix(1000, 0)
-	m.now = func() time.Time { return now }
+	// 4 shards on 3 sessions: the LRU victim must still be the globally
+	// least recently used entry, wherever its id hashed.
+	m := newSessionManager(2, time.Hour, 4, nil)
+	t.Cleanup(func() { m.shutdown() })
+	advance := installFakeClock(m, time.Unix(1000, 0))
 	a, _ := m.add(nil, nil)
-	now = now.Add(time.Second)
+	advance(time.Second)
 	b, _ := m.add(nil, nil)
-	now = now.Add(time.Second)
+	advance(time.Second)
 	// Touch a so b becomes the least recently used.
 	if _, ok := m.get(a); !ok {
 		t.Fatal("a should resolve")
 	}
-	now = now.Add(time.Second)
+	advance(time.Second)
 	c, _ := m.add(nil, nil)
 	if m.count() != 2 {
 		t.Fatalf("count = %d, want 2 (cap)", m.count())
@@ -86,7 +99,8 @@ func TestSessionManagerLRUCap(t *testing.T) {
 }
 
 func TestSessionManagerRemove(t *testing.T) {
-	m := newSessionManager(10, time.Hour, nil)
+	m := newSessionManager(10, time.Hour, 4, nil)
+	t.Cleanup(func() { m.shutdown() })
 	id, _ := m.add(nil, nil)
 	if !m.remove(id) {
 		t.Fatal("remove of a live session should report true")
@@ -94,6 +108,75 @@ func TestSessionManagerRemove(t *testing.T) {
 	if m.remove(id) {
 		t.Fatal("double remove should report false")
 	}
+}
+
+// TestShardDistribution sanity-checks the sharding: sessions land across
+// shards (maphash spreads 128-bit random ids), the per-shard gauge sums to
+// the resident count, and every id still resolves through its shard.
+func TestShardDistribution(t *testing.T) {
+	m := newSessionManager(64, time.Hour, 8, nil)
+	t.Cleanup(func() { m.shutdown() })
+	ids := make([]string, 0, 32)
+	for i := 0; i < 32; i++ {
+		id, err := m.add(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	sizes := m.shardSizes()
+	if len(sizes) != 8 {
+		t.Fatalf("shardSizes len = %d, want 8", len(sizes))
+	}
+	total, nonEmpty := 0, 0
+	for _, n := range sizes {
+		total += n
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if total != 32 || total != m.count() {
+		t.Fatalf("shard sizes sum to %d, count() = %d, want 32", total, m.count())
+	}
+	// 32 random ids over 8 shards all landing in one shard is ~1e-28; a few
+	// populated shards prove the hash is actually spreading.
+	if nonEmpty < 2 {
+		t.Fatalf("all sessions hashed to %d shard(s)", nonEmpty)
+	}
+	for _, id := range ids {
+		if _, ok := m.get(id); !ok {
+			t.Fatalf("id %s lost in the shards", id)
+		}
+	}
+}
+
+// TestCreateBackpressure locks in the bounded admission queue: with every
+// creation slot taken, POST /api/sessions answers 429 + Retry-After without
+// touching the generators, and a freed slot admits again.
+func TestCreateBackpressure(t *testing.T) {
+	h := NewWithConfig(demoSystem(t), Config{MaxPendingCreates: 1})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { h.Close() })
+
+	// Occupy the only slot, as a slow in-flight creation would.
+	h.createSem <- struct{}{}
+	preRejected := metricCreatesRejected.Value()
+	resp, out := postJSON(t, srv.URL+"/api/sessions", map[string]interface{}{
+		"profile": johnProfile(),
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: %d %v, want 429", resp.StatusCode, out)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := metricCreatesRejected.Value() - preRejected; got != 1 {
+		t.Fatalf("rejected counter delta = %d, want 1", got)
+	}
+	// Slot freed: creation admits and completes.
+	<-h.createSem
+	createSession(t, srv, nil)
 }
 
 func TestDeleteSessionEndpoint(t *testing.T) {
@@ -115,8 +198,10 @@ func TestDeleteSessionEndpoint(t *testing.T) {
 }
 
 func TestSQLRowLimit(t *testing.T) {
-	srv := httptest.NewServer(NewWithConfig(demoSystem(t), Config{MaxSQLRows: 2}))
+	h := NewWithConfig(demoSystem(t), Config{MaxSQLRows: 2})
+	srv := httptest.NewServer(h)
 	t.Cleanup(srv.Close)
+	t.Cleanup(func() { h.Close() })
 	id := createSession(t, srv, nil)
 	resp, out := postJSON(t, srv.URL+"/api/sessions/"+id+"/sql",
 		map[string]string{"query": "SELECT * FROM candidates"})

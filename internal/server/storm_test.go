@@ -1,0 +1,326 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"justintime/internal/constraints"
+	"justintime/internal/dataset"
+	"justintime/internal/sqldb/persist"
+)
+
+// stormManager builds a persisting 4-shard manager with one real session
+// already checkpointed out to disk (cold), plus the fake clock handle that
+// got it there.
+func stormManager(t *testing.T) (m *sessionManager, id string, advance func(time.Duration)) {
+	t.Helper()
+	sys := demoSystem(t)
+	p := newPersister(t.TempDir(), sys, persist.SyncAlways)
+	m = newSessionManager(8, time.Minute, 4, p)
+	t.Cleanup(func() { m.shutdown() })
+	// These tests script exact eviction/rehydration interleavings; the
+	// background sweeper must not steal claims or read the hooks.
+	m.stopBackgroundSweeps()
+	advance = installFakeClock(m, time.Unix(1000, 0))
+
+	sess, err := sys.NewSession(dataset.RejectedProfiles()[0], constraints.NewSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err = m.add(sess, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(2 * time.Minute)
+	m.sweepAll()
+	if m.count() != 0 {
+		t.Fatalf("session not evicted to disk, %d resident", m.count())
+	}
+	return m, id, advance
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRehydrationStormSingleLoad is the singleflight lock-in: many
+// goroutines miss on the same cold session at once, the disk load runs
+// exactly once (rehydration counter), and every other caller coalesces onto
+// it (coalesced counter) yet still gets the session.
+func TestRehydrationStormSingleLoad(t *testing.T) {
+	m, id, _ := stormManager(t)
+
+	const storm = 16
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	m.hookRehydrate = func(string) {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	preLoads := metricRehydrations.Value()
+	preCoalesced := metricRehydrationsCoalesced.Value()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, storm)
+	for g := 0; g < storm; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if sess, ok := m.get(id); !ok || sess == nil {
+				errs <- fmt.Errorf("storm getter missed the session")
+			}
+		}()
+	}
+
+	<-entered // the winner is inside the (blocked) disk load
+	// Every other goroutine must coalesce onto it, not start loads of their
+	// own.
+	waitFor(t, "storm to coalesce", func() bool {
+		return metricRehydrationsCoalesced.Value()-preCoalesced == storm-1
+	})
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := metricRehydrations.Value() - preLoads; got != 1 {
+		t.Fatalf("disk loads = %d, want exactly 1", got)
+	}
+	if m.count() != 1 {
+		t.Fatalf("resident sessions = %d, want 1", m.count())
+	}
+}
+
+// TestDeleteRacesRehydration is the PR's bugfix lock-in: DELETE arriving
+// while the same session is mid-rehydration must win — the files are
+// removed, the loaded state is discarded, and every singleflight waiter
+// sees a miss (404), not a resurrected session.
+func TestDeleteRacesRehydration(t *testing.T) {
+	m, id, _ := stormManager(t)
+	dir, _ := m.persist.dir(id)
+
+	const storm = 8
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	m.hookRehydrate = func(string) {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	preLoads := metricRehydrations.Value()
+	preCoalesced := metricRehydrationsCoalesced.Value()
+
+	var wg sync.WaitGroup
+	hits := make(chan bool, storm)
+	for g := 0; g < storm; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, ok := m.get(id)
+			hits <- ok
+		}()
+	}
+
+	<-entered
+	waitFor(t, "waiters to coalesce", func() bool {
+		return metricRehydrationsCoalesced.Value()-preCoalesced == storm-1
+	})
+	// The race: DELETE lands while the load is in flight.
+	if !m.remove(id) {
+		t.Fatal("remove of an on-disk session reported false")
+	}
+	close(release)
+	wg.Wait()
+	close(hits)
+	for ok := range hits {
+		if ok {
+			t.Fatal("a waiter resurrected a deleted session")
+		}
+	}
+
+	if got := metricRehydrations.Value() - preLoads; got != 0 {
+		t.Fatalf("completed rehydrations = %d, want 0 (delete won)", got)
+	}
+	if m.count() != 0 {
+		t.Fatalf("resident sessions = %d, want 0", m.count())
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("session directory survived the delete: %v", err)
+	}
+	if _, ok := m.get(id); ok {
+		t.Fatal("deleted session still resolves")
+	}
+}
+
+// TestRehydrationDuringDeleteWindow covers the narrower resurrection race:
+// a rehydration that *starts* after DELETE has forgotten the session but
+// before its files are actually removed from disk. The files are still
+// readable at that instant; without the delete tombstone the load would
+// succeed and resurrect the session.
+func TestRehydrationDuringDeleteWindow(t *testing.T) {
+	m, id, _ := stormManager(t)
+	dir, _ := m.persist.dir(id)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	m.hookRemoveFiles = func(string) {
+		close(entered)
+		<-release
+	}
+
+	removed := make(chan bool, 1)
+	go func() { removed <- m.remove(id) }()
+	<-entered // DELETE is mid-window: session forgotten, files still on disk
+
+	preLoads := metricRehydrations.Value()
+	if _, ok := m.get(id); ok {
+		t.Fatal("get inside the delete window resurrected the session")
+	}
+	if got := metricRehydrations.Value() - preLoads; got != 0 {
+		t.Fatalf("rehydrations delta = %d, want 0 (tombstoned)", got)
+	}
+
+	close(release)
+	if !<-removed {
+		t.Fatal("remove reported false for an on-disk session")
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("session directory survived: %v", err)
+	}
+	if _, ok := m.get(id); ok {
+		t.Fatal("deleted session still resolves after the window closed")
+	}
+	if m.count() != 0 {
+		t.Fatalf("resident sessions = %d, want 0", m.count())
+	}
+}
+
+// TestRequestMidCheckpointGetsLiveSession drives the eviction-vs-request
+// interleaving: a request that lands while its session is being
+// checkpointed out must get the live session back — never a 404, never torn
+// state — and the eviction must abort instead of closing the store under
+// the request.
+func TestRequestMidCheckpointGetsLiveSession(t *testing.T) {
+	m, id, advance := stormManager(t)
+
+	// Bring it back in, then catch the next eviction mid-checkpoint.
+	if _, ok := m.get(id); !ok {
+		t.Fatal("rehydration failed")
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	m.hookCheckpoint = func(string) {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	preTTL := metricEvictionsTTL.Value()
+	advance(2 * time.Minute)
+	sweepDone := make(chan struct{})
+	go func() { defer close(sweepDone); m.sweepAll() }()
+	<-entered
+
+	// Mid-checkpoint request: must be served from the live entry, instantly
+	// (no rehydration, no blocking on the checkpoint).
+	preLoads := metricRehydrations.Value()
+	sess, ok := m.get(id)
+	if !ok || sess == nil {
+		t.Fatal("request during checkpoint missed the live session")
+	}
+	if n, err := sess.CandidateCount(); err != nil || n == 0 {
+		t.Fatalf("session torn mid-checkpoint: n=%d err=%v", n, err)
+	}
+
+	close(release)
+	<-sweepDone
+	if got := metricEvictionsTTL.Value() - preTTL; got != 0 {
+		t.Fatalf("eviction went through despite the touch, delta=%d", got)
+	}
+	if m.count() != 1 {
+		t.Fatalf("resident sessions = %d, want 1 (eviction aborted)", m.count())
+	}
+	if got := metricRehydrations.Value() - preLoads; got != 0 {
+		t.Fatalf("rehydrations delta = %d, want 0 (served live)", got)
+	}
+
+	// With the request gone, the next sweep completes the eviction — and the
+	// session still rehydrates intact afterwards.
+	m.hookCheckpoint = nil
+	advance(2 * time.Minute)
+	m.sweepAll()
+	if m.count() != 0 {
+		t.Fatal("second eviction did not complete")
+	}
+	if _, ok := m.get(id); !ok {
+		t.Fatal("session lost after abort-then-evict cycle")
+	}
+}
+
+// TestDeleteMidCheckpoint: DELETE racing an eviction checkpoint wins — the
+// evictor discards instead of re-publishing files, and nothing survives on
+// disk.
+func TestDeleteMidCheckpoint(t *testing.T) {
+	m, id, advance := stormManager(t)
+	dir, _ := m.persist.dir(id)
+
+	if _, ok := m.get(id); !ok {
+		t.Fatal("rehydration failed")
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	m.hookCheckpoint = func(string) {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	advance(2 * time.Minute)
+	sweepDone := make(chan struct{})
+	go func() { defer close(sweepDone); m.sweepAll() }()
+	<-entered
+
+	if !m.remove(id) {
+		t.Fatal("remove during checkpoint reported false")
+	}
+	close(release)
+	<-sweepDone
+
+	if m.count() != 0 {
+		t.Fatalf("resident sessions = %d, want 0", m.count())
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("session directory survived delete-during-checkpoint: %v", err)
+	}
+	if _, ok := m.get(id); ok {
+		t.Fatal("deleted session still resolves")
+	}
+	// The data-dir session area must hold no trace of the id at all.
+	root := filepath.Dir(dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == filepath.Base(dir) {
+			t.Fatalf("session files resurrected: %s", e.Name())
+		}
+	}
+}

@@ -102,6 +102,12 @@ func (s *Store) Dir() string { return s.dir }
 // WALSize returns the WAL's current length in bytes.
 func (s *Store) WALSize() int64 { return s.wal.Size() }
 
+// Dirty reports whether any mutation has been logged since the last
+// checkpoint (or since Create/Open). A clean store's snapshot already equals
+// the live database, so callers evicting a read-only session can skip the
+// snapshot write + fsync entirely.
+func (s *Store) Dirty() bool { return s.wal.Size() > walHeaderLen }
+
 // Sync forces any batched WAL records to stable storage.
 func (s *Store) Sync() error { return s.wal.Sync() }
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench_compare.sh — run the tier benchmarks and record them as a JSON
+# trajectory point, so perf PRs compare against a committed baseline instead
+# of a number in a commit message.
+#
+# Usage:
+#   scripts/bench_compare.sh [label]
+#
+# Environment knobs:
+#   BENCH_FILTER  go -bench regexp            (default: .)
+#   BENCH_PKGS    space-separated packages    (default: ./internal/sqldb ./internal/server .)
+#   BENCHTIME     go -benchtime               (default: 1s)
+#   COUNT         go -count                   (default: 3)
+#
+# Output: scripts/bench/BENCH_<label>.json — an array of
+#   {"name": ..., "iters": ..., "metrics": {"ns/op": ..., "B/op": ..., ...}}
+# one entry per benchmark run (COUNT entries per benchmark). Custom
+# b.ReportMetric units (p50-us, p99-us, bg-churns, ...) ride along in
+# "metrics" automatically. Compare two labels with your favorite jq/benchstat
+# pipeline; the files are small and meant to be committed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(date +%Y%m%d-%H%M%S)}"
+filter="${BENCH_FILTER:-.}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-3}"
+# shellcheck disable=SC2206
+pkgs=(${BENCH_PKGS:-./internal/sqldb ./internal/server .})
+
+mkdir -p scripts/bench
+out="scripts/bench/BENCH_${label}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo ">> go test -run '^\$' -bench '$filter' -benchmem -benchtime=$benchtime -count=$count ${pkgs[*]}" >&2
+go test -run '^$' -bench "$filter" -benchmem -benchtime="$benchtime" -count="$count" "${pkgs[@]}" | tee "$raw" >&2
+
+{
+  printf '{\n  "label": "%s",\n  "date": "%s",\n  "go": "%s",\n  "filter": "%s",\n  "benchtime": "%s",\n  "count": %s,\n  "results": [\n' \
+    "$label" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(go env GOVERSION)" "$filter" "$benchtime" "$count"
+  awk '
+    /^Benchmark/ && NF >= 4 {
+      if (seen) printf ",\n"
+      seen = 1
+      printf "    {\"name\":\"%s\",\"iters\":%s,\"metrics\":{", $1, $2
+      sep = ""
+      for (i = 3; i + 1 <= NF; i += 2) {
+        printf "%s\"%s\":%s", sep, $(i+1), $i
+        sep = ","
+      }
+      printf "}}"
+    }
+    END { printf "\n" }
+  ' "$raw"
+  printf '  ]\n}\n'
+} > "$out"
+
+echo ">> wrote $out" >&2
