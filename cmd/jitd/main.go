@@ -6,6 +6,7 @@
 //	jitd [-addr :8080] [-method ki] [-eras 12] [-rows 1200] [-horizon 3] [-k 8]
 //	     [-max-sessions 1024] [-session-ttl 30m] [-max-sql-rows 10000]
 //	     [-data-dir ""] [-wal-sync always] [-shards 0] [-max-pending-creates 32]
+//	     [-buffer-pool-pages 0]
 //
 // Endpoints:
 //
@@ -41,6 +42,14 @@
 // durability/latency trade-off: "always" fsyncs per mutation, "batched"
 // defers fsync to checkpoints (an OS crash may lose the un-synced tail; a
 // plain process crash loses nothing).
+//
+// With -buffer-pool-pages N > 0 (requires -data-dir), every session's
+// candidates table lives on paged row storage: rows are encoded into 8 KiB
+// slotted pages that fault in from disk through one shared N-frame buffer
+// pool and evict under memory pressure, so the resident heap cost of an idle
+// session is its page directory rather than its rows. Pool behavior is
+// observable on /debug/vars as jitd_pool_{hits,misses,evictions,pinned,
+// dirty_writebacks,resident_pages}.
 package main
 
 import (
@@ -74,11 +83,15 @@ func main() {
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always (per mutation) or batched (at checkpoints)")
 	shards := flag.Int("shards", 0, "session-manager shard count (0 = GOMAXPROCS)")
 	maxPendingCreates := flag.Int("max-pending-creates", 32, "admitted concurrent session creations; past it POST /api/sessions gets 429")
+	bufferPoolPages := flag.Int("buffer-pool-pages", 0, "shared buffer pool frames for paged candidates storage (0 = plain in-heap rows; requires -data-dir)")
 	flag.Parse()
 
 	syncMode, err := persist.ParseSyncMode(*walSync)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *bufferPoolPages > 0 && *dataDir == "" {
+		log.Fatal("-buffer-pool-pages requires -data-dir (paged storage needs a backing file)")
 	}
 
 	cfg := justintime.DefaultLoanDemoConfig()
@@ -103,9 +116,13 @@ func main() {
 		WALSync:           syncMode,
 		Shards:            *shards,
 		MaxPendingCreates: *maxPendingCreates,
+		BufferPoolPages:   *bufferPoolPages,
 	})
 	if *dataDir != "" {
 		log.Printf("session durability on: %s (wal-sync=%s)", *dataDir, syncMode)
+	}
+	if *bufferPoolPages > 0 {
+		log.Printf("paged candidates storage on: %d-page shared buffer pool (%d KiB)", *bufferPoolPages, *bufferPoolPages*8)
 	}
 	// ReadHeaderTimeout bounds how long an idle connection can sit in the
 	// header-read phase (slow-loris hygiene); bodies are size-capped and

@@ -31,7 +31,7 @@ func (s *System) RestoreSession(db *sqldb.DB, profile []float64) (*Session, erro
 	}
 	hasCandidates := false
 	for _, name := range db.TableNames() {
-		if name == "candidates" {
+		if name == CandidatesTable {
 			hasCandidates = true
 		}
 	}

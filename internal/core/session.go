@@ -137,6 +137,14 @@ func (s *System) NewSessionContext(ctx context.Context, profile []float64, user 
 //	candidates(time,p)   plan query top-k (time = ? ORDER BY p DESC)
 //	temporal_inputs(time) index nested-loop probes of the inner join side
 //
+// Names of the two canonical tables every session database carries. Exported
+// so the server layer can address the bulky candidates table by name (e.g. to
+// move it onto paged storage) without hard-coding schema knowledge.
+const (
+	CandidatesTable     = "candidates"
+	TemporalInputsTable = "temporal_inputs"
+)
+
 // Indexes build lazily on first use, so unused shapes cost nothing.
 func (sess *Session) loadDatabase(results [][]candgen.Candidate) error {
 	schema := sess.sys.cfg.Schema
@@ -154,10 +162,10 @@ func (sess *Session) loadDatabase(results [][]candgen.Candidate) error {
 		sqldb.Column{Name: "gap", Type: sqldb.IntType},
 		sqldb.Column{Name: "p", Type: sqldb.FloatType},
 	)
-	if err := db.CreateTable("temporal_inputs", tiCols); err != nil {
+	if err := db.CreateTable(TemporalInputsTable, tiCols); err != nil {
 		return err
 	}
-	if err := db.CreateTable("candidates", candCols); err != nil {
+	if err := db.CreateTable(CandidatesTable, candCols); err != nil {
 		return err
 	}
 	for _, ix := range []struct {

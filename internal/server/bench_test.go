@@ -46,7 +46,7 @@ func benchSessions(b *testing.B, m *sessionManager, hot int) (hotIDs, cold []str
 func BenchmarkConcurrentServe(b *testing.B) {
 	const hot = 8
 	sys := demoSystem(b)
-	p := newPersister(b.TempDir(), sys, persist.SyncBatched)
+	p := newPersister(b.TempDir(), sys, persist.SyncBatched, nil)
 	m := newSessionManager(hot, time.Hour, 4, p)
 	b.Cleanup(func() { m.shutdown() })
 	hotIDs, cold := benchSessions(b, m, hot)
@@ -123,7 +123,7 @@ func BenchmarkConcurrentServe(b *testing.B) {
 func BenchmarkSessionLookup(b *testing.B) {
 	const hot = 8
 	sys := demoSystem(b)
-	p := newPersister(b.TempDir(), sys, persist.SyncBatched)
+	p := newPersister(b.TempDir(), sys, persist.SyncBatched, nil)
 	m := newSessionManager(hot, time.Hour, 4, p)
 	b.Cleanup(func() { m.shutdown() })
 	hotIDs, _ := benchSessions(b, m, hot)

@@ -9,6 +9,7 @@ import (
 
 	"justintime/internal/core"
 	"justintime/internal/sqldb"
+	"justintime/internal/sqldb/pager"
 )
 
 // Process-wide serving metrics, exported on /debug/vars (the expvar page the
@@ -72,6 +73,50 @@ func unregisterManager(m *sessionManager) {
 			return
 		}
 	}
+}
+
+// poolRegistry tracks the live buffer pools in the process (one per Server
+// running with paged storage; usually one outside of tests) so the
+// jitd_pool_* vars below can enumerate them. Same shape as managerRegistry:
+// expvar names are process-global, so the gauges are Funcs over a registry.
+var poolRegistry struct {
+	mu sync.Mutex
+	ps []*pager.Pool
+}
+
+func registerPool(p *pager.Pool) {
+	poolRegistry.mu.Lock()
+	defer poolRegistry.mu.Unlock()
+	poolRegistry.ps = append(poolRegistry.ps, p)
+}
+
+func unregisterPool(p *pager.Pool) {
+	poolRegistry.mu.Lock()
+	defer poolRegistry.mu.Unlock()
+	for i, x := range poolRegistry.ps {
+		if x == p {
+			poolRegistry.ps = append(poolRegistry.ps[:i], poolRegistry.ps[i+1:]...)
+			return
+		}
+	}
+}
+
+// poolStats sums Stats across the registered pools.
+func poolStats() pager.Stats {
+	poolRegistry.mu.Lock()
+	ps := append([]*pager.Pool(nil), poolRegistry.ps...)
+	poolRegistry.mu.Unlock()
+	var sum pager.Stats
+	for _, p := range ps {
+		st := p.Stats()
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Evictions += st.Evictions
+		sum.DirtyWritebacks += st.DirtyWritebacks
+		sum.Pinned += st.Pinned
+		sum.Resident += st.Resident
+	}
+	return sum
 }
 
 // latencyBoundsUs are the jitd_question_latency_us bucket upper bounds, in
@@ -154,6 +199,19 @@ func init() {
 		}
 		return out
 	}))
+	// Buffer-pool counters over every registered pool (one per Server
+	// running with -buffer-pool-pages; zeroes when paged storage is off).
+	// hits/misses grade the pool's sizing (a rising miss share means the
+	// working set outgrew the frame count), evictions and dirty_writebacks
+	// measure churn, pinned is the instantaneous count of frames queries
+	// are holding right now, and jitd_pool_resident_pages is the gauge of
+	// frames currently mapped to a page — the pool's in-memory footprint.
+	expvar.Publish("jitd_pool_hits", expvar.Func(func() interface{} { return poolStats().Hits }))
+	expvar.Publish("jitd_pool_misses", expvar.Func(func() interface{} { return poolStats().Misses }))
+	expvar.Publish("jitd_pool_evictions", expvar.Func(func() interface{} { return poolStats().Evictions }))
+	expvar.Publish("jitd_pool_dirty_writebacks", expvar.Func(func() interface{} { return poolStats().DirtyWritebacks }))
+	expvar.Publish("jitd_pool_pinned", expvar.Func(func() interface{} { return poolStats().Pinned }))
+	expvar.Publish("jitd_pool_resident_pages", expvar.Func(func() interface{} { return poolStats().Resident }))
 	// jitd_shard_sessions: resident sessions per shard, summed element-wise
 	// across the process's live session managers (one, outside of tests).
 	// Uneven counts reveal hash skew; a stuck shard reveals a lock problem.

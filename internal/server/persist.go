@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"justintime/internal/core"
+	"justintime/internal/sqldb/pager"
 	"justintime/internal/sqldb/persist"
 )
 
@@ -36,17 +37,21 @@ type persister struct {
 	root string
 	sys  *core.System
 	opts persist.Options
+	pool *pager.Pool // non-nil: candidates tables go on paged storage
 }
 
 // newPersister prepares <dataDir>/sessions and sweeps orphans left by a
-// crash (directories without a complete snapshot, stray temp files).
-func newPersister(dataDir string, sys *core.System, sync persist.SyncMode) *persister {
+// crash (directories without a complete snapshot, stray temp files). A
+// non-nil pool opts every session's candidates table into paged storage.
+func newPersister(dataDir string, sys *core.System, sync persist.SyncMode, pool *pager.Pool) *persister {
 	p := &persister{
 		root: filepath.Join(dataDir, "sessions"),
 		sys:  sys,
+		pool: pool,
 		opts: persist.Options{
 			Sync:       sync,
 			OnWALWrite: func(n int) { metricWALBytes.Add(int64(n)) },
+			Pool:       pool,
 		},
 	}
 	_ = os.MkdirAll(p.root, 0o755)
@@ -79,8 +84,19 @@ func (p *persister) create(id string, sess *core.Session, constraintSrcs []strin
 		os.RemoveAll(dir)
 		return nil, err
 	}
+	if p.pool != nil {
+		// Move the bulky candidates table off the heap before the first
+		// snapshot: its rows land in slotted pages, and persist.Create
+		// checkpoints the page file alongside the snapshot.
+		if err := sess.DB().PageTable(core.CandidatesTable, p.pool, filepath.Join(dir, persist.SpillFileName(core.CandidatesTable))); err != nil {
+			sess.DB().ClosePagedStores()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+	}
 	store, err := persist.Create(dir, sess.DB(), p.opts)
 	if err != nil {
+		sess.DB().ClosePagedStores()
 		os.RemoveAll(dir)
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 	"justintime/internal/core"
 	"justintime/internal/dataset"
 	"justintime/internal/sqldb"
+	"justintime/internal/sqldb/pager"
 	"justintime/internal/sqldb/persist"
 )
 
@@ -51,6 +52,13 @@ type Config struct {
 	// answers 429 with Retry-After instead of piling goroutines onto the
 	// CPU. <= 0 selects 32.
 	MaxPendingCreates int
+	// BufferPoolPages, when > 0 (and DataDir is set — paged storage needs a
+	// backing file), puts every session's candidates table on paged row
+	// storage behind one shared buffer pool of this many 8 KiB frames. Row
+	// pages then fault in from disk on demand and evict under memory
+	// pressure, so the resident heap cost of an idle session is its page
+	// directory, not its rows. 0 keeps rows on plain in-heap slices.
+	BufferPoolPages int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +83,9 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	sessions *sessionManager
+	// pool is the shared buffer pool behind every paged candidates table
+	// (nil when paged storage is off).
+	pool *pager.Pool
 	// createSem is the bounded admission queue for session creation: a slot
 	// must be held for the whole generate+persist span, and an unavailable
 	// slot turns into 429 + Retry-After instead of an unbounded goroutine
@@ -88,13 +99,19 @@ func New(sys *core.System) *Server { return NewWithConfig(sys, Config{}) }
 // NewWithConfig builds a Server with explicit session/query limits.
 func NewWithConfig(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var pool *pager.Pool
+	if cfg.DataDir != "" && cfg.BufferPoolPages > 0 {
+		pool = pager.NewPool(cfg.BufferPoolPages)
+		registerPool(pool)
+	}
 	var p *persister
 	if cfg.DataDir != "" {
-		p = newPersister(cfg.DataDir, sys, cfg.WALSync)
+		p = newPersister(cfg.DataDir, sys, cfg.WALSync, pool)
 	}
 	s := &Server{
 		sys:       sys,
 		cfg:       cfg,
+		pool:      pool,
 		sessions:  newSessionManager(cfg.MaxSessions, cfg.SessionTTL, cfg.Shards, p),
 		createSem: make(chan struct{}, cfg.MaxPendingCreates),
 	}
@@ -121,7 +138,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // dir) and releases their stores; sessions whose WAL is clean keep their
 // current snapshot without a rewrite. Call it after draining in-flight
 // requests; it returns the number of sessions made durable.
-func (s *Server) Close() int { return s.sessions.shutdown() }
+func (s *Server) Close() int {
+	n := s.sessions.shutdown()
+	if s.pool != nil {
+		unregisterPool(s.pool)
+	}
+	return n
+}
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -396,7 +419,11 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("expert SQL endpoint accepts SELECT statements only"))
 		return
 	}
-	res, err := st.Query(sess.DB())
+	// Cap row production inside execution (limit pushdown): the executor
+	// stops at MaxSQLRows+1 produced rows, so a SELECT over a huge table
+	// never materializes beyond the response cap. The one extra row is the
+	// truncation signal.
+	res, err := st.QueryCapped(sess.DB(), s.cfg.MaxSQLRows+1)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return

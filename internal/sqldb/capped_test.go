@@ -1,0 +1,256 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"justintime/internal/sqldb/pager"
+)
+
+func cappedTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if err := db.CreateTable("t", []Column{
+		{Name: "a", Type: IntType},
+		{Name: "b", Type: IntType},
+		{Name: "s", Type: TextType},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX t_a ON t (a)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("u", []Column{{Name: "v", Type: IntType}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]Value, 500)
+	for i := range rows {
+		rows[i] = []Value{Int(int64(i)), Int(int64(i % 10)), Text(fmt.Sprintf("s%d", i))}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	var urows [][]Value
+	for i := 0; i < 10; i++ {
+		urows = append(urows, []Value{Int(int64(i))})
+	}
+	if err := db.InsertRows("u", urows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestQueryCappedMatchesPrefix locks in the capped-equals-truncated contract
+// across plan shapes: for any SELECT, QueryCapped(n) must return exactly the
+// first n rows of the uncapped result (or all of them when fewer exist).
+func TestQueryCappedMatchesPrefix(t *testing.T) {
+	db := cappedTestDB(t)
+	queries := []struct {
+		sql  string
+		args []Value
+	}{
+		{"SELECT * FROM t", nil},                                             // streaming full scan
+		{"SELECT a, s FROM t WHERE b = ?", []Value{Int(3)}},                  // streaming, residual WHERE
+		{"SELECT * FROM t WHERE a >= ? AND a < ?", []Value{Int(5), Int(80)}}, // index prefilter
+		{"SELECT * FROM t WHERE a = ?", []Value{Int(9999)}},                  // empty result
+		{"SELECT b, COUNT(*) FROM t GROUP BY b", nil},                        // grouped fallback
+		{"SELECT DISTINCT b FROM t", nil},                                    // DISTINCT fallback
+		{"SELECT * FROM t ORDER BY a DESC", nil},                             // sorted fallback
+		{"SELECT * FROM t ORDER BY a LIMIT 7", nil},                          // top-k path
+		{"SELECT t.s, u.v FROM t INNER JOIN u ON t.b = u.v", nil},            // join fallback
+		{"SELECT a + b AS ab FROM t WHERE ab > ?", []Value{Int(200)}},        // alias in WHERE
+	}
+	for _, q := range queries {
+		st, err := Prepare(q.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", q.sql, err)
+		}
+		full, err := st.Query(db, q.args...)
+		if err != nil {
+			t.Fatalf("%s: %v", q.sql, err)
+		}
+		for _, cap := range []int{0, 1, 3, len(full.Rows), len(full.Rows) + 5} {
+			got, err := st.QueryCapped(db, cap, q.args...)
+			if err != nil {
+				t.Fatalf("%s cap=%d: %v", q.sql, cap, err)
+			}
+			want := full.Rows
+			if cap > 0 && cap < len(want) {
+				want = want[:cap]
+			}
+			if !reflect.DeepEqual(got.Columns, full.Columns) {
+				t.Fatalf("%s cap=%d: columns %v, want %v", q.sql, cap, got.Columns, full.Columns)
+			}
+			if !reflect.DeepEqual(got.Rows, want) {
+				t.Fatalf("%s cap=%d: %d rows diverge from uncapped prefix (%d)", q.sql, cap, len(got.Rows), len(want))
+			}
+		}
+	}
+}
+
+// TestQueryCappedLeavesSubqueriesUncapped: the cap applies to the top-level
+// statement only. If it leaked into the IN-subquery here, matches for high b
+// values would vanish.
+func TestQueryCappedLeavesSubqueriesUncapped(t *testing.T) {
+	db := cappedTestDB(t)
+	st := MustPrepare("SELECT a, b FROM t WHERE b IN (SELECT v FROM u WHERE v >= 8)")
+	full, err := st.Query(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) != 100 { // b in {8, 9}: 50 rows each
+		t.Fatalf("uncapped subquery match count = %d", len(full.Rows))
+	}
+	got, err := st.QueryCapped(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, full.Rows[:5]) {
+		t.Fatalf("capped rows are not the uncapped prefix: %+v", got.Rows)
+	}
+	// A scalar subquery must also see the whole table under a cap of 1.
+	st = MustPrepare("SELECT a FROM t WHERE b = (SELECT MAX(v) FROM u)")
+	res, err := st.QueryCapped(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	if a, _ := res.Rows[0][0].AsInt(); a != 9 { // first row with b == 9
+		t.Fatalf("first match is a=%d, want 9", a)
+	}
+}
+
+// TestQueryCappedStopsEarly proves the cap is pushed into execution rather
+// than applied to a materialized result: on paged storage, a capped streaming
+// scan must fault in only the pages holding the rows it emitted.
+func TestQueryCappedStopsEarly(t *testing.T) {
+	db := cappedTestDB(t)
+	pool := pager.NewPool(32)
+	if err := db.PageTable("t", pool, filepath.Join(t.TempDir(), "spill.db")); err != nil {
+		t.Fatal(err)
+	}
+	defer db.ClosePagedStores()
+	// Measure the table's page count with a warm full scan.
+	if _, err := db.Query("SELECT * FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	npages := int(pool.Stats().Resident)
+	if npages < 3 {
+		t.Fatalf("table spans only %d pages", npages)
+	}
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	m0 := pool.Stats().Misses
+	st := MustPrepare("SELECT * FROM t")
+	res, err := st.QueryCapped(db, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("capped scan returned %d rows", len(res.Rows))
+	}
+	if faults := pool.Stats().Misses - m0; faults != 1 {
+		t.Fatalf("capped scan of 10 rows faulted %d pages (table has %d); cap was not pushed into the scan", faults, npages)
+	}
+}
+
+// TestQueryCappedErrorParity: a row whose WHERE evaluation errors must
+// surface the error through the capped paths exactly as uncapped execution
+// does, including when an index prefilter leaves only the sentinel row.
+func TestQueryCappedErrorParity(t *testing.T) {
+	db := cappedTestDB(t)
+	for _, sql := range []string{
+		"SELECT * FROM t WHERE -s > 0",              // negating TEXT errors on every row
+		"SELECT * FROM t WHERE a = 9999 AND -s > 0", // index proves empty; sentinel must still error
+	} {
+		st := MustPrepare(sql)
+		_, ferr := st.Query(db)
+		_, cerr := st.QueryCapped(db, 5)
+		if (ferr == nil) != (cerr == nil) {
+			t.Fatalf("%s: uncapped err=%v, capped err=%v", sql, ferr, cerr)
+		}
+		if ferr != nil && cerr != nil && ferr.Error() != cerr.Error() {
+			t.Fatalf("%s: error text diverged: %q vs %q", sql, ferr, cerr)
+		}
+	}
+	// EXPLAIN passes through uncapped, and non-SELECTs are rejected.
+	ex := MustPrepare("EXPLAIN SELECT * FROM t WHERE a = 1")
+	res, err := ex.QueryCapped(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("EXPLAIN was capped: %+v", res.Rows)
+	}
+	ins := MustPrepare("INSERT INTO u (v) VALUES (1)")
+	if _, err := ins.QueryCapped(db, 1); err == nil {
+		t.Fatal("QueryCapped accepted a non-SELECT")
+	}
+}
+
+// TestQueryCappedDifferential reuses the differential generator: for random
+// schemas and queries, QueryCapped(n) must always equal the uncapped result
+// truncated to n — across the planner arm and the forced-scan arm.
+func TestQueryCappedDifferential(t *testing.T) {
+	cases := 40
+	if testing.Short() {
+		cases = 10
+	}
+	for seed := int64(0); seed < int64(cases); seed++ {
+		r := rand.New(rand.NewSource(seed ^ 0x5eed))
+		db, tables := buildDiffDB(t, r)
+		for i := 0; i < 10; i++ {
+			sql, args, _ := buildDiffQuery(r, tables)
+			st, err := Prepare(sql)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, sql, err)
+			}
+			for _, arm := range []bool{false, true} {
+				db.DisableIndexScan = arm
+				full, ferr := st.Query(db, args...)
+				capN := 1 + r.Intn(8)
+				got, cerr := st.QueryCapped(db, capN, args...)
+				db.DisableIndexScan = false
+				if (ferr == nil) != (cerr == nil) {
+					t.Fatalf("seed %d (scan=%v): %s %v: err parity broke: %v vs %v", seed, arm, sql, args, ferr, cerr)
+				}
+				if ferr != nil {
+					continue
+				}
+				want := full.Rows
+				if capN < len(want) {
+					want = want[:capN]
+				}
+				if !reflect.DeepEqual(got.Rows, want) || !reflect.DeepEqual(got.Columns, full.Columns) {
+					t.Fatalf("seed %d (scan=%v): %s %v cap=%d:\ncapped: %+v\nprefix: %+v", seed, arm, sql, args, capN, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryCappedNote sanity-checks that capped fast-path queries still
+// account their access path in the plan counters (the EXPLAIN/metrics
+// contract): a capped full scan bumps full_scan like an uncapped one.
+func TestQueryCappedNote(t *testing.T) {
+	db := cappedTestDB(t)
+	before := PlanCounters()["full_scan"]
+	st := MustPrepare("SELECT * FROM t WHERE b = 1")
+	if _, err := st.QueryCapped(db, 3); err != nil {
+		t.Fatal(err)
+	}
+	after := PlanCounters()["full_scan"]
+	if after != before+1 {
+		t.Fatalf("capped streaming scan bumped full_scan by %d, want 1", after-before)
+	}
+	if !strings.Contains(fmt.Sprint(PlanCounters()), "full_scan") {
+		t.Fatal("plan counters lost full_scan key")
+	}
+}

@@ -13,12 +13,14 @@ type Column struct {
 	Type Type
 }
 
-// Table is an in-memory heap table, optionally carrying secondary indexes.
+// Table is a stored table, optionally carrying secondary indexes. Row
+// storage lives behind a RowStore: a plain heap slice by default, or slotted
+// pages behind a shared buffer pool after DB.PageTable.
 type Table struct {
 	Name   string
 	Cols   []Column
 	colIdx map[string]int
-	rows   [][]Value
+	store  RowStore
 
 	// version counts row mutations (insert/delete/update); secondary
 	// indexes compare it against the version they were built at and
@@ -46,7 +48,7 @@ func newTable(name string, cols []Column) (*Table, error) {
 		}
 		idx[c.Name] = i
 	}
-	return &Table{Name: name, Cols: cols, colIdx: idx, version: 1}, nil
+	return &Table{Name: name, Cols: cols, colIdx: idx, store: &sliceStore{}, version: 1}, nil
 }
 
 // indexOn returns the table's single-column index over exactly column col,
@@ -78,7 +80,7 @@ func (t *Table) rebuildIdxCols() {
 }
 
 // RowCount returns the number of stored rows.
-func (t *Table) RowCount() int { return len(t.rows) }
+func (t *Table) RowCount() int { return t.store.Len() }
 
 // columnNames returns the column names in order.
 func (t *Table) columnNames() []string {
@@ -377,7 +379,9 @@ func (db *DB) InsertRows(table string, rows [][]Value) error {
 		prepared = append(prepared, stored)
 	}
 	if len(prepared) > 0 {
-		t.rows = append(t.rows, prepared...)
+		if err := t.store.Append(prepared); err != nil {
+			return err
+		}
 		t.version++
 		if db.logger != nil {
 			if err := db.logger.LogInsertRows(table, prepared); err != nil {
@@ -408,14 +412,15 @@ func (db *DB) execCreate(s *CreateTableStmt) error {
 }
 
 func (db *DB) execDrop(s *DropTableStmt) error {
-	if _, ok := db.tables[s.Name]; !ok {
+	t, ok := db.tables[s.Name]
+	if !ok {
 		if s.IfExists {
 			return nil
 		}
 		return fmt.Errorf("sqldb: unknown table %q", s.Name)
 	}
 	delete(db.tables, s.Name)
-	return nil
+	return t.store.Close() // releases page files/frames for paged tables
 }
 
 func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
@@ -426,9 +431,9 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
 	// Invalidate indexes only when rows were actually appended (partial
 	// inserts before an error count; pure failures must not force the
 	// next indexed query into a spurious rebuild).
-	n0 := len(t.rows)
+	n0 := t.store.Len()
 	defer func() {
-		if len(t.rows) != n0 {
+		if t.store.Len() != n0 {
 			t.version++
 		}
 	}()
@@ -466,7 +471,9 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
 				}
 				row[targets[i]] = cv
 			}
-			t.rows = append(t.rows, row)
+			if err := t.store.Append([][]Value{row}); err != nil {
+				return inserted, err
+			}
 			inserted++
 		}
 		return inserted, nil
@@ -488,7 +495,9 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
 			}
 			row[targets[i]] = cv
 		}
-		t.rows = append(t.rows, row)
+		if err := t.store.Append([][]Value{row}); err != nil {
+			return inserted, err
+		}
 		inserted++
 	}
 	return inserted, nil
@@ -500,19 +509,19 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value) (int, error) {
 		return 0, fmt.Errorf("sqldb: unknown table %q", s.Table)
 	}
 	ex := &executor{db: db, params: params}
-	// Evaluate the whole WHERE pass into a fresh slice before touching
-	// t.rows: an evaluation error mid-scan must leave the table unchanged
+	// Evaluate the whole WHERE pass into a fresh slice before touching the
+	// store: an evaluation error mid-scan must leave the table unchanged
 	// (compacting in place would duplicate already-shifted rows).
-	kept := make([][]Value, 0, len(t.rows))
+	kept := make([][]Value, 0, t.store.Len())
 	deleted := 0
-	for _, row := range t.rows {
+	err := t.store.Scan(func(_ int, row []Value) error {
 		keep := true
 		if s.Where != nil {
 			scope := newScope(nil)
 			scope.push(relationOf(t), row)
 			v, err := ex.eval(s.Where, scope)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			keep = !isTrue(v)
 		} else {
@@ -523,9 +532,15 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value) (int, error) {
 		} else {
 			deleted++
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	if deleted > 0 {
-		t.rows = kept
+		if err := t.store.ReplaceAll(kept); err != nil {
+			return 0, err
+		}
 		t.version++
 	}
 	return deleted, nil
@@ -549,20 +564,21 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
 	// evaluation or coercion error mid-scan must leave the table unchanged
 	// rather than half-updated.
 	type pending struct {
+		ri   int
 		row  []Value
 		vals []Value
 	}
 	var writes []pending
-	for _, row := range t.rows {
+	err := t.store.Scan(func(ri int, row []Value) error {
 		scope := newScope(nil)
 		scope.push(relationOf(t), row)
 		if s.Where != nil {
 			v, err := ex.eval(s.Where, scope)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			if !isTrue(v) {
-				continue
+				return nil
 			}
 		}
 		// Evaluate all assignments against the pre-update row.
@@ -570,23 +586,33 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
 		for i, e := range s.Exprs {
 			v, err := ex.eval(e, scope)
 			if err != nil {
-				return 0, err
+				return err
 			}
 			cv, err := coerceTo(v, t.Cols[cols[i]].Type)
 			if err != nil {
-				return 0, fmt.Errorf("sqldb: column %q: %w", s.Cols[i], err)
+				return fmt.Errorf("sqldb: column %q: %w", s.Cols[i], err)
 			}
 			newVals[i] = cv
 		}
-		writes = append(writes, pending{row: row, vals: newVals})
+		writes = append(writes, pending{ri: ri, row: row, vals: newVals})
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
+	applied := 0
+	var werr error
 	for _, w := range writes {
 		for i, ci := range cols {
 			w.row[ci] = w.vals[i]
 		}
+		if werr = t.store.Set(w.ri, w.row); werr != nil {
+			break // paged I/O failure: report the partial update
+		}
+		applied++
 	}
-	if len(writes) > 0 {
+	if applied > 0 {
 		t.version++
 	}
-	return len(writes), nil
+	return applied, werr
 }

@@ -9,10 +9,17 @@ import (
 // TableDump is the structural state of one table: its declared schema and a
 // deep copy of its rows. It carries no index state — indexes are declared
 // separately (IndexDump) and rebuilt lazily after a restore.
+//
+// For tables on paged storage, Rows is nil and Paged carries the live store
+// instead: materializing every row would defeat the buffer pool, so the
+// persistence layer checkpoints the pages themselves (CheckpointTo) while
+// the dump is exclusively locked. A dump holding Paged entries is only
+// coherent for the duration of CheckpointWith.
 type TableDump struct {
-	Name string
-	Cols []Column
-	Rows [][]Value
+	Name  string
+	Cols  []Column
+	Rows  [][]Value
+	Paged *PagedTable
 }
 
 // IndexDump is one secondary index declaration. Column holds the indexed
@@ -66,11 +73,18 @@ func (db *DB) dumpLocked() *Dump {
 		t := db.tables[n]
 		cols := make([]Column, len(t.Cols))
 		copy(cols, t.Cols)
-		rows := make([][]Value, len(t.rows))
-		for i, r := range t.rows {
-			rows[i] = append([]Value(nil), r...)
+		td := TableDump{Name: t.Name, Cols: cols}
+		if pt, paged := t.store.(*PagedTable); paged {
+			td.Paged = pt
+		} else {
+			live, _ := t.store.All() // slice store: cannot fail
+			rows := make([][]Value, len(live))
+			for i, r := range live {
+				rows[i] = append([]Value(nil), r...)
+			}
+			td.Rows = rows
 		}
-		d.Tables = append(d.Tables, TableDump{Name: t.Name, Cols: cols, Rows: rows})
+		d.Tables = append(d.Tables, td)
 		for _, ix := range t.indexes {
 			names := make([]string, len(ix.cols))
 			for i, ci := range ix.cols {
@@ -88,6 +102,9 @@ func (db *DB) dumpLocked() *Dump {
 func NewFromDump(d *Dump) (*DB, error) {
 	db := New()
 	for _, td := range d.Tables {
+		if td.Paged != nil {
+			return nil, fmt.Errorf("sqldb: table %q is paged; restore it through the persistence layer", td.Name)
+		}
 		if err := db.CreateTable(td.Name, td.Cols); err != nil {
 			return nil, fmt.Errorf("sqldb: restoring table %q: %w", td.Name, err)
 		}

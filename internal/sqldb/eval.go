@@ -71,11 +71,14 @@ func not3(v Value) Value {
 // executor evaluates expressions and runs SELECT plans against a DB whose
 // lock is already held by the caller. params holds the positional arguments
 // bound to `?` placeholders for this execution. trace, when non-nil,
-// records every plan decision for EXPLAIN.
+// records every plan decision for EXPLAIN. capRows > 0 bounds the TOP-LEVEL
+// statement's output to that many rows (see Stmt.QueryCapped); execSelect
+// consumes it on entry so subqueries run uncapped.
 type executor struct {
-	db     *DB
-	params []Value
-	trace  *planTrace
+	db      *DB
+	params  []Value
+	trace   *planTrace
+	capRows int
 }
 
 // eval evaluates e in the given scope (which may be nil for constant

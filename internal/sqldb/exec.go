@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,9 +18,27 @@ func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) 
 		defer ex.tracePop()
 	}
 
+	// Consume the row cap on entry: it bounds only this statement's output.
+	// Subqueries (which recurse here) must run uncapped — truncating an IN
+	// list or a scalar subquery would change results, not just their size.
+	capRows := ex.capRows
+	ex.capRows = 0
+
 	// --- Top-k fast path: ORDER BY ... LIMIT streamed from a sorted index.
 	if res, ok, err := ex.tryTopK(sel, parent); ok {
+		if err == nil && capRows > 0 && len(res.Rows) > capRows {
+			res.Rows = res.Rows[:capRows]
+		}
 		return res, err
+	}
+
+	// --- Capped streaming fast path: a simple single-table SELECT under a
+	// row cap stops producing as soon as the cap is reached, instead of
+	// materializing every matching row and slicing afterwards.
+	if capRows > 0 {
+		if res, ok, err := ex.trySimpleCapped(sel, parent, capRows); ok {
+			return res, err
+		}
 	}
 
 	// --- FROM: materialize and join row sources.
@@ -244,12 +263,130 @@ func (ex *executor) execSelect(sel *SelectStmt, parent *scope) (*Result, error) 
 		ex.note("limit %d", lim)
 	}
 
+	// Shapes too complex to stream (grouping, sorting, joins, ...) run in
+	// full; the cap still bounds what the caller receives.
+	if capRows > 0 && len(outputs) > capRows {
+		outputs = outputs[:capRows]
+	}
+
 	res := &Result{Columns: columns, Rows: make([][]Value, len(outputs))}
 	for i, o := range outputs {
 		res.Rows[i] = o.vals
 	}
 	return res, nil
 }
+
+// trySimpleCapped streams a capped simple SELECT — one stored table, no
+// grouping, DISTINCT, ordering, limit, or aggregates — producing at most
+// capRows rows and stopping the moment the cap is reached. The WHERE clause
+// runs over an index prefilter when the planner finds one (so only matching
+// pages fault in on paged storage) and over a streaming store scan otherwise;
+// either way, predicate and projection semantics are byte-identical to the
+// general pipeline's, which remains the fallback for every other shape.
+func (ex *executor) trySimpleCapped(sel *SelectStmt, parent *scope, capRows int) (*Result, bool, error) {
+	if len(sel.From) != 1 || sel.From[0].Subquery != nil ||
+		len(sel.GroupBy) > 0 || sel.Having != nil || sel.Distinct ||
+		len(sel.OrderBy) > 0 || sel.Limit != nil || sel.Offset != nil {
+		return nil, false, nil
+	}
+	var aggs []*FuncCall
+	for _, item := range sel.Items {
+		collectAggregates(item.Expr, &aggs)
+	}
+	if len(aggs) > 0 {
+		return nil, false, nil
+	}
+	t, ok := ex.db.tables[sel.From[0].Name]
+	if !ok {
+		return nil, false, nil // the general path owns the unknown-table error
+	}
+	rel := relationOf(t)
+	if alias := fromAlias(sel.From[0]); alias != "" {
+		rel.alias = alias
+	}
+	rels := []relation{rel}
+	aliasExpr := make(map[string]Expr)
+	for _, item := range sel.Items {
+		if item.Alias != "" && item.Expr != nil {
+			aliasExpr[item.Alias] = item.Expr
+		}
+	}
+	mkScope := func(row []Value) *scope {
+		sc := newScope(parent)
+		sc.push(rel, row)
+		sc.aliasExpr = aliasExpr
+		sc.aliasBusy = make(map[string]bool)
+		return sc
+	}
+
+	var columns []string
+	out := make([][]Value, 0) // non-nil: Result.Rows is never nil
+	emit := func(row []Value) (bool, error) {
+		sc := mkScope(row)
+		if sel.Where != nil {
+			v, err := ex.eval(sel.Where, sc)
+			if err != nil {
+				return false, err
+			}
+			if !isTrue(v) {
+				return false, nil
+			}
+		}
+		vals, names, err := ex.projectRow(sel, rels, sc)
+		if err != nil {
+			return false, err
+		}
+		columns = names
+		out = append(out, vals)
+		return len(out) >= capRows, nil
+	}
+
+	prefiltered := false
+	if sel.Where != nil && !ex.db.DisableIndexScan {
+		rows, ok, err := ex.indexScan(t, rel, sel, parent)
+		if err != nil {
+			return nil, true, err
+		}
+		if ok {
+			prefiltered = true
+			for _, row := range rows {
+				if done, err := emit(row); err != nil {
+					return nil, true, err
+				} else if done {
+					break
+				}
+			}
+		}
+	}
+	if !prefiltered {
+		planCounts.fullScan.Add(1)
+		ex.note("scan %s", rel.alias)
+		err := t.store.Scan(func(_ int, row []Value) error {
+			done, err := emit(row)
+			if err != nil {
+				return err
+			}
+			if done {
+				return errCapReached
+			}
+			return nil
+		})
+		if err != nil && err != errCapReached {
+			return nil, true, err
+		}
+	}
+	if columns == nil {
+		var err error
+		if columns, err = ex.staticColumns(sel, rels); err != nil {
+			return nil, true, err
+		}
+	}
+	return &Result{Columns: columns, Rows: out}, true, nil
+}
+
+// errCapReached is the internal scan-stop sentinel of trySimpleCapped; it
+// never escapes to callers.
+var errCapReached = errors.New("sqldb: row cap reached")
 
 // orderCompare orders values for ORDER BY: NULL sorts before everything;
 // otherwise Compare semantics.
@@ -360,6 +497,10 @@ func (ex *executor) execFrom(sel *SelectStmt, parent *scope) ([]relation, []tupl
 	var rels []relation
 	tuples := []tuple{{}}
 	for i, ref := range refs {
+		// Stored tables come back with rows == nil: materialization is
+		// deferred until a path actually needs every row, so an index scan
+		// (or index nested-loop join) touches only the pages its matches
+		// live on when the table is on paged storage.
 		rel, rows, t, err := ex.sourceRows(ref, parent)
 		if err != nil {
 			return nil, nil, err
@@ -367,13 +508,20 @@ func (ex *executor) execFrom(sel *SelectStmt, parent *scope) ([]relation, []tupl
 		if i == 0 && ref.Subquery == nil {
 			used := false
 			if sel.Where != nil && !ex.db.DisableIndexScan {
-				if filtered, ok := ex.indexScan(t, rel, sel, parent); ok {
+				filtered, ok, err := ex.indexScan(t, rel, sel, parent)
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
 					rows, used = filtered, true
 				}
 			}
 			if !used {
 				planCounts.fullScan.Add(1)
 				ex.note("scan %s", rel.alias)
+				if rows, err = t.store.All(); err != nil {
+					return nil, nil, err
+				}
 			}
 		}
 		joined, err := ex.join(rels, tuples, rel, rows, t, ref.JoinCond, ref.LeftJoin, parent)
@@ -394,9 +542,11 @@ func fromAlias(ref TableRef) string {
 	return ref.Name
 }
 
-// sourceRows resolves one FROM item to a relation, its rows and, for stored
-// tables, the backing *Table (nil for subqueries) so join planning can
-// probe its indexes.
+// sourceRows resolves one FROM item to a relation and, for stored tables,
+// the backing *Table (nil for subqueries) so join planning can probe its
+// indexes. Stored tables return nil rows — callers materialize via
+// t.store.All() only on paths that truly need every row, keeping index
+// access paths from faulting the whole table through the buffer pool.
 func (ex *executor) sourceRows(ref TableRef, parent *scope) (relation, [][]Value, *Table, error) {
 	if ref.Subquery != nil {
 		res, err := ex.execSelect(ref.Subquery, parent)
@@ -413,7 +563,7 @@ func (ex *executor) sourceRows(ref TableRef, parent *scope) (relation, [][]Value
 	if ref.Alias != "" {
 		rel.alias = ref.Alias
 	}
-	return rel, t.rows, t, nil
+	return rel, nil, t, nil
 }
 
 // join combines existing tuples with a new relation's rows, applying the
@@ -427,18 +577,32 @@ func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][
 	if leftJoin {
 		kind = "left join"
 	}
+	// Stored join sources arrive unmaterialized (rows == nil); the index
+	// nested-loop path below never needs them, so materialization waits
+	// until the hash join or the generic loop is actually chosen.
+	materialize := func() error {
+		if rows != nil || t == nil {
+			return nil
+		}
+		var err error
+		rows, err = t.store.All()
+		return err
+	}
 	if cond != nil && len(rels) > 0 {
 		if left, right, ok := splitEquiJoin(cond, rels, rel); ok {
 			// Index nested-loop: the inner side must be a bare column of a
 			// stored table with a single-column index (the inner rows are
-			// then exactly t.rows, so index positions address them), and
-			// the index must be NaN-free (Compare treats NaN as equal to
-			// every number; only the hash/scan paths reproduce that).
+			// then exactly the table's stored rows, so index positions
+			// address them), and the index must be NaN-free (Compare treats
+			// NaN as equal to every number; only the hash/scan paths
+			// reproduce that).
 			if !ex.db.DisableIndexScan && t != nil {
 				if cr, isCol := right.(*ColumnRef); isCol {
 					if ci, ok := t.colIdx[cr.Column]; ok {
 						if ix := t.indexOn(ci); ix != nil {
-							ix.ensure(t)
+							if err := ix.ensure(t); err != nil {
+								return nil, err
+							}
 							if !ix.nan {
 								planCounts.indexJoin.Add(1)
 								ex.note("%s %s using index nested loop (%s)", kind, rel.alias, ix.name)
@@ -449,6 +613,9 @@ func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][
 				}
 			}
 			if !ex.db.DisableHashJoin {
+				if err := materialize(); err != nil {
+					return nil, err
+				}
 				planCounts.hashJoin.Add(1)
 				ex.note("%s %s using hash join", kind, rel.alias)
 				return ex.hashJoin(rels, tuples, rel, rows, left, right, leftJoin, parent)
@@ -462,6 +629,9 @@ func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][
 			planCounts.nestedLoopJoin.Add(1)
 			ex.note("%s %s using nested loop", kind, rel.alias)
 		}
+	}
+	if err := materialize(); err != nil {
+		return nil, err
 	}
 	var out []tuple
 	for _, tp := range tuples {
@@ -520,12 +690,16 @@ func (ex *executor) indexNestedLoopJoin(rels []relation, tuples []tuple, rel rel
 			probe[0] = v
 			pk := v.key()
 			for _, ri := range ix.lookupEqual(probe) {
-				if t.rows[ri][col].key() != pk {
+				row, err := t.store.Get(ri)
+				if err != nil {
+					return nil, err
+				}
+				if row[col].key() != pk {
 					continue
 				}
 				nt := make(tuple, len(tp)+1)
 				copy(nt, tp)
-				nt[len(tp)] = t.rows[ri]
+				nt[len(tp)] = row
 				out = append(out, nt)
 				matched = true
 			}

@@ -83,12 +83,14 @@ func compareKeyTuples(a, b []Value) int {
 	return 0
 }
 
-// ensure (re)builds the index if the table mutated since the last build.
-func (ix *tableIndex) ensure(t *Table) {
+// ensure (re)builds the index if the table mutated since the last build. It
+// can fail only for paged tables (a page fault hitting an I/O error); the
+// index is left untouched then and the caller aborts the query.
+func (ix *tableIndex) ensure(t *Table) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.built == t.version {
-		return
+		return nil
 	}
 	hash := make(map[string][]int)
 	var keys [][]Value
@@ -97,13 +99,12 @@ func (ix *tableIndex) ensure(t *Table) {
 	nan := false
 	pos := make(map[string]int)
 	parts := make([]string, len(ix.cols))
-rows:
-	for ri, row := range t.rows {
+	err := t.store.Scan(func(ri int, row []Value) error {
 		for i, ci := range ix.cols {
 			v := row[ci]
 			if v.IsNull() {
 				nullRows = append(nullRows, ri)
-				continue rows
+				return nil
 			}
 			if f, isNum := v.AsFloat(); isNum && math.IsNaN(f) {
 				nan = true
@@ -111,7 +112,7 @@ rows:
 			k, ok := indexKey(v)
 			if !ok { // unreachable for non-null values; keep the superset honest
 				nullRows = append(nullRows, ri)
-				continue rows
+				return nil
 			}
 			parts[i] = k
 		}
@@ -127,6 +128,10 @@ rows:
 			keys = append(keys, tup)
 			keyRows = append(keyRows, []int{ri})
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	order := make([]int, len(keys))
 	for i := range order {
@@ -152,6 +157,7 @@ rows:
 	ix.nullRows = nullRows
 	ix.nan = nan
 	ix.built = t.version
+	return nil
 }
 
 // lookupEqual returns the positions of rows whose full key tuple equals

@@ -1,0 +1,325 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"justintime/internal/sqldb/pager"
+)
+
+// pageDiffDB moves every table of a differential database onto paged storage
+// behind a deliberately tiny pool, so queries churn frames mid-execution.
+func pageDiffDB(t testing.TB, db *DB, tables []diffTable, frames int) *pager.Pool {
+	t.Helper()
+	pool := pager.NewPool(frames)
+	dir := t.TempDir()
+	for _, tb := range tables {
+		if err := db.PageTable(tb.name, pool, filepath.Join(dir, "spill-"+tb.name+".db")); err != nil {
+			t.Fatalf("PageTable(%s): %v", tb.name, err)
+		}
+	}
+	t.Cleanup(func() {
+		if err := db.ClosePagedStores(); err != nil {
+			t.Errorf("ClosePagedStores: %v", err)
+		}
+	})
+	return pool
+}
+
+// TestDifferentialPagedParity extends the differential harness with a paged
+// arm: every generated query must return byte-identical results after the
+// tables move onto slotted pages behind a 4-frame shared pool — with the
+// planner on and with DisableIndexScan forcing full scans, which stream every
+// page through the pool and evict continuously.
+func TestDifferentialPagedParity(t *testing.T) {
+	cases := 60
+	if testing.Short() {
+		cases = 12
+	}
+	for seed := int64(0); seed < int64(cases); seed++ {
+		r := rand.New(rand.NewSource(seed))
+		db, tables := buildDiffDB(t, r)
+		type q struct {
+			sql     string
+			args    []Value
+			want    *Result
+			wantErr bool
+		}
+		var qs []q
+		for i := 0; i < 12; i++ {
+			sql, args, _ := buildDiffQuery(r, tables)
+			want, err := db.Query(sql, args...)
+			qs = append(qs, q{sql, args, want, err != nil})
+		}
+		pool := pageDiffDB(t, db, tables, 4)
+		for _, arm := range []bool{false, true} {
+			db.DisableIndexScan = arm
+			for _, qq := range qs {
+				got, err := db.Query(qq.sql, qq.args...)
+				if (err != nil) != qq.wantErr {
+					t.Fatalf("seed %d paged (scan=%v): %s %v: err=%v, slice err=%v", seed, arm, qq.sql, qq.args, err, qq.wantErr)
+				}
+				if err != nil {
+					continue
+				}
+				if !reflect.DeepEqual(got, qq.want) {
+					t.Fatalf("seed %d paged (scan=%v): %s %v:\npaged: %+v\nslice: %+v", seed, arm, qq.sql, qq.args, got, qq.want)
+				}
+			}
+		}
+		db.DisableIndexScan = false
+		if s := pool.Stats(); s.Pinned != 0 {
+			t.Fatalf("seed %d: queries leaked pins: %+v", seed, s)
+		}
+	}
+}
+
+// TestPagedMutationParity applies the same SQL mutation workload to a slice
+// database and its paged twin and checks the full table state after every
+// statement. UPDATE takes the in-place PageReplace path when the new record
+// fits and the rewrite fallback when it grows; DELETE compacts via
+// ReplaceAll; INSERT appends across page boundaries.
+func TestPagedMutationParity(t *testing.T) {
+	setup := func() *DB {
+		db := New()
+		if err := db.CreateTable("t", []Column{
+			{Name: "id", Type: IntType},
+			{Name: "txt", Type: TextType},
+			{Name: "x", Type: FloatType},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec("CREATE INDEX t_id ON t (id)"); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]Value, 600)
+		for i := range rows {
+			rows[i] = []Value{Int(int64(i)), Text(fmt.Sprintf("row-%d", i)), Float(float64(i) / 3)}
+		}
+		if err := db.InsertRows("t", rows); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	slice := setup()
+	paged := setup()
+	pool := pager.NewPool(3)
+	if err := paged.PageTable("t", pool, filepath.Join(t.TempDir(), "spill.db")); err != nil {
+		t.Fatal(err)
+	}
+	defer paged.ClosePagedStores()
+
+	check := func(stage string) {
+		t.Helper()
+		for _, sql := range []string{
+			"SELECT * FROM t ORDER BY id",
+			"SELECT COUNT(*) FROM t",
+			"SELECT * FROM t WHERE id = 42",
+			"SELECT id, txt FROM t WHERE id >= 100 AND id < 120 ORDER BY id DESC",
+		} {
+			want, werr := slice.Query(sql)
+			got, gerr := paged.Query(sql)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s: %s: slice err=%v paged err=%v", stage, sql, werr, gerr)
+			}
+			if werr == nil && !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: %s diverged:\npaged: %+v\nslice: %+v", stage, sql, got, want)
+			}
+		}
+	}
+	check("initial")
+	steps := []struct {
+		name string
+		sql  string
+		args []Value
+	}{
+		{"insert", "INSERT INTO t (id, txt, x) VALUES (?, ?, ?)", []Value{Int(9001), Text("late"), Float(1.5)}},
+		{"update-in-place", "UPDATE t SET x = x + 1 WHERE id < 50", nil},
+		{"update-grow", "UPDATE t SET txt = 'a-much-longer-replacement-string-that-will-not-fit-in-place' WHERE id = 10", nil},
+		{"delete", "DELETE FROM t WHERE id % 7 = 0", nil},
+		{"insert-select", "INSERT INTO t (id, txt, x) SELECT id + 10000, txt, x FROM t WHERE id < 5", nil},
+		{"update-after-compact", "UPDATE t SET txt = 'z' WHERE id > 9000", nil},
+	}
+	for _, st := range steps {
+		ns, errS := slice.Exec(st.sql, st.args...)
+		np, errP := paged.Exec(st.sql, st.args...)
+		if (errS == nil) != (errP == nil) || ns != np {
+			t.Fatalf("%s: slice (n=%d, err=%v) vs paged (n=%d, err=%v)", st.name, ns, errS, np, errP)
+		}
+		check(st.name)
+	}
+	if s := pool.Stats(); s.Pinned != 0 {
+		t.Fatalf("mutations leaked pins: %+v", s)
+	}
+}
+
+// TestPagedIndexScanFaultsOnlyMatchedPages is the pool-miss assertion behind
+// the "cold queries fault only plan-touched pages" contract: after a full
+// eviction, an indexed point query must fault exactly the one page its
+// matching row lives on, while a full scan re-faults the whole table.
+func TestPagedIndexScanFaultsOnlyMatchedPages(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("t", []Column{
+		{Name: "a", Type: IntType},
+		{Name: "b", Type: IntType},
+		{Name: "c", Type: IntType},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX t_a ON t (a)"); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]Value, 1000)
+	for i := range rows {
+		rows[i] = []Value{Int(int64(i)), Int(int64(i % 7)), Int(int64(i % 13))}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	pool := pager.NewPool(64)
+	if err := db.PageTable("t", pool, filepath.Join(t.TempDir(), "spill.db")); err != nil {
+		t.Fatal(err)
+	}
+	defer db.ClosePagedStores()
+
+	// Warm pass: builds the lazy index and measures the table's page count.
+	if _, err := db.Query("SELECT * FROM t WHERE a = 500"); err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Query("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) != 1000 {
+		t.Fatalf("full scan returned %d rows", len(full.Rows))
+	}
+	npages := int(pool.Stats().Resident)
+	if npages < 2 {
+		t.Fatalf("table spans %d resident pages; need >= 2 for the contrast to mean anything", npages)
+	}
+
+	// Cold indexed point query: exactly one page faults in.
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	m0 := pool.Stats().Misses
+	res, err := db.Query("SELECT * FROM t WHERE a = 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("point query returned %d rows", len(res.Rows))
+	}
+	if got := pool.Stats().Misses - m0; got != 1 {
+		t.Fatalf("cold indexed point query faulted %d pages, want exactly 1 (table has %d)", got, npages)
+	}
+
+	// Cold full scan: every page faults.
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	m0 = pool.Stats().Misses
+	if _, err := db.Query("SELECT * FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().Misses - m0; got != int64(npages) {
+		t.Fatalf("cold full scan faulted %d pages, want %d", got, npages)
+	}
+}
+
+// TestPagedConcurrentReads hammers one paged database from many goroutines
+// through a pool smaller than the table, so concurrent queries race each
+// other's faults and evictions (meaningful under -race). Results must stay
+// identical throughout.
+func TestPagedConcurrentReads(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	db, tables := buildDiffDB(t, r)
+	type q struct {
+		sql  string
+		args []Value
+		want *Result
+	}
+	var qs []q
+	for len(qs) < 6 {
+		sql, args, _ := buildDiffQuery(r, tables)
+		res, err := db.Query(sql, args...)
+		if err != nil {
+			continue
+		}
+		qs = append(qs, q{sql, args, res})
+	}
+	pageDiffDB(t, db, tables, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				for _, qq := range qs {
+					res, err := db.Query(qq.sql, qq.args...)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(res, qq.want) {
+						errs <- fmt.Errorf("%s: paged concurrent result diverged", qq.sql)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPageTableKeepsIndexesValid verifies the PageTable migration preserves
+// positional row ids: a pre-built index keeps answering correctly without a
+// rebuild being forced by the migration itself.
+func TestPageTableKeepsIndexesValid(t *testing.T) {
+	db := New()
+	if err := db.CreateTable("t", []Column{{Name: "a", Type: IntType}, {Name: "b", Type: TextType}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX t_a ON t (a)"); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]Value, 300)
+	for i := range rows {
+		rows[i] = []Value{Int(int64(i)), Text(fmt.Sprintf("v%d", i))}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	// Build the index before migrating.
+	if _, err := db.Query("SELECT * FROM t WHERE a = 7"); err != nil {
+		t.Fatal(err)
+	}
+	pool := pager.NewPool(4)
+	if err := db.PageTable("t", pool, filepath.Join(t.TempDir(), "spill.db")); err != nil {
+		t.Fatal(err)
+	}
+	defer db.ClosePagedStores()
+	res, err := db.Query("SELECT b FROM t WHERE a = 123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "v123" {
+		t.Fatalf("indexed lookup after migration: %+v", res)
+	}
+	// Migrating an already-paged or unknown table behaves sanely.
+	if err := db.PageTable("t", pool, "unused"); err != nil {
+		t.Fatalf("re-paging a paged table: %v", err)
+	}
+	if err := db.PageTable("nope", pool, "unused"); err == nil {
+		t.Fatal("PageTable on a missing table succeeded")
+	}
+}

@@ -1,0 +1,104 @@
+// Package pager provides fixed-size slotted pages behind a shared,
+// process-wide buffer pool. Pages hold opaque records ([]byte); the pool owns
+// a bounded set of page frames, serves pin/unpin requests with clock
+// eviction of unpinned frames, and writes dirty pages back to per-table page
+// files. The package deliberately knows nothing about rows, values, or SQL —
+// sqldb layers its row encoding on top — so it imports only the standard
+// library and sits below everything else in the storage stack.
+package pager
+
+import "encoding/binary"
+
+const (
+	// PageSize is the fixed size of every page and pool frame.
+	PageSize = 8192
+
+	// pageHeaderLen is the slotted-page header: u16 slot count + u16 free
+	// offset (where the next record's bytes land).
+	pageHeaderLen = 4
+
+	// slotLen is one slot directory entry: u16 record offset + u16 record
+	// length. The directory grows downward from the end of the page.
+	slotLen = 4
+)
+
+// MaxRecord is the largest record an empty page can hold.
+const MaxRecord = PageSize - pageHeaderLen - slotLen
+
+// PageInit formats p (len PageSize) as an empty slotted page.
+func PageInit(p []byte) {
+	binary.LittleEndian.PutUint16(p[0:], 0)
+	binary.LittleEndian.PutUint16(p[2:], pageHeaderLen)
+	// Leftover bytes from a recycled frame are never addressed: records are
+	// reachable only through slots, and both counters were just reset.
+}
+
+// PageCount returns the number of records stored in p.
+func PageCount(p []byte) int {
+	return int(binary.LittleEndian.Uint16(p[0:]))
+}
+
+// PageRecord returns the i'th record of p, aliasing the page buffer. The
+// caller must hold a pin on the frame for as long as it reads the slice.
+// Out-of-range slots or corrupt offsets return nil.
+func PageRecord(p []byte, i int) []byte {
+	n := PageCount(p)
+	if i < 0 || i >= n {
+		return nil
+	}
+	base := len(p) - slotLen*(i+1)
+	off := int(binary.LittleEndian.Uint16(p[base:]))
+	length := int(binary.LittleEndian.Uint16(p[base+2:]))
+	if off < pageHeaderLen || off+length > len(p)-slotLen*n {
+		return nil
+	}
+	return p[off : off+length]
+}
+
+// PageAppend adds rec as the next record of p, returning false when the page
+// lacks room (record bytes grow up, the slot directory grows down; they must
+// not meet).
+func PageAppend(p []byte, rec []byte) bool {
+	n := PageCount(p)
+	free := int(binary.LittleEndian.Uint16(p[2:]))
+	dirStart := len(p) - slotLen*(n+1)
+	if free+len(rec) > dirStart || len(rec) > 0xffff {
+		return false
+	}
+	copy(p[free:], rec)
+	binary.LittleEndian.PutUint16(p[dirStart:], uint16(free))
+	binary.LittleEndian.PutUint16(p[dirStart+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p[0:], uint16(n+1))
+	binary.LittleEndian.PutUint16(p[2:], uint16(free+len(rec)))
+	return true
+}
+
+// PageReplace overwrites record i with rec: in place when rec fits the old
+// slot, else by appending rec's bytes to the free space and repointing the
+// slot (the old bytes become dead space until the table is rewritten).
+// Returns false when neither fits; the caller falls back to rebuilding the
+// table.
+func PageReplace(p []byte, i int, rec []byte) bool {
+	n := PageCount(p)
+	if i < 0 || i >= n || len(rec) > 0xffff {
+		return false
+	}
+	base := len(p) - slotLen*(i+1)
+	off := int(binary.LittleEndian.Uint16(p[base:]))
+	length := int(binary.LittleEndian.Uint16(p[base+2:]))
+	if len(rec) <= length {
+		copy(p[off:], rec)
+		binary.LittleEndian.PutUint16(p[base+2:], uint16(len(rec)))
+		return true
+	}
+	free := int(binary.LittleEndian.Uint16(p[2:]))
+	dirStart := len(p) - slotLen*n
+	if free+len(rec) > dirStart {
+		return false
+	}
+	copy(p[free:], rec)
+	binary.LittleEndian.PutUint16(p[base:], uint16(free))
+	binary.LittleEndian.PutUint16(p[base+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p[2:], uint16(free+len(rec)))
+	return true
+}

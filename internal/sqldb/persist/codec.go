@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 
 	"justintime/internal/sqldb"
 )
@@ -43,41 +42,11 @@ func (e *enc) str(s string) {
 	e.buf = append(e.buf, s...)
 }
 
-// Value tags on the wire. They mirror sqldb.Type but are pinned here so the
-// file format survives reorderings of the in-memory enum.
-const (
-	tagNull  uint8 = 0
-	tagInt   uint8 = 1
-	tagFloat uint8 = 2
-	tagText  uint8 = 3
-	tagBool  uint8 = 4
-)
-
+// Value encoding is shared with the pager's slotted pages and lives in
+// sqldb (AppendValue/DecodeValue); tags are pinned there so the file format
+// survives reorderings of the in-memory enum.
 func (e *enc) value(v sqldb.Value) {
-	switch v.Type() {
-	case sqldb.IntType:
-		i, _ := v.AsInt()
-		e.u8(tagInt)
-		e.u64(uint64(i))
-	case sqldb.FloatType:
-		f, _ := v.AsFloat()
-		e.u8(tagFloat)
-		e.u64(math.Float64bits(f))
-	case sqldb.TextType:
-		s, _ := v.AsText()
-		e.u8(tagText)
-		e.str(s)
-	case sqldb.BoolType:
-		b, _ := v.AsBool()
-		e.u8(tagBool)
-		if b {
-			e.u8(1)
-		} else {
-			e.u8(0)
-		}
-	default:
-		e.u8(tagNull)
-	}
+	e.buf = sqldb.AppendValue(e.buf, v)
 }
 
 func (e *enc) rows(rows [][]sqldb.Value) {
@@ -154,21 +123,16 @@ func (d *dec) str() string {
 }
 
 func (d *dec) value() sqldb.Value {
-	switch tag := d.u8(); tag {
-	case tagNull:
-		return sqldb.Null()
-	case tagInt:
-		return sqldb.Int(int64(d.u64()))
-	case tagFloat:
-		return sqldb.Float(math.Float64frombits(d.u64()))
-	case tagText:
-		return sqldb.Text(d.str())
-	case tagBool:
-		return sqldb.Bool(d.u8() == 1)
-	default:
-		d.fail(fmt.Sprintf("value tag %d", tag))
+	if d.err != nil {
 		return sqldb.Null()
 	}
+	v, n, err := sqldb.DecodeValue(d.buf[d.off:])
+	if err != nil {
+		d.fail(err.Error())
+		return sqldb.Null()
+	}
+	d.off += n
+	return v
 }
 
 func (d *dec) rows() [][]sqldb.Value {

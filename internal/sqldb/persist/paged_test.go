@@ -1,0 +1,321 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"justintime/internal/sqldb"
+	"justintime/internal/sqldb/pager"
+)
+
+// pagedFixture builds a database with one bulky table moved onto paged
+// storage under dir and one small table left on the slice store, mirroring
+// the server's candidates/metadata split.
+func pagedFixture(t *testing.T, dir string, pool *pager.Pool, nrows int) *sqldb.DB {
+	t.Helper()
+	db := sqldb.New()
+	db.MustExec("CREATE TABLE big (id INT, name TEXT, score FLOAT)")
+	db.MustExec("CREATE INDEX big_id ON big (id)")
+	db.MustExec("CREATE TABLE small (k INT, v TEXT)")
+	db.MustExec("INSERT INTO small VALUES (1, 'one'), (2, 'two')")
+	rows := make([][]sqldb.Value, nrows)
+	for i := range rows {
+		rows[i] = []sqldb.Value{
+			sqldb.Int(int64(i)), sqldb.Text(fmt.Sprintf("name-%d", i)), sqldb.Float(float64(i) / 4),
+		}
+	}
+	if err := db.InsertRows("big", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PageTable("big", pool, filepath.Join(dir, SpillFileName("big"))); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// queryAll renders a full deterministic view of both tables for comparisons.
+func queryAll(t *testing.T, db *sqldb.DB) [2]*sqldb.Result {
+	t.Helper()
+	big, err := db.Query("SELECT * FROM big ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := db.Query("SELECT * FROM small ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [2]*sqldb.Result{big, small}
+}
+
+// TestPagedStoreRoundTrip is the paged durability contract end to end:
+// create with a paged table, mutate through the WAL, close, reopen with a
+// pool (pages attach without row decode), mutate more, checkpoint, and
+// reopen again — state must match a pure in-memory twin at every step.
+func TestPagedStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pool := pager.NewPool(8)
+	db := pagedFixture(t, dir, pool, 700)
+	st, err := Create(dir, db, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The epoch-1 page file exists alongside the snapshot.
+	if _, err := os.Stat(filepath.Join(dir, PagesFileName("big", 1))); err != nil {
+		t.Fatalf("missing page file after Create: %v", err)
+	}
+	db.MustExec("INSERT INTO big VALUES (9001, 'post-create', 1.5)")
+	db.MustExec("UPDATE big SET score = -1 WHERE id = 10")
+	db.MustExec("DELETE FROM big WHERE id % 50 = 3")
+	want := queryAll(t, db)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a fresh pool: pages attach, the WAL replays on top.
+	pool2 := pager.NewPool(8)
+	db2, st2, err := Open(dir, Options{Pool: pool2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := queryAll(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("paged reopen diverged:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	db2.MustExec("INSERT INTO big VALUES (9002, 'post-open', 2.5)")
+	if err := st2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint rolled the page file to epoch 2 and GC'd epoch 1.
+	if _, err := os.Stat(filepath.Join(dir, PagesFileName("big", 2))); err != nil {
+		t.Fatalf("missing epoch-2 page file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, PagesFileName("big", 1))); !os.IsNotExist(err) {
+		t.Fatal("stale epoch-1 page file survived the checkpoint")
+	}
+	want2 := queryAll(t, db2)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db3, st3, err := Open(dir, Options{Pool: pager.NewPool(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got := queryAll(t, db3); !reflect.DeepEqual(got, want2) {
+		t.Fatalf("post-checkpoint reopen diverged")
+	}
+}
+
+// TestPagedSnapshotReadableWithoutPool: the wire format stays readable on a
+// host that runs no buffer pool — paged tables materialize into the slice
+// store, and the store is fully usable (including new mutations).
+func TestPagedSnapshotReadableWithoutPool(t *testing.T) {
+	dir := t.TempDir()
+	pool := pager.NewPool(8)
+	db := pagedFixture(t, dir, pool, 300)
+	st, err := Create(dir, db, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("INSERT INTO big VALUES (777, 'walrow', 0.25)")
+	want := queryAll(t, db)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No Pool in the options: rows decode into plain slices.
+	db2, st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := queryAll(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pool-free open diverged")
+	}
+	db2.MustExec("DELETE FROM big WHERE id = 0")
+	// ReadSnapshot (the raw wire reader) materializes the paged table too.
+	d, _, err := ReadSnapshot(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, td := range d.Tables {
+		if td.Name == "big" && len(td.Rows) == 300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ReadSnapshot did not materialize the paged table: %+v", len(d.Tables))
+	}
+}
+
+// TestPagedOpenAttachesWithoutRowDecode: with a pool, Open must not fault a
+// single data page — attach is directory-only, and pages come in lazily as
+// queries touch them.
+func TestPagedOpenAttachesWithoutRowDecode(t *testing.T) {
+	dir := t.TempDir()
+	pool := pager.NewPool(8)
+	db := pagedFixture(t, dir, pool, 700)
+	st, err := Create(dir, db, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool2 := pager.NewPool(8)
+	db2, st2, err := Open(dir, Options{Pool: pool2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if s := pool2.Stats(); s.Misses != 0 || s.Resident != 0 {
+		t.Fatalf("Open faulted pages before any query: %+v", s)
+	}
+	// An indexed point query then faults the index build (a scan) — but a
+	// second one touches only its own page.
+	if _, err := db2.Query("SELECT * FROM big WHERE id = 650"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool2.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	m0 := pool2.Stats().Misses
+	res, err := db2.Query("SELECT * FROM big WHERE id = 650")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("point query rows = %d", len(res.Rows))
+	}
+	if faults := pool2.Stats().Misses - m0; faults != 1 {
+		t.Fatalf("warm-index cold-pool point query faulted %d pages, want 1", faults)
+	}
+}
+
+// TestPagedCrashBetweenPageFileAndSnapshot: a checkpoint that dies after
+// writing the next epoch's page file but before the snapshot rename leaves
+// the previous epoch authoritative; the orphaned page file is GC'd on open.
+func TestPagedCrashBetweenPageFileAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	pool := pager.NewPool(8)
+	db := pagedFixture(t, dir, pool, 200)
+	st, err := Create(dir, db, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queryAll(t, db)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn checkpoint: an epoch-2 page file with no matching
+	// snapshot (arbitrary valid bytes are fine — it must simply vanish).
+	orphan := filepath.Join(dir, PagesFileName("big", 2))
+	if err := os.WriteFile(orphan, []byte("torn checkpoint leftovers"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, st2, err := Open(dir, Options{Pool: pager.NewPool(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := queryAll(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("open after torn checkpoint diverged")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned next-epoch page file survived Open")
+	}
+}
+
+// TestPagedStaleSpillDiscarded: spill contents are volatile by contract; a
+// leftover spill from a previous life must be removed on open, never read.
+func TestPagedStaleSpillDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	pool := pager.NewPool(8)
+	db := pagedFixture(t, dir, pool, 200)
+	st, err := Create(dir, db, Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queryAll(t, db)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spill := filepath.Join(dir, SpillFileName("big"))
+	if err := os.WriteFile(spill, make([]byte, 4*pager.PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, st2, err := Open(dir, Options{Pool: pager.NewPool(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := queryAll(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("stale spill leaked into reopened state")
+	}
+}
+
+// TestSliceOnlyStoreOpensWithPool: a store whose snapshot predates paged
+// storage (no recPagedTable records) opens cleanly even when a pool is
+// offered — backward compatibility of the wire format.
+func TestSliceOnlyStoreOpensWithPool(t *testing.T) {
+	dir := t.TempDir()
+	db := sqldb.New()
+	db.MustExec("CREATE TABLE items (id INT, name TEXT)")
+	db.MustExec("INSERT INTO items VALUES (1, 'a'), (2, 'b')")
+	st, err := Create(dir, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, st2, err := Open(dir, Options{Pool: pager.NewPool(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	res, err := db2.Query("SELECT COUNT(*) FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Rows[0][0].AsInt(); n != 2 {
+		t.Fatalf("slice-only store lost rows: %d", n)
+	}
+}
+
+// TestPagedRowCodecStability pins the per-value wire encoding shared by the
+// WAL codec and the page format: a byte change here breaks every existing
+// snapshot and page file on disk.
+func TestPagedRowCodecStability(t *testing.T) {
+	row := []sqldb.Value{
+		sqldb.Null(), sqldb.Int(-5), sqldb.Float(1.5), sqldb.Text("hé"), sqldb.Bool(true),
+	}
+	rec := sqldb.AppendRowRecord(nil, row)
+	want := []byte{
+		5, 0, 0, 0, // u32 row width
+		0,                                         // NULL tag
+		1, 251, 255, 255, 255, 255, 255, 255, 255, // INT -5, little-endian
+		2, 0, 0, 0, 0, 0, 0, 248, 63, // FLOAT 1.5 bits
+		3, 3, 0, 0, 0, 'h', 0xc3, 0xa9, // TEXT len + UTF-8 bytes
+		4, 1, // BOOL true
+	}
+	if !reflect.DeepEqual(rec, want) {
+		t.Fatalf("row record encoding changed:\ngot  %v\nwant %v", rec, want)
+	}
+	back, err := sqldb.DecodeRowRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, row) {
+		t.Fatalf("decode(encode(row)) = %v", back)
+	}
+	// Corruption is an error, not a panic.
+	for _, bad := range [][]byte{rec[:3], rec[:len(rec)-1], append(append([]byte{}, rec...), 0)} {
+		if _, err := sqldb.DecodeRowRecord(bad); err == nil {
+			t.Fatalf("corrupt record %v decoded", bad)
+		}
+	}
+}

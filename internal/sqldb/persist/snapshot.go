@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"justintime/internal/sqldb"
+	"justintime/internal/sqldb/pager"
 )
 
 // snapshotMagic identifies a snapshot file; the trailing byte is the format
@@ -21,7 +22,28 @@ const (
 	recTable uint8 = 1 // one whole table: schema + rows
 	recIndex uint8 = 2 // one secondary index declaration
 	recEnd   uint8 = 3 // completeness marker; a snapshot without one is invalid
+	// recPagedTable carries a paged table by reference: schema, the sibling
+	// page file's name, and the page directory (rows per page). The rows
+	// themselves live in the page file, so rehydrating attaches the file to
+	// the buffer pool instead of decoding the whole table.
+	recPagedTable uint8 = 4
 )
+
+// PagesFileName is the sibling file holding a paged table's checkpointed
+// pages for one epoch. Epoch-suffixing mirrors the snapshot protocol: a
+// checkpoint writes the next epoch's page files before the snapshot rename
+// commits to them, and stale epochs are garbage-collected afterwards.
+func PagesFileName(table string, epoch uint64) string {
+	return fmt.Sprintf("pages-%s-%d.db", table, epoch)
+}
+
+// pagedTableRef records where a recPagedTable's rows live; tableIndex is the
+// table's position in the decoded Dump (whose Rows are left nil).
+type pagedTableRef struct {
+	tableIndex int
+	file       string
+	pageRows   []int
+}
 
 // WriteSnapshot serializes a structural dump to path atomically: the bytes
 // land in a sibling .tmp file which is fsynced and renamed over path, so a
@@ -58,10 +80,25 @@ func WriteSnapshot(path string, d *sqldb.Dump, epoch uint64) (err error) {
 	}
 	for _, td := range d.Tables {
 		e := &enc{}
-		e.u8(recTable)
-		e.str(td.Name)
-		e.cols(td.Cols)
-		e.rows(td.Rows)
+		if td.Paged != nil {
+			// The pages were checkpointed to the epoch's page file just
+			// before this call (see Store.writeState); the snapshot records
+			// only the reference and the page directory.
+			e.u8(recPagedTable)
+			e.str(td.Name)
+			e.cols(td.Cols)
+			e.str(PagesFileName(td.Name, epoch))
+			pageRows := td.Paged.PageRows()
+			e.u32(uint32(len(pageRows)))
+			for _, n := range pageRows {
+				e.u32(uint32(n))
+			}
+		} else {
+			e.u8(recTable)
+			e.str(td.Name)
+			e.cols(td.Cols)
+			e.rows(td.Rows)
+		}
 		if _, err = writeFrame(w, e.buf); err != nil {
 			return err
 		}
@@ -97,29 +134,50 @@ func WriteSnapshot(path string, d *sqldb.Dump, epoch uint64) (err error) {
 // ReadSnapshot loads a snapshot written by WriteSnapshot, returning the dump
 // and its checkpoint epoch. Because snapshots are replaced atomically, any
 // damage (bad magic, torn record, missing end marker) is a hard error, not a
-// tolerated tail.
+// tolerated tail. Paged tables are materialized into plain rows from their
+// sibling page files — the wire format stays fully readable without a buffer
+// pool (Store.Open with a pool attaches the page files instead).
 func ReadSnapshot(path string) (*sqldb.Dump, uint64, error) {
-	f, err := os.Open(path)
+	d, refs, epoch, err := readSnapshotRefs(path)
 	if err != nil {
 		return nil, 0, err
+	}
+	dir := filepath.Dir(path)
+	for _, ref := range refs {
+		rows, err := readPagedRows(filepath.Join(dir, ref.file), ref.pageRows)
+		if err != nil {
+			return nil, 0, err
+		}
+		d.Tables[ref.tableIndex].Rows = rows
+	}
+	return d, epoch, nil
+}
+
+// readSnapshotRefs decodes a snapshot without touching page files: paged
+// tables come back with nil Rows plus a pagedTableRef locating their pages.
+func readSnapshotRefs(path string) (*sqldb.Dump, []pagedTableRef, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, 0, err
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, snapshotMagic) {
-		return nil, 0, fmt.Errorf("persist: %s: not a snapshot file (bad magic)", path)
+		return nil, nil, 0, fmt.Errorf("persist: %s: not a snapshot file (bad magic)", path)
 	}
 	var epochBuf [8]byte
 	if _, err := io.ReadFull(r, epochBuf[:]); err != nil {
-		return nil, 0, fmt.Errorf("persist: %s: truncated snapshot header", path)
+		return nil, nil, 0, fmt.Errorf("persist: %s: truncated snapshot header", path)
 	}
 	epoch := binary.LittleEndian.Uint64(epochBuf[:])
 	d := &sqldb.Dump{}
+	var refs []pagedTableRef
 	sawEnd := false
 	for !sawEnd {
 		payload, err := readFrame(r)
 		if err != nil {
-			return nil, 0, fmt.Errorf("persist: %s: corrupt snapshot: %w", path, err)
+			return nil, nil, 0, fmt.Errorf("persist: %s: corrupt snapshot: %w", path, err)
 		}
 		dd := &dec{buf: payload}
 		switch typ := dd.u8(); typ {
@@ -128,22 +186,71 @@ func ReadSnapshot(path string) (*sqldb.Dump, uint64, error) {
 			td.Cols = dd.cols()
 			td.Rows = dd.rows()
 			if dd.err != nil {
-				return nil, 0, dd.err
+				return nil, nil, 0, dd.err
 			}
 			d.Tables = append(d.Tables, td)
+		case recPagedTable:
+			td := sqldb.TableDump{Name: dd.str()}
+			td.Cols = dd.cols()
+			ref := pagedTableRef{tableIndex: len(d.Tables), file: dd.str()}
+			n := int(dd.u32())
+			if dd.err != nil || n > maxRecord {
+				dd.fail("page count")
+				return nil, nil, 0, dd.err
+			}
+			ref.pageRows = make([]int, 0, n)
+			for i := 0; i < n && dd.err == nil; i++ {
+				ref.pageRows = append(ref.pageRows, int(dd.u32()))
+			}
+			if dd.err != nil {
+				return nil, nil, 0, dd.err
+			}
+			d.Tables = append(d.Tables, td)
+			refs = append(refs, ref)
 		case recIndex:
 			ix := sqldb.IndexDump{Name: dd.str(), Table: dd.str(), Column: dd.str()}
 			if dd.err != nil {
-				return nil, 0, dd.err
+				return nil, nil, 0, dd.err
 			}
 			d.Indexes = append(d.Indexes, ix)
 		case recEnd:
 			sawEnd = true
 		default:
-			return nil, 0, fmt.Errorf("persist: %s: unknown snapshot record type %d", path, typ)
+			return nil, nil, 0, fmt.Errorf("persist: %s: unknown snapshot record type %d", path, typ)
 		}
 	}
-	return d, epoch, nil
+	return d, refs, epoch, nil
+}
+
+// readPagedRows materializes every row of a checkpointed page file, in row
+// id order.
+func readPagedRows(path string, pageRows []int) ([][]sqldb.Value, error) {
+	total := 0
+	for _, n := range pageRows {
+		total += n
+	}
+	rows := make([][]sqldb.Value, 0, total)
+	err := pager.ReadFile(path, func(pageNo int, page []byte) error {
+		if pageNo >= len(pageRows) {
+			return fmt.Errorf("persist: %s: page %d beyond snapshot's %d-page directory", path, pageNo, len(pageRows))
+		}
+		for s := 0; s < pageRows[pageNo]; s++ {
+			rec := pager.PageRecord(page, s)
+			if rec == nil {
+				return fmt.Errorf("persist: %s: corrupt page %d (slot %d)", path, pageNo, s)
+			}
+			row, err := sqldb.DecodeRowRecord(rec)
+			if err != nil {
+				return fmt.Errorf("persist: %s: page %d slot %d: %w", path, pageNo, s, err)
+			}
+			rows = append(rows, row)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // syncDir fsyncs a directory so a just-performed rename survives a power

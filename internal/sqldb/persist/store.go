@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"justintime/internal/sqldb"
+	"justintime/internal/sqldb/pager"
 )
 
 const (
@@ -24,6 +25,12 @@ type Options struct {
 	// OnWALWrite, when set, observes every appended WAL record's framed
 	// size in bytes — the hook metrics counters attach to.
 	OnWALWrite func(bytes int)
+	// Pool, when set, rehydrates paged tables by attaching their page files
+	// to this buffer pool instead of decoding every row: a cold open costs
+	// only the snapshot's schema records, and rows fault in page by page as
+	// queries touch them. Without a pool, paged snapshots still open — the
+	// rows are materialized into the default slice store.
+	Pool *pager.Pool
 }
 
 // Store is the durable home of one database: a snapshot of its state at the
@@ -43,22 +50,65 @@ type Store struct {
 
 // Create initializes dir as the durable home of db: it snapshots db's
 // current state and attaches an empty WAL, so every later mutation is
-// logged. Any stale temporary files in dir are removed first.
+// logged. Any stale temporary files in dir are removed first. Paged tables
+// checkpoint their page files alongside the snapshot (under the same
+// exclusive lock), so Create is their first durability point too.
 func Create(dir string, db *sqldb.DB, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	removeTempFiles(dir)
 	const firstEpoch = 1
-	if err := WriteSnapshot(filepath.Join(dir, SnapshotFile), db.Dump(), firstEpoch); err != nil {
+	if err := db.CheckpointWith(func(d *sqldb.Dump) error {
+		return writeState(dir, d, firstEpoch)
+	}); err != nil {
 		return nil, err
 	}
+	removeStalePageFiles(dir, firstEpoch)
 	// A fresh store must not inherit records from a previous life of the
 	// directory: drop any existing WAL before opening.
 	if err := os.Remove(filepath.Join(dir, WALFile)); err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	return attach(dir, db, firstEpoch, opts)
+}
+
+// writeState persists one consistent state under the DB's exclusive lock:
+// every paged table's pages first (to epoch-named page files), then the
+// snapshot referencing them. The snapshot's atomic rename is the commit
+// point — a crash before it leaves the previous epoch's files authoritative.
+func writeState(dir string, d *sqldb.Dump, epoch uint64) error {
+	for i := range d.Tables {
+		td := &d.Tables[i]
+		if td.Paged == nil {
+			continue
+		}
+		if err := td.Paged.CheckpointTo(filepath.Join(dir, PagesFileName(td.Name, epoch))); err != nil {
+			return err
+		}
+	}
+	return WriteSnapshot(filepath.Join(dir, SnapshotFile), d, epoch)
+}
+
+// removeStalePageFiles deletes pages-*.db files of any epoch other than
+// keepEpoch — the old generation after a successful checkpoint, or leftovers
+// from a checkpoint that crashed between writing page files and the
+// snapshot rename.
+func removeStalePageFiles(dir string, keepEpoch uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	suffix := fmt.Sprintf("-%d.db", keepEpoch)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "pages-") || !strings.HasSuffix(name, ".db") {
+			continue
+		}
+		if !strings.HasSuffix(name, suffix) {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
 }
 
 // Open loads the database persisted in dir: the snapshot, then every intact
@@ -69,20 +119,71 @@ func Create(dir string, db *sqldb.DB, opts Options) (*Store, error) {
 // accruing to the WAL.
 func Open(dir string, opts Options) (*sqldb.DB, *Store, error) {
 	removeTempFiles(dir)
-	dump, epoch, err := ReadSnapshot(filepath.Join(dir, SnapshotFile))
+	dump, refs, epoch, err := readSnapshotRefs(filepath.Join(dir, SnapshotFile))
 	if err != nil {
 		return nil, nil, err
 	}
-	db, err := sqldb.NewFromDump(dump)
-	if err != nil {
+	removeStalePageFiles(dir, epoch)
+	pagedAt := make(map[int]*pagedTableRef, len(refs))
+	for i := range refs {
+		pagedAt[refs[i].tableIndex] = &refs[i]
+	}
+	db := sqldb.New()
+	fail := func(err error) (*sqldb.DB, *Store, error) {
+		db.ClosePagedStores()
 		return nil, nil, err
+	}
+	for i, td := range dump.Tables {
+		ref := pagedAt[i]
+		switch {
+		case ref != nil && opts.Pool != nil:
+			// Attach the checkpointed page file: no row decode here at all.
+			// The spill is volatile by design (WAL replay regenerates any
+			// post-checkpoint state), so a leftover from a previous life is
+			// removed, not read.
+			spill := filepath.Join(dir, SpillFileName(td.Name))
+			_ = os.Remove(spill)
+			pt, err := sqldb.OpenPagedTable(opts.Pool, filepath.Join(dir, ref.file), spill, ref.pageRows)
+			if err != nil {
+				return fail(err)
+			}
+			if err := db.CreatePagedTable(td.Name, td.Cols, pt); err != nil {
+				pt.Close()
+				return fail(fmt.Errorf("persist: restoring table %q: %w", td.Name, err))
+			}
+			continue
+		case ref != nil:
+			// No pool on this host: materialize the pages into the slice
+			// store so the wire format stays readable everywhere.
+			if td.Rows, err = readPagedRows(filepath.Join(dir, ref.file), ref.pageRows); err != nil {
+				return fail(err)
+			}
+		}
+		if err := db.CreateTable(td.Name, td.Cols); err != nil {
+			return fail(fmt.Errorf("persist: restoring table %q: %w", td.Name, err))
+		}
+		if len(td.Rows) > 0 {
+			if err := db.InsertRows(td.Name, td.Rows); err != nil {
+				return fail(fmt.Errorf("persist: restoring rows of %q: %w", td.Name, err))
+			}
+		}
+	}
+	for _, ix := range dump.Indexes {
+		if err := db.CreateIndex(ix.Name, ix.Table, ix.Column); err != nil {
+			return fail(fmt.Errorf("persist: restoring index %q: %w", ix.Name, err))
+		}
 	}
 	st, err := attach(dir, db, epoch, opts)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	return db, st, nil
 }
+
+// SpillFileName is the sibling file receiving a paged table's dirty-page
+// writebacks between checkpoints. It carries no epoch: its contents are
+// meaningless across a restart.
+func SpillFileName(table string) string { return "spill-" + table + ".db" }
 
 // attach opens the WAL (replaying it onto db) and wires the store up as the
 // database's mutation logger.
@@ -127,13 +228,14 @@ func (s *Store) Checkpoint() error {
 	}
 	next := s.epoch + 1
 	err := s.db.CheckpointWith(func(d *sqldb.Dump) error {
-		if err := WriteSnapshot(filepath.Join(s.dir, SnapshotFile), d, next); err != nil {
+		if err := writeState(s.dir, d, next); err != nil {
 			return err
 		}
 		return s.wal.Reset(next)
 	})
 	if err == nil {
 		s.epoch = next
+		removeStalePageFiles(s.dir, next)
 	}
 	return err
 }
@@ -150,7 +252,13 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.db.SetLogger(nil)
-	return s.wal.Close()
+	err := s.wal.Close()
+	// Release paged stores (pool frames, page/spill descriptors). A query
+	// racing this close fails with a clean "file is closed" error.
+	if cerr := s.db.ClosePagedStores(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Remove deletes a store directory and everything in it. Use for session

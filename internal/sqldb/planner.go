@@ -440,25 +440,27 @@ func intersectPositions(sets [][]int) []int {
 // filtered rows (a superset of the rows the full WHERE will keep — the
 // residual WHERE still runs over every returned row) and whether an index
 // was used. See the error-parity contract at the top of this file.
-func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *scope) ([][]Value, bool) {
+func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *scope) ([][]Value, bool, error) {
 	if t == nil || len(t.indexes) == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	set, ok := ex.collectSargs(t, rel, sel, parent)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	paths := choosePaths(buildPaths(t, set))
 	if len(paths) == 0 && !set.empty {
-		return nil, false
+		return nil, false, nil
 	}
 	var pos []int
 	if !set.empty {
 		sets := make([][]int, len(paths))
 		for i, p := range paths {
-			p.ix.ensure(t)
+			if err := p.ix.ensure(t); err != nil {
+				return nil, false, err
+			}
 			if p.ix.nan {
-				return nil, false // NaN in an indexed column: only a scan has parity
+				return nil, false, nil // NaN in an indexed column: only a scan has parity
 			}
 			sets[i] = pathPositions(p)
 		}
@@ -479,7 +481,7 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 		}
 		ex.note("scan %s using index intersection of %s", rel.alias, strings.Join(descs, " and "))
 	}
-	if len(pos) == 0 && len(t.rows) > 0 {
+	if len(pos) == 0 && t.store.Len() > 0 {
 		// Keep one sentinel row: the sargable conjuncts are not TRUE on it,
 		// so the residual WHERE drops it — but row-independent errors in
 		// other conjuncts still surface (see the error-parity contract).
@@ -487,9 +489,13 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 	}
 	rows := make([][]Value, len(pos))
 	for i, p := range pos {
-		rows[i] = t.rows[p]
+		row, err := t.store.Get(p)
+		if err != nil {
+			return nil, false, err
+		}
+		rows[i] = row
 	}
-	return rows, true
+	return rows, true, nil
 }
 
 // collectConjuncts flattens a WHERE tree over AND into its conjuncts.
@@ -600,7 +606,9 @@ func (ex *executor) tryTopK(sel *SelectStmt, parent *scope) (*Result, bool, erro
 	}
 	j := bestJ
 
-	ix.ensure(t)
+	if err := ix.ensure(t); err != nil {
+		return nil, true, err
+	}
 	if ix.nan {
 		return nil, false, nil
 	}
@@ -657,7 +665,11 @@ func (ex *executor) tryTopK(sel *SelectStmt, parent *scope) (*Result, bool, erro
 	processed := 0
 	emit := func(ri int) (bool, error) {
 		processed++
-		sc := mkScope(t.rows[ri])
+		row, rerr := t.store.Get(ri)
+		if rerr != nil {
+			return true, rerr
+		}
+		sc := mkScope(row)
 		if sel.Where != nil {
 			v, err := ex.eval(sel.Where, sc)
 			if err != nil {
@@ -717,7 +729,7 @@ func (ex *executor) tryTopK(sel *SelectStmt, parent *scope) (*Result, bool, erro
 	if err != nil {
 		return nil, true, err
 	}
-	if processed == 0 && len(t.rows) > 0 {
+	if processed == 0 && t.store.Len() > 0 {
 		// Sentinel evaluation: the scan path runs WHERE (and, on survivors,
 		// the projection) over every row even when LIMIT keeps none, so
 		// row-independent errors must still surface here.

@@ -1,0 +1,73 @@
+package sqldb
+
+// RowStore abstracts a table's row storage so the executor, planner, and
+// index code stop assuming an in-memory slice. Two implementations exist:
+// sliceStore (the default, rows on the heap) and PagedTable (rows encoded
+// into slotted pages behind a shared buffer pool). Positions are stable row
+// ids between mutations — exactly the contract secondary indexes rely on,
+// since they record positions and rebuild on any version bump.
+//
+// All methods are called under the DB's lock (read lock for the read-only
+// methods, write lock for mutations), so implementations need not add their
+// own table-level synchronization; the paged store's internal pool handles
+// cross-DB frame sharing.
+type RowStore interface {
+	// Len returns the number of stored rows.
+	Len() int
+	// Get returns the row at position i. Paged stores return a fresh copy;
+	// the slice store returns the live row (callers never mutate rows
+	// obtained via Get).
+	Get(i int) ([]Value, error)
+	// All returns every row, positionally. The slice store returns its live
+	// backing slice (read-only by contract); paged stores materialize.
+	All() ([][]Value, error)
+	// Scan calls fn for each row in position order, stopping on error.
+	Scan(fn func(i int, row []Value) error) error
+	// Append adds rows at the end, preserving order.
+	Append(rows [][]Value) error
+	// Set overwrites the row at position i.
+	Set(i int, row []Value) error
+	// ReplaceAll swaps in a complete new row set (DELETE compaction,
+	// UPDATE fallback).
+	ReplaceAll(rows [][]Value) error
+	// Close releases any resources (page files, pool frames).
+	Close() error
+}
+
+// sliceStore is the default RowStore: a plain [][]Value heap slice with the
+// exact semantics Table.rows had before the storage abstraction.
+type sliceStore struct {
+	rows [][]Value
+}
+
+func (s *sliceStore) Len() int { return len(s.rows) }
+
+func (s *sliceStore) Get(i int) ([]Value, error) { return s.rows[i], nil }
+
+func (s *sliceStore) All() ([][]Value, error) { return s.rows, nil }
+
+func (s *sliceStore) Scan(fn func(i int, row []Value) error) error {
+	for i, row := range s.rows {
+		if err := fn(i, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *sliceStore) Append(rows [][]Value) error {
+	s.rows = append(s.rows, rows...)
+	return nil
+}
+
+func (s *sliceStore) Set(i int, row []Value) error {
+	s.rows[i] = row
+	return nil
+}
+
+func (s *sliceStore) ReplaceAll(rows [][]Value) error {
+	s.rows = rows
+	return nil
+}
+
+func (s *sliceStore) Close() error { return nil }

@@ -80,6 +80,33 @@ func (st *Stmt) Query(db *DB, args ...Value) (*Result, error) {
 	return ex.execSelect(st.stmt.(*SelectStmt), nil)
 }
 
+// QueryCapped is Query with limit pushdown: the top-level statement stops
+// producing rows once maxRows have been emitted, so a SELECT over a huge
+// table costs the cap, not the table. Simple single-table SELECTs stream and
+// stop early (on paged storage, rows past the cap never even fault in);
+// shapes that must see every row to be correct (aggregation, DISTINCT,
+// ORDER BY, joins) run in full and are truncated at the cap. Subqueries are
+// never capped — that would change results, not just bound their size.
+// maxRows <= 0 means uncapped; EXPLAIN output is never capped.
+func (st *Stmt) QueryCapped(db *DB, maxRows int, args ...Value) (*Result, error) {
+	if !st.IsSelect() {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	if err := st.checkArgs(args); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ex := &executor{db: db, params: args}
+	if e, ok := st.stmt.(*ExplainStmt); ok {
+		return ex.explain(e.Sel)
+	}
+	if maxRows > 0 {
+		ex.capRows = maxRows
+	}
+	return ex.execSelect(st.stmt.(*SelectStmt), nil)
+}
+
 // Exec executes a prepared non-SELECT statement against db under its write
 // lock, returning the number of rows affected (0 for DDL).
 func (st *Stmt) Exec(db *DB, args ...Value) (int, error) {

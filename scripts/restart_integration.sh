@@ -26,7 +26,10 @@ fail() { echo "FAIL: $*" >&2; echo "--- jitd log ---" >&2; cat "$LOG" >&2 || tru
 
 start_jitd() {
   # Small training corpus: the point is the restart path, not model quality.
+  # Paged storage on (-buffer-pool-pages): restarts must also recover the
+  # per-session page files, not just the snapshot and WAL.
   "$BIN" -addr "$ADDR" -data-dir "$DATA_DIR" -wal-sync always \
+    -buffer-pool-pages 256 \
     -eras 4 -rows 300 -horizon 2 -k 5 >>"$LOG" 2>&1 &
   PID=$!
   for _ in $(seq 1 120); do
