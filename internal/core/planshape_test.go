@@ -52,7 +52,7 @@ func TestCannedQuestionPlanShapes(t *testing.T) {
 		plan := explainSession(t, sess, sql, args...)
 		switch q.Kind {
 		case QNoModification:
-			assertShapes(q.Kind.String(), plan, "index candidates_diff (diff=)")
+			assertShapes(q.Kind.String(), plan, "covering index candidates_diff_time (diff=)")
 		case QMinimalFeatures:
 			assertShapes(q.Kind.String(), plan, "top-k scan candidates using index candidates_gap_diff (gap asc, diff asc) limit 1")
 		case QDominantFeature:

@@ -128,13 +128,17 @@ func (s *System) NewSessionContext(ctx context.Context, profile []float64, user 
 // catalog (no SQL text is built or parsed). The auto-created indexes back
 // every canned-question and plan-query shape the planner knows:
 //
-//	candidates(time)     equality/range prefilter and the intersection
-//	                     partner of the dominant-feature EXISTS probe
-//	candidates(diff)     no-modification question (diff = 0)
-//	candidates(p)        maximal-confidence top-k and turning-point p > ?
-//	candidates(gap,diff) minimal-features top-k (ORDER BY gap, diff) and
-//	                     the gap range arm of index intersections
-//	candidates(time,p)   plan query top-k (time = ? ORDER BY p DESC)
+//	candidates(time)      equality/range prefilter and the intersection
+//	                      partner of the dominant-feature EXISTS probe
+//	candidates(diff)      diff-only predicates and range probes
+//	candidates(diff,time) no-modification question (diff = 0, Min(time)):
+//	                      both referenced columns live in the key tuples, so
+//	                      the planner answers it as a covering scan without
+//	                      touching a single row
+//	candidates(p)         maximal-confidence top-k and turning-point p > ?
+//	candidates(gap,diff)  minimal-features top-k (ORDER BY gap, diff) and
+//	                      the gap range arm of index intersections
+//	candidates(time,p)    plan query top-k (time = ? ORDER BY p DESC)
 //	temporal_inputs(time) index nested-loop probes of the inner join side
 //
 // Names of the two canonical tables every session database carries. Exported
@@ -175,6 +179,7 @@ func (sess *Session) loadDatabase(results [][]candgen.Candidate) error {
 		{"temporal_inputs_time", "temporal_inputs", []string{"time"}},
 		{"candidates_time", "candidates", []string{"time"}},
 		{"candidates_diff", "candidates", []string{"diff"}},
+		{"candidates_diff_time", "candidates", []string{"diff", "time"}},
 		{"candidates_p", "candidates", []string{"p"}},
 		{"candidates_gap_diff", "candidates", []string{"gap", "diff"}},
 		{"candidates_time_p", "candidates", []string{"time", "p"}},

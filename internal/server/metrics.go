@@ -190,6 +190,20 @@ func init() {
 	expvar.Publish("jitd_plan_shapes", expvar.Func(func() interface{} {
 		return sqldb.PlanCounters()
 	}))
+	// Plan-cache effectiveness across every session database: hits are
+	// prepared executions that reused a memoized plan, misses planned from
+	// scratch, invalidations dropped a cached plan whose schema version or
+	// stats epoch went stale. A rising invalidation share means statistics
+	// are drifting faster than plans are reused.
+	expvar.Publish("jitd_plan_cache_hits", expvar.Func(func() interface{} {
+		return sqldb.PlanCacheCounters()["hits"]
+	}))
+	expvar.Publish("jitd_plan_cache_misses", expvar.Func(func() interface{} {
+		return sqldb.PlanCacheCounters()["misses"]
+	}))
+	expvar.Publish("jitd_plan_cache_invalidations", expvar.Func(func() interface{} {
+		return sqldb.PlanCacheCounters()["invalidations"]
+	}))
 	// jitd_question_latency_us: per-question-kind latency histograms
 	// (cumulative buckets, microsecond bounds) over the /ask endpoint.
 	expvar.Publish("jitd_question_latency_us", expvar.Func(func() interface{} {

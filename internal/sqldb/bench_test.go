@@ -3,8 +3,12 @@ package sqldb
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"justintime/internal/sqldb/pager"
 )
 
 // benchDB builds a candidates-like table with n rows over k time points and
@@ -182,6 +186,10 @@ func BenchmarkIndexIntersection(b *testing.B) {
 				db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
 				db.MustExec("CREATE INDEX candidates_gap ON candidates (gap)")
 				db.DisableIndexScan = !planned
+				// Pin the structural (pre-statistics) plan: this benchmark
+				// measures the v2 intersection shape; the cost-based flip to
+				// a single path is measured by BenchmarkStatsIntersectionFlip.
+				db.DisableStatsCosting = true
 				if planned {
 					assertBenchPlan(b, db, q, "index intersection of candidates_time (time=) and candidates_gap (gap range)")
 				}
@@ -206,6 +214,7 @@ func BenchmarkIndexJoin(b *testing.B) {
 				db := benchDB(size.rows, 64)
 				db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
 				db.DisableIndexScan = !planned
+				db.DisableStatsCosting = true // pin the v2 index-nested-loop shape
 				if planned {
 					assertBenchPlan(b, db, q, "index nested loop (candidates_time)")
 				}
@@ -232,6 +241,146 @@ func BenchmarkTopK(b *testing.B) {
 				db.DisableIndexScan = !planned
 				if planned {
 					assertBenchPlan(b, db, q, "top-k scan candidates using index candidates_p (p desc) limit 1")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// The planner-v3 benchmarks measure what the statistics change, at the seed
+// size (500), at 100x (50000), and — behind BENCH_LARGE=1, since building the
+// fixture dominates otherwise — at 10000x (5M). Each compares the structural
+// plan the v2 planner was locked to (DisableStatsCosting) against the plan
+// chosen after ANALYZE, asserting both shapes so a planner change cannot
+// silently benchmark the wrong thing.
+
+func statsBenchSizes() []struct {
+	label string
+	rows  int
+} {
+	sizes := []struct {
+		label string
+		rows  int
+	}{{"seed", 500}, {"100x", 50000}}
+	if os.Getenv("BENCH_LARGE") != "" {
+		sizes = append(sizes, struct {
+			label string
+			rows  int
+		}{"10000x", 5000000})
+	}
+	return sizes
+}
+
+// BenchmarkStatsIntersectionFlip: with time = 3 selecting ~1/64 of the table
+// and gap <= 1 selecting half of it, the histogram prices the intersection's
+// second leg out and the stats plan probes candidates_time alone.
+func BenchmarkStatsIntersectionFlip(b *testing.B) {
+	const q = "SELECT COUNT(*) FROM candidates WHERE time = 3 AND gap <= 1"
+	for _, size := range statsBenchSizes() {
+		for _, analyzed := range []bool{false, true} {
+			b.Run(fmt.Sprintf("rows=%s/analyzed=%v", size.label, analyzed), func(b *testing.B) {
+				db := benchDB(size.rows, 64)
+				db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
+				db.MustExec("CREATE INDEX candidates_gap ON candidates (gap)")
+				if analyzed {
+					db.MustExec("ANALYZE candidates")
+					assertBenchPlan(b, db, q, "using index candidates_time (time=) est_rows=")
+				} else {
+					db.DisableStatsCosting = true
+					assertBenchPlan(b, db, q, "index intersection of candidates_time (time=) and candidates_gap (gap range)")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStatsJoinFlip: candidates (outer, n rows) joined to
+// temporal_inputs (inner, 64 keys). The structural planner probes the inner
+// index once per outer row; the statistics see 50000 outer rows against 64
+// distinct inner keys and build the 64-entry hash table instead.
+func BenchmarkStatsJoinFlip(b *testing.B) {
+	const q = "SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON ti.time = c.time"
+	for _, size := range statsBenchSizes() {
+		for _, analyzed := range []bool{false, true} {
+			b.Run(fmt.Sprintf("rows=%s/analyzed=%v", size.label, analyzed), func(b *testing.B) {
+				db := benchDB(size.rows, 64)
+				db.MustExec("CREATE INDEX temporal_inputs_time ON temporal_inputs (time)")
+				if analyzed {
+					db.MustExec("ANALYZE")
+					assertBenchPlan(b, db, q, "hash join")
+				} else {
+					db.DisableStatsCosting = true
+					assertBenchPlan(b, db, q, "index nested loop (temporal_inputs_time)")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOrUnion: a disjunction the v2 planner could only full-scan,
+// answered as a deduplicated union of two index probes.
+func BenchmarkOrUnion(b *testing.B) {
+	const q = "SELECT * FROM candidates WHERE time = 3 OR time = 7"
+	for _, size := range statsBenchSizes() {
+		for _, expanded := range []bool{false, true} {
+			b.Run(fmt.Sprintf("rows=%s/expanded=%v", size.label, expanded), func(b *testing.B) {
+				db := benchDB(size.rows, 64)
+				db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
+				if expanded {
+					assertBenchPlan(b, db, q, "using index union of candidates_time (time=) and candidates_time (time=)")
+				} else {
+					db.DisableStatsCosting = true
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCoveringPaged: a COUNT over one indexed column on a paged table
+// behind a tiny pool. The structural plan materializes every matched row —
+// faulting row pages through 8 frames on every query — while the covering
+// plan answers from the index key tuples and never touches a row page.
+func BenchmarkCoveringPaged(b *testing.B) {
+	const q = "SELECT COUNT(*) FROM candidates WHERE time = 3"
+	for _, size := range statsBenchSizes() {
+		for _, covering := range []bool{false, true} {
+			b.Run(fmt.Sprintf("rows=%s/covering=%v", size.label, covering), func(b *testing.B) {
+				db := benchDB(size.rows, 64)
+				db.MustExec("CREATE INDEX candidates_time ON candidates (time)")
+				pool := pager.NewPool(8)
+				if err := db.PageTable("candidates", pool, filepath.Join(b.TempDir(), "spill.db")); err != nil {
+					b.Fatal(err)
+				}
+				defer db.ClosePagedStores()
+				if covering {
+					assertBenchPlan(b, db, q, "covering index candidates_time (time=)")
+				} else {
+					db.DisableStatsCosting = true
+					assertBenchPlan(b, db, q, "using index candidates_time (time=)")
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

@@ -207,7 +207,7 @@ func TestQueryCappedDifferential(t *testing.T) {
 		r := rand.New(rand.NewSource(seed ^ 0x5eed))
 		db, tables := buildDiffDB(t, r)
 		for i := 0; i < 10; i++ {
-			sql, args, _ := buildDiffQuery(r, tables)
+			sql, args := buildDiffQuery(r, tables)
 			st, err := Prepare(sql)
 			if err != nil {
 				t.Fatalf("seed %d: %s: %v", seed, sql, err)

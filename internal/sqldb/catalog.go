@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column is one column of a stored table.
@@ -32,6 +33,16 @@ type Table struct {
 	// planner on every scan (correlated subqueries plan once per outer
 	// row, so recomputing it there would be a hot-path allocation).
 	idxCols map[int]bool
+
+	// statRows/statDrift track stats drift (see DB.noteDriftLocked):
+	// statRows is the row count when drift last reset, statDrift the
+	// mutated rows since. Both are touched only under the DB write lock.
+	statRows  int
+	statDrift int
+	// epochRef points at the owning DB's stats epoch so a lazy index build
+	// (which runs under the read lock) can bump it when fresh statistics
+	// appear; set when the table is registered.
+	epochRef *atomic.Uint64
 }
 
 func newTable(name string, cols []Column) (*Table, error) {
@@ -120,6 +131,22 @@ type DB struct {
 	// could answer a WHERE conjunct; used by the index ablation benchmark
 	// and equivalence tests. Set before issuing queries.
 	DisableIndexScan bool
+
+	// DisableStatsCosting reverts the planner to PR 4's purely structural
+	// behavior: no estimated-rows costing, no covering scans, no
+	// stats-driven join-strategy choice. The "v2 vs v3" benchmark knob.
+	// Set before issuing queries.
+	DisableStatsCosting bool
+
+	// schemaVersion bumps on any DDL (table or index); statsEpoch on any
+	// statistics event (see stats.go). Both stamp cached plans.
+	schemaVersion atomic.Uint64
+	statsEpoch    atomic.Uint64
+
+	// plans memoizes access-path selection per prepared statement (see
+	// plancache.go); it has its own mutex because read-locked queries
+	// insert entries concurrently.
+	plans planCache
 }
 
 // New creates an empty database.
@@ -221,6 +248,8 @@ func (db *DB) execStatement(stmt Statement, params []Value) (int, error) {
 		return db.execDelete(s, params)
 	case *UpdateStmt:
 		return db.execUpdate(s, params)
+	case *AnalyzeStmt:
+		return db.execAnalyze(s)
 	case *SelectStmt, *ExplainStmt:
 		return 0, fmt.Errorf("sqldb: use Query for SELECT statements")
 	default:
@@ -247,7 +276,9 @@ func (db *DB) CreateTable(name string, cols []Column) error {
 	if _, exists := db.tables[name]; exists {
 		return fmt.Errorf("sqldb: table %q already exists", name)
 	}
+	t.epochRef = &db.statsEpoch
 	db.tables[name] = t
+	db.schemaVersion.Add(1)
 	if db.logger != nil {
 		if err := db.logger.LogCreateTable(name, cols); err != nil {
 			return fmt.Errorf("sqldb: table %q created but not logged: %w", name, err)
@@ -318,6 +349,10 @@ func (db *DB) createIndexLocked(name, table string, columns []string, ifNotExist
 	}
 	t.indexes = append(t.indexes, &tableIndex{name: name, cols: cis})
 	t.rebuildIdxCols()
+	// Index DDL changes the path space: retire every cached plan stamped
+	// with the old schema version, and re-cost against the new epoch.
+	db.schemaVersion.Add(1)
+	db.statsEpoch.Add(1)
 	return nil
 }
 
@@ -326,7 +361,12 @@ func (db *DB) dropIndexLocked(name string, ifExists bool) error {
 		for i, ix := range t.indexes {
 			if ix.name == name {
 				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+				// Both caches must move together: idxCols gates sarg
+				// collection, and the version bumps retire any cached plan
+				// still holding the dropped *tableIndex.
 				t.rebuildIdxCols()
+				db.schemaVersion.Add(1)
+				db.statsEpoch.Add(1)
 				return nil
 			}
 		}
@@ -383,6 +423,7 @@ func (db *DB) InsertRows(table string, rows [][]Value) error {
 			return err
 		}
 		t.version++
+		db.noteDriftLocked(t, len(prepared))
 		if db.logger != nil {
 			if err := db.logger.LogInsertRows(table, prepared); err != nil {
 				return fmt.Errorf("sqldb: rows inserted but not logged: %w", err)
@@ -407,7 +448,9 @@ func (db *DB) execCreate(s *CreateTableStmt) error {
 	if err != nil {
 		return err
 	}
+	t.epochRef = &db.statsEpoch
 	db.tables[s.Name] = t
+	db.schemaVersion.Add(1)
 	return nil
 }
 
@@ -420,6 +463,7 @@ func (db *DB) execDrop(s *DropTableStmt) error {
 		return fmt.Errorf("sqldb: unknown table %q", s.Name)
 	}
 	delete(db.tables, s.Name)
+	db.schemaVersion.Add(1)
 	return t.store.Close() // releases page files/frames for paged tables
 }
 
@@ -433,8 +477,9 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int, error) {
 	// next indexed query into a spurious rebuild).
 	n0 := t.store.Len()
 	defer func() {
-		if t.store.Len() != n0 {
+		if n := t.store.Len() - n0; n != 0 {
 			t.version++
+			db.noteDriftLocked(t, n)
 		}
 	}()
 	// Map statement columns to table positions.
@@ -542,6 +587,7 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value) (int, error) {
 			return 0, err
 		}
 		t.version++
+		db.noteDriftLocked(t, deleted)
 	}
 	return deleted, nil
 }
@@ -613,6 +659,7 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int, error) {
 	}
 	if applied > 0 {
 		t.version++
+		db.noteDriftLocked(t, applied)
 	}
 	return applied, werr
 }

@@ -72,8 +72,9 @@ func diffProbe(r *rand.Rand, typ Type) Value {
 }
 
 type diffTable struct {
-	name string
-	cols []Column
+	name   string
+	cols   []Column
+	ixCols [][]string // column names of each created index, creation order
 }
 
 // buildDiffDB generates a two-table schema with random indexes and rows,
@@ -109,6 +110,7 @@ func buildDiffDB(t testing.TB, r *rand.Rand) (*DB, []diffTable) {
 		// across indexes so the planner has overlapping paths to choose
 		// between.
 		nix := r.Intn(4)
+		var ixCols [][]string
 		for k := 0; k < nix; k++ {
 			width := 1 + r.Intn(3)
 			perm := r.Perm(len(cols))[:width]
@@ -120,42 +122,41 @@ func buildDiffDB(t testing.TB, r *rand.Rand) (*DB, []diffTable) {
 			if _, err := db.Exec(sql); err != nil {
 				t.Fatalf("%s: %v", sql, err)
 			}
+			ixCols = append(ixCols, names)
 		}
-		tables = append(tables, diffTable{name: name, cols: cols})
+		tables = append(tables, diffTable{name: name, cols: cols, ixCols: ixCols})
 	}
 	return db, tables
 }
 
-// keyFamily buckets a column type by its hash-join key family (the
-// equality contract ON-joins use): INT and FLOAT share the numeric family,
-// TEXT and BOOL stand alone.
-func keyFamily(t Type) int {
-	switch t {
-	case IntType, FloatType:
-		return 0
-	case TextType:
-		return 1
-	default:
-		return 2
-	}
-}
-
-// buildDiffQuery generates one SELECT over the schema, returning the SQL,
-// its bound parameters, and whether the query is also safe to diff against
-// the nested-loop join path (no join, or join keys in the same key family —
-// cross-family ON-joins are a pre-existing, documented divergence between
-// hash/index joins and the nested loop's Compare semantics). All column
+// buildDiffQuery generates one SELECT over the schema, returning the SQL and
+// its bound parameters. Every query is safe to diff across all execution
+// arms, including the fully-ablated nested loop: ON-clause equality matches
+// by Value.key() family on every join path, so cross-family join keys (a
+// BOOL column joined to a numeric one) are generated freely. All column
 // references are alias-qualified so generated queries are never ambiguous.
-func buildDiffQuery(r *rand.Rand, tables []diffTable) (string, []Value, bool) {
+func buildDiffQuery(r *rand.Rand, tables []diffTable) (string, []Value) {
 	t1, t2 := tables[0], tables[1]
 	join := r.Intn(3) // 0 = none, 1 = inner, 2 = left
 	var sb strings.Builder
 	var args []Value
 
 	sb.WriteString("SELECT ")
-	if r.Intn(3) > 0 {
+	switch {
+	case join == 0 && len(t1.ixCols) > 0 && r.Intn(3) == 0:
+		// Project exactly one index's columns: when the WHERE clause stays
+		// inside them too, the planner answers from the index alone
+		// (covering scan) — the arm ablation proves it returns the same rows.
+		cols := t1.ixCols[r.Intn(len(t1.ixCols))]
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "u.%s", c)
+		}
+	case r.Intn(3) > 0:
 		sb.WriteString("*")
-	} else {
+	default:
 		n := 1 + r.Intn(len(t1.cols))
 		for i := 0; i < n; i++ {
 			if i > 0 {
@@ -165,7 +166,6 @@ func buildDiffQuery(r *rand.Rand, tables []diffTable) (string, []Value, bool) {
 		}
 	}
 	sb.WriteString(" FROM t1 u")
-	nestedSafe := true
 	if join > 0 {
 		kw := "INNER JOIN"
 		if join == 2 {
@@ -173,7 +173,6 @@ func buildDiffQuery(r *rand.Rand, tables []diffTable) (string, []Value, bool) {
 		}
 		jc1 := t1.cols[r.Intn(len(t1.cols))]
 		jc2 := t2.cols[r.Intn(len(t2.cols))]
-		nestedSafe = keyFamily(jc1.Type) == keyFamily(jc2.Type)
 		fmt.Fprintf(&sb, " %s t2 v ON u.%s = v.%s", kw, jc1.Name, jc2.Name)
 	}
 
@@ -189,13 +188,39 @@ func buildDiffQuery(r *rand.Rand, tables []diffTable) (string, []Value, bool) {
 			alias, tbl = "v", t2
 		}
 		col := tbl.cols[r.Intn(len(tbl.cols))]
-		switch r.Intn(7) {
+		switch r.Intn(9) {
 		case 0:
 			fmt.Fprintf(&sb, "%s.%s BETWEEN ? AND ?", alias, col.Name)
 			args = append(args, diffProbe(r, col.Type), diffProbe(r, col.Type))
 		case 1:
 			fmt.Fprintf(&sb, "? %s %s.%s", []string{"=", "<", "<=", ">", ">="}[r.Intn(5)], alias, col.Name)
 			args = append(args, diffProbe(r, col.Type))
+		case 2:
+			// IN list (occasionally negated): sargable lists become
+			// multi-probe index paths; NULL members and NOT IN take the
+			// scan path and must agree with it.
+			if r.Intn(4) == 0 {
+				fmt.Fprintf(&sb, "%s.%s NOT IN (", alias, col.Name)
+			} else {
+				fmt.Fprintf(&sb, "%s.%s IN (", alias, col.Name)
+			}
+			n := 1 + r.Intn(4)
+			for j := 0; j < n; j++ {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString("?")
+				args = append(args, diffProbe(r, col.Type))
+			}
+			sb.WriteString(")")
+		case 3:
+			// OR of two sargable disjuncts over one relation: the planner may
+			// expand it into a deduplicated index union.
+			col2 := tbl.cols[r.Intn(len(tbl.cols))]
+			op1 := []string{"=", "=", "<", ">="}[r.Intn(4)]
+			op2 := []string{"=", "=", "<=", ">"}[r.Intn(4)]
+			fmt.Fprintf(&sb, "(%s.%s %s ? OR %s.%s %s ?)", alias, col.Name, op1, alias, col2.Name, op2)
+			args = append(args, diffProbe(r, col.Type), diffProbe(r, col2.Type))
 		default:
 			op := []string{"=", "=", "=", "<", "<=", ">", ">="}[r.Intn(7)]
 			fmt.Fprintf(&sb, "%s.%s %s ?", alias, col.Name, op)
@@ -228,28 +253,44 @@ func buildDiffQuery(r *rand.Rand, tables []diffTable) (string, []Value, bool) {
 			}
 		}
 	}
-	return sb.String(), args, nestedSafe
+	return sb.String(), args
 }
 
 // runDiffCase builds one random schema and checks every generated query for
 // divergence (results, order, columns, and error presence) between the
-// planned execution, the DisableIndexScan scan baseline, and — for queries
-// whose join keys share a key family — the fully-ablated nested-loop path.
+// planned execution, a stats-ablated structural plan, the DisableIndexScan
+// scan baseline, and the fully-ablated nested-loop path. Halfway through,
+// ANALYZE builds statistics so the second half diffs cost-based plans
+// (covering scans, index unions, intersection-vs-single-path flips) against
+// the same baselines.
 func runDiffCase(t testing.TB, seed int64, queries int) {
 	r := rand.New(rand.NewSource(seed))
 	db, tables := buildDiffDB(t, r)
-	run := func(sql string, args []Value, disableIndex, disableHash bool) (*Result, error) {
+	run := func(sql string, args []Value, disableIndex, disableHash, disableStats bool) (*Result, error) {
 		db.DisableIndexScan = disableIndex
 		db.DisableHashJoin = disableHash
-		defer func() { db.DisableIndexScan = false; db.DisableHashJoin = false }()
+		db.DisableStatsCosting = disableStats
+		defer func() {
+			db.DisableIndexScan = false
+			db.DisableHashJoin = false
+			db.DisableStatsCosting = false
+		}()
 		return db.Query(sql, args...)
 	}
 	for q := 0; q < queries; q++ {
-		sql, args, nestedSafe := buildDiffQuery(r, tables)
-		indexed, ierr := run(sql, args, false, false)
-		scanned, serr := run(sql, args, true, false)
-		if (ierr == nil) != (serr == nil) {
-			t.Fatalf("seed %d: %s %v: indexed err=%v scan err=%v", seed, sql, args, ierr, serr)
+		if q == queries/2 {
+			if _, err := db.Exec("ANALYZE"); err != nil {
+				t.Fatalf("seed %d: ANALYZE: %v", seed, err)
+			}
+		}
+		sql, args := buildDiffQuery(r, tables)
+		indexed, ierr := run(sql, args, false, false, false)
+		structural, terr := run(sql, args, false, false, true)
+		scanned, serr := run(sql, args, true, false, false)
+		nested, nerr := run(sql, args, true, true, false)
+		if (ierr == nil) != (serr == nil) || (terr == nil) != (serr == nil) || (nerr == nil) != (serr == nil) {
+			t.Fatalf("seed %d: %s %v: indexed err=%v structural err=%v scan err=%v nested err=%v",
+				seed, sql, args, ierr, terr, serr, nerr)
 		}
 		if ierr != nil {
 			continue
@@ -257,12 +298,8 @@ func runDiffCase(t testing.TB, seed int64, queries int) {
 		if !reflect.DeepEqual(indexed, scanned) {
 			t.Fatalf("seed %d: %s %v:\nindexed: %+v\nscan:    %+v", seed, sql, args, indexed, scanned)
 		}
-		if !nestedSafe {
-			continue
-		}
-		nested, nerr := run(sql, args, true, true)
-		if nerr != nil {
-			t.Fatalf("seed %d: %s %v: nested-loop err=%v", seed, sql, args, nerr)
+		if !reflect.DeepEqual(structural, scanned) {
+			t.Fatalf("seed %d: %s %v:\nstructural: %+v\nscan:       %+v", seed, sql, args, structural, scanned)
 		}
 		if !reflect.DeepEqual(indexed, nested) {
 			t.Fatalf("seed %d: %s %v:\nindexed: %+v\nnested:  %+v", seed, sql, args, indexed, nested)
@@ -297,7 +334,7 @@ func TestDifferentialConcurrentReads(t *testing.T) {
 	}
 	var qs []q
 	for len(qs) < 8 {
-		sql, args, _ := buildDiffQuery(r, tables)
+		sql, args := buildDiffQuery(r, tables)
 		res, err := db.Query(sql, args...)
 		if err != nil {
 			continue

@@ -35,9 +35,15 @@ type IndexDump struct {
 // Dump is a point-in-time structural copy of a whole database, suitable for
 // serialization. Tables are ordered by name and indexes by (table, creation
 // order), so two dumps of equal databases are deeply equal.
+//
+// Stats carries the planner statistics of every index that has derived any
+// (same order as Indexes, minus stat-less entries). They are advisory: a
+// restore that drops or ignores them only costs the first plans their
+// estimates, never correctness.
 type Dump struct {
 	Tables  []TableDump
 	Indexes []IndexDump
+	Stats   []IndexStatsDump
 }
 
 // Dump returns a consistent structural copy of the database taken under the
@@ -93,6 +99,7 @@ func (db *DB) dumpLocked() *Dump {
 			d.Indexes = append(d.Indexes, IndexDump{Name: ix.name, Table: t.Name, Column: strings.Join(names, ",")})
 		}
 	}
+	d.Stats = db.dumpStatsLocked()
 	return d
 }
 
@@ -118,6 +125,11 @@ func NewFromDump(d *Dump) (*DB, error) {
 		if err := db.CreateIndex(ix.Name, ix.Table, ix.Column); err != nil {
 			return nil, fmt.Errorf("sqldb: restoring index %q: %w", ix.Name, err)
 		}
+	}
+	// Statistics are best-effort: a dump whose stats no longer match the
+	// schema (or reference a dropped index) restores without them.
+	for _, sd := range d.Stats {
+		db.RestoreIndexStats(sd)
 	}
 	return db, nil
 }

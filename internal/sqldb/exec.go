@@ -517,6 +517,18 @@ func (ex *executor) execFrom(sel *SelectStmt, parent *scope) ([]relation, []tupl
 				}
 			}
 			if !used {
+				// No access path applies (or there is no WHERE at all) — a
+				// covering index can still answer the statement from key
+				// tuples without materializing a single row.
+				filtered, ok, err := ex.coveringFullScan(t, rel, sel)
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					rows, used = filtered, true
+				}
+			}
+			if !used {
 				planCounts.fullScan.Add(1)
 				ex.note("scan %s", rel.alias)
 				if rows, err = t.store.All(); err != nil {
@@ -599,7 +611,10 @@ func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][
 			if !ex.db.DisableIndexScan && t != nil {
 				if cr, isCol := right.(*ColumnRef); isCol {
 					if ci, ok := t.colIdx[cr.Column]; ok {
-						if ix := t.indexOn(ci); ix != nil {
+						// The strategy choice reads the statistics available
+						// at plan time (possibly none — then the probe is
+						// kept) rather than forcing an index build first.
+						if ix := t.indexOn(ci); ix != nil && (ex.db.DisableHashJoin || ex.preferIndexNL(len(tuples), ix)) {
 							if err := ix.ensure(t); err != nil {
 								return nil, err
 							}
@@ -620,6 +635,16 @@ func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][
 				ex.note("%s %s using hash join", kind, rel.alias)
 				return ex.hashJoin(rels, tuples, rel, rows, left, right, leftJoin, parent)
 			}
+			// Both fast paths unavailable: loop, but match by the same
+			// Value.key() families as the hash/index joins so equi-join
+			// semantics stay unified across strategies (BOOL never equals
+			// numeric, -0.0 != 0.0, NULL never joins).
+			if err := materialize(); err != nil {
+				return nil, err
+			}
+			planCounts.nestedLoopJoin.Add(1)
+			ex.note("%s %s using nested loop", kind, rel.alias)
+			return ex.nestedEquiLoopJoin(rels, tuples, rel, rows, left, right, leftJoin, parent)
 		}
 	}
 	if len(rels) > 0 {
@@ -717,6 +742,75 @@ func padTuple(tp tuple, rel relation) tuple {
 	copy(nt, tp)
 	nt[len(tp)] = make([]Value, len(rel.cols))
 	return nt
+}
+
+// preferIndexNL decides index-nested-loop vs hash join for an equi-join:
+// with statistics, probing beats building a hash table only while the outer
+// tuple count stays within the inner key cardinality (each probe is a hash
+// lookup either way; the hash join additionally materializes and hashes the
+// whole inner table). Without statistics, or with costing disabled, the
+// index probe is kept — the pre-stats structural behavior.
+func (ex *executor) preferIndexNL(outer int, ix *tableIndex) bool {
+	if ex.db.DisableStatsCosting {
+		return true
+	}
+	s := ix.stats.Load()
+	if s == nil || s.rows == 0 || len(s.prefixNDV) == 0 || s.prefixNDV[0] == 0 {
+		return true // no stats, or an empty inner side: probing costs nothing
+	}
+	return outer <= s.prefixNDV[0]
+}
+
+// nestedEquiLoopJoin is the equi-join fallback when both the index probe and
+// the hash join are unavailable: a plain nested loop that matches by the
+// same Value.key() equality the fast paths use. Inner keys are evaluated
+// once per row, exactly as the hash join's build pass does, so evaluation
+// errors surface identically across strategies.
+func (ex *executor) nestedEquiLoopJoin(rels []relation, tuples []tuple, rel relation, rows [][]Value, left, right Expr, leftJoin bool, parent *scope) ([]tuple, error) {
+	keys := make([]string, len(rows))
+	null := make([]bool, len(rows))
+	for ri, r := range rows {
+		sc := newScope(parent)
+		sc.push(rel, r)
+		v, err := ex.eval(right, sc)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			null[ri] = true // NULL never equi-joins
+			continue
+		}
+		keys[ri] = v.key()
+	}
+	var out []tuple
+	for _, tp := range tuples {
+		sc := newScope(parent)
+		for i, lr := range rels {
+			sc.push(lr, tp[i])
+		}
+		v, err := ex.eval(left, sc)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		if !v.IsNull() {
+			lk := v.key()
+			for ri, r := range rows {
+				if null[ri] || keys[ri] != lk {
+					continue
+				}
+				nt := make(tuple, len(tp)+1)
+				copy(nt, tp)
+				nt[len(tp)] = r
+				out = append(out, nt)
+				matched = true
+			}
+		}
+		if leftJoin && !matched {
+			out = append(out, padTuple(tp, rel))
+		}
+	}
+	return out, nil
 }
 
 // hashJoin builds a hash table over the new relation keyed by the right

@@ -17,6 +17,8 @@ var planCounts struct {
 	indexJoin      atomic.Uint64
 	hashJoin       atomic.Uint64
 	nestedLoopJoin atomic.Uint64
+	coveringScan   atomic.Uint64
+	indexUnion     atomic.Uint64
 }
 
 // PlanCounters snapshots the per-plan-shape execution counters: how many
@@ -31,6 +33,8 @@ func PlanCounters() map[string]uint64 {
 		"index_join":         planCounts.indexJoin.Load(),
 		"hash_join":          planCounts.hashJoin.Load(),
 		"nested_loop_join":   planCounts.nestedLoopJoin.Load(),
+		"covering_scan":      planCounts.coveringScan.Load(),
+		"index_union":        planCounts.indexUnion.Load(),
 	}
 }
 

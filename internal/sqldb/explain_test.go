@@ -51,39 +51,66 @@ func explainFixture(t *testing.T) *DB {
 
 // TestExplainGolden renders EXPLAIN for one query per plan shape and diffs
 // it against testdata/explain/<name>.golden; run with -update to accept
-// intentional plan changes as readable diffs in review.
+// intentional plan changes as readable diffs in review. Every case gets a
+// fresh fixture so no case inherits statistics built by an earlier one:
+// stats-informed plans are demonstrated explicitly via a setup ANALYZE, and
+// plan-cache hits via repeated executions of one prepared statement.
 func TestExplainGolden(t *testing.T) {
 	cases := []struct {
-		name string
-		sql  string
+		name  string
+		sql   string
+		setup []string // statements executed before the EXPLAIN
+		runs  int      // executions of the same prepared EXPLAIN (default 1)
 	}{
-		{"full_scan", "SELECT * FROM candidates"},
-		{"index_eq", "SELECT * FROM candidates WHERE time = 3"},
-		{"index_range", "SELECT COUNT(*) FROM candidates WHERE p > 0.5"},
-		{"composite_prefix", "SELECT COUNT(*) FROM candidates WHERE time = 3 AND p > 0.5"},
-		{"index_intersection", "SELECT COUNT(*) FROM candidates WHERE time = 2 AND gap <= 1"},
-		{"null_probe", "SELECT * FROM candidates WHERE time = NULL"},
-		{"index_join", "SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON ti.time = c.time"},
-		{"hash_join", "SELECT COUNT(*) FROM candidates c LEFT JOIN temporal_inputs ti ON c.income = ti.income"},
-		{"nested_loop_join", "SELECT COUNT(*) FROM temporal_inputs a INNER JOIN temporal_inputs b ON a.time < b.time"},
-		{"topk_desc", "SELECT * FROM candidates ORDER BY p DESC LIMIT 1"},
-		{"topk_eq_prefix", "SELECT * FROM candidates WHERE time = 2 ORDER BY p DESC LIMIT 3"},
-		{"topk_composite", "SELECT * FROM candidates ORDER BY gap, diff LIMIT 1"},
-		{"sort_fallback", "SELECT * FROM candidates ORDER BY income LIMIT 2"},
-		{"dominant_feature", `SELECT distinct time as t FROM candidates WHERE EXISTS
+		{name: "full_scan", sql: "SELECT * FROM candidates"},
+		{name: "index_eq", sql: "SELECT * FROM candidates WHERE time = 3"},
+		{name: "index_range", sql: "SELECT COUNT(*) FROM candidates WHERE p > 0.5"},
+		{name: "composite_prefix", sql: "SELECT COUNT(*) FROM candidates WHERE time = 3 AND p > 0.5"},
+		{name: "index_intersection", sql: "SELECT COUNT(*) FROM candidates WHERE time = 2 AND gap <= 1"},
+		{name: "null_probe", sql: "SELECT * FROM candidates WHERE time = NULL"},
+		{name: "index_join", sql: "SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON ti.time = c.time"},
+		{name: "hash_join", sql: "SELECT COUNT(*) FROM candidates c LEFT JOIN temporal_inputs ti ON c.income = ti.income"},
+		{name: "nested_loop_join", sql: "SELECT COUNT(*) FROM temporal_inputs a INNER JOIN temporal_inputs b ON a.time < b.time"},
+		{name: "topk_desc", sql: "SELECT * FROM candidates ORDER BY p DESC LIMIT 1"},
+		{name: "topk_eq_prefix", sql: "SELECT * FROM candidates WHERE time = 2 ORDER BY p DESC LIMIT 3"},
+		{name: "topk_composite", sql: "SELECT * FROM candidates ORDER BY gap, diff LIMIT 1"},
+		{name: "sort_fallback", sql: "SELECT * FROM candidates ORDER BY income LIMIT 2"},
+		{name: "covering_group", sql: "SELECT gap, COUNT(*) FROM candidates GROUP BY gap"},
+		{name: "or_union", sql: "SELECT * FROM candidates WHERE time = 1 OR gap = 2"},
+		{name: "in_list", sql: "SELECT * FROM candidates WHERE time IN (1, 3)"},
+		{name: "analyzed_eq", sql: "SELECT * FROM candidates WHERE time = 3",
+			setup: []string{"ANALYZE candidates"}},
+		{name: "analyzed_intersection", sql: "SELECT * FROM candidates WHERE time = 2 AND gap <= 1",
+			setup: []string{"ANALYZE candidates"}},
+		{name: "cached", sql: "SELECT * FROM candidates WHERE time = 3",
+			setup: []string{"ANALYZE candidates"}, runs: 3},
+		{name: "dominant_feature", sql: `SELECT distinct time as t FROM candidates WHERE EXISTS
 (SELECT * FROM candidates as cnd INNER JOIN temporal_inputs as ti ON ti.time = cnd.time
  WHERE cnd.time = t AND gap <= 1
  AND ((gap = 0) OR (gap = 1 AND cnd.income != ti.income))) ORDER BY t`},
-		{"turning_point", `SELECT Min(time) FROM candidates WHERE p > 0.5 AND time > ALL
+		{name: "turning_point", sql: `SELECT Min(time) FROM candidates WHERE p > 0.5 AND time > ALL
 (SELECT ti.time FROM temporal_inputs ti WHERE NOT EXISTS
  (SELECT * FROM candidates c WHERE c.time = ti.time AND c.p > 0.5))`},
 	}
-	db := explainFixture(t)
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := db.Query("EXPLAIN " + tc.sql)
+			db := explainFixture(t)
+			for _, s := range tc.setup {
+				db.MustExec(s)
+			}
+			st, err := db.Prepare("EXPLAIN " + tc.sql)
 			if err != nil {
 				t.Fatal(err)
+			}
+			runs := tc.runs
+			if runs == 0 {
+				runs = 1
+			}
+			var res *Result
+			for i := 0; i < runs; i++ {
+				if res, err = st.Query(db); err != nil {
+					t.Fatal(err)
+				}
 			}
 			if len(res.Columns) != 1 || res.Columns[0] != "plan" {
 				t.Fatalf("EXPLAIN columns = %v", res.Columns)
@@ -141,16 +168,20 @@ func TestExplainExecutesForReal(t *testing.T) {
 }
 
 // TestPlanCountersAdvance asserts the per-shape counters move when their
-// plans run (deltas only: the counters are process-wide).
+// plans run (deltas only: the counters are process-wide). Each check plans
+// against a fresh fixture so statistics built by one check cannot flip the
+// plan shape the next check pins (a COUNT(*) probe is a covering scan, a
+// SELECT * of the same predicate is a plain index scan, and so on).
 func TestPlanCountersAdvance(t *testing.T) {
-	db := explainFixture(t)
 	checks := []struct {
 		key string
 		sql string
 	}{
-		{"full_scan", "SELECT COUNT(*) FROM candidates"},
-		{"index_scan", "SELECT COUNT(*) FROM candidates WHERE time = 1"},
+		{"full_scan", "SELECT * FROM candidates"},
+		{"index_scan", "SELECT income FROM candidates WHERE time = 1"},
+		{"covering_scan", "SELECT COUNT(*) FROM candidates WHERE time = 1"},
 		{"index_intersection", "SELECT COUNT(*) FROM candidates WHERE time = 1 AND gap <= 1"},
+		{"index_union", "SELECT * FROM candidates WHERE time = 1 OR gap = 2"},
 		{"empty_probe", "SELECT COUNT(*) FROM candidates WHERE time = NULL"},
 		{"top_k", "SELECT * FROM candidates ORDER BY p DESC LIMIT 1"},
 		{"index_join", "SELECT COUNT(*) FROM candidates c INNER JOIN temporal_inputs ti ON ti.time = c.time"},
@@ -158,6 +189,7 @@ func TestPlanCountersAdvance(t *testing.T) {
 		{"nested_loop_join", "SELECT COUNT(*) FROM temporal_inputs a INNER JOIN temporal_inputs b ON a.time < b.time"},
 	}
 	for _, c := range checks {
+		db := explainFixture(t)
 		before := PlanCounters()[c.key]
 		if _, err := db.Query(c.sql); err != nil {
 			t.Fatalf("%s: %v", c.sql, err)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // tableIndex is a secondary index over one or more columns: a hash table
@@ -40,6 +41,12 @@ type tableIndex struct {
 	// order can represent, so the index disables itself and scans keep
 	// parity.
 	nan bool
+
+	// stats is the distribution snapshot the cost model reads (see
+	// stats.go). It is published atomically because readers cost paths
+	// before taking ix.mu, and because restored snapshot stats must be
+	// readable without triggering a build.
+	stats atomic.Pointer[indexStats]
 }
 
 // indexKey normalizes a value for hash lookups so that values that compare
@@ -157,6 +164,17 @@ func (ix *tableIndex) ensure(t *Table) error {
 	ix.nullRows = nullRows
 	ix.nan = nan
 	ix.built = t.version
+	// The sorted distinct tuples and their buckets are exactly what the
+	// statistics need; derive them here for free. Only the FIRST derivation
+	// bumps the stats epoch (plans chosen blind must re-cost); later
+	// rebuilds refresh the numbers silently — estimates always read the
+	// current stats, and retiring cached plans on bounded drift is the
+	// mutation hooks' job (see DB.noteDriftLocked).
+	first := ix.stats.Load() == nil
+	ix.stats.Store(deriveIndexStats(len(ix.cols), sortedKeys, sortedRows, len(nullRows)))
+	if first && t.epochRef != nil {
+		t.epochRef.Add(1)
+	}
 	return nil
 }
 

@@ -51,7 +51,7 @@ func TestDifferentialPagedParity(t *testing.T) {
 		}
 		var qs []q
 		for i := 0; i < 12; i++ {
-			sql, args, _ := buildDiffQuery(r, tables)
+			sql, args := buildDiffQuery(r, tables)
 			want, err := db.Query(sql, args...)
 			qs = append(qs, q{sql, args, want, err != nil})
 		}
@@ -245,7 +245,7 @@ func TestPagedConcurrentReads(t *testing.T) {
 	}
 	var qs []q
 	for len(qs) < 6 {
-		sql, args, _ := buildDiffQuery(r, tables)
+		sql, args := buildDiffQuery(r, tables)
 		res, err := db.Query(sql, args...)
 		if err != nil {
 			continue

@@ -173,6 +173,13 @@ func Open(dir string, opts Options) (*sqldb.DB, *Store, error) {
 			return fail(fmt.Errorf("persist: restoring index %q: %w", ix.Name, err))
 		}
 	}
+	// Planner statistics ride the snapshot so a rehydrated session costs its
+	// first plans with real estimates — without rebuilding any index, which
+	// on a pool-attached paged table would fault in every row. Best-effort:
+	// a mismatching record (schema changed under an old snapshot) is skipped.
+	for _, sd := range dump.Stats {
+		db.RestoreIndexStats(sd)
+	}
 	st, err := attach(dir, db, epoch, opts)
 	if err != nil {
 		return fail(err)

@@ -24,9 +24,11 @@ import (
 
 // colSarg accumulates the index-usable constraints on one column of the
 // scan table: at most one equality probe (first wins; later equalities stay
-// residual) and the tightest lower/upper bounds.
+// residual), at most one IN list (likewise), and the tightest lower/upper
+// bounds.
 type colSarg struct {
 	eq       *Value
+	in       []Value // IN-list probes: deduplicated, non-NULL; first list wins
 	lo, hi   *Value
 	loStrict bool
 	hiStrict bool
@@ -65,12 +67,14 @@ type sargSet struct {
 }
 
 // sarg is one index-usable WHERE conjunct in raw form: column op constant,
-// with the constant already evaluated (op "between" carries both bounds).
+// with the constant already evaluated (op "between" carries both bounds, op
+// "in" carries the member list).
 type sarg struct {
-	ci int
-	op string
-	v  Value
-	hi Value
+	ci   int
+	op   string
+	v    Value
+	hi   Value
+	list []Value
 }
 
 // collectSargs extracts the sargable conjuncts of sel.Where that touch an
@@ -78,16 +82,56 @@ type sarg struct {
 // (an incomparable probe must surface its type error exactly as the scan
 // path would).
 func (ex *executor) collectSargs(t *Table, rel relation, sel *SelectStmt, parent *scope) (sargSet, bool) {
-	set := sargSet{byCol: make(map[int]*colSarg)}
-	indexed := t.indexedCols()
 	var conjs []Expr
 	collectConjuncts(sel.Where, &conjs)
+	return ex.collectSargsFrom(t, rel, sel, parent, conjs)
+}
+
+// collectSargsFrom is collectSargs over an explicit conjunct list, so
+// OR-expansion can collect per-disjunct sargs with the same rules.
+func (ex *executor) collectSargsFrom(t *Table, rel relation, sel *SelectStmt, parent *scope, conjs []Expr) (sargSet, bool) {
+	set := sargSet{byCol: make(map[int]*colSarg)}
+	indexed := t.indexedCols()
 	for _, c := range conjs {
 		sg, ok := ex.sargable(c, t, rel, sel, parent)
 		if !ok || !indexed[sg.ci] {
 			continue // stays residual
 		}
 		colType := t.Cols[sg.ci].Type
+		if sg.op == "in" {
+			// NULL members never match and drop out (a list of only NULLs
+			// matches nothing); members are deduplicated by index key so the
+			// per-member position sets of a multi-probe stay disjoint.
+			var vals []Value
+			seen := make(map[string]bool, len(sg.list))
+			for _, v := range sg.list {
+				if v.IsNull() {
+					continue
+				}
+				if !comparableWith(colType, v) {
+					return sargSet{}, false
+				}
+				k, _ := indexKey(v)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				vals = append(vals, v)
+			}
+			if len(vals) == 0 {
+				set.empty = true
+				continue
+			}
+			cs := set.byCol[sg.ci]
+			if cs == nil {
+				cs = &colSarg{}
+				set.byCol[sg.ci] = cs
+			}
+			if cs.in == nil {
+				cs.in = vals
+			}
+			continue
+		}
 		if sg.v.IsNull() || (sg.op == "between" && sg.hi.IsNull()) {
 			set.empty = true
 			continue
@@ -152,6 +196,26 @@ func (ex *executor) sargable(c Expr, t *Table, rel relation, sel *SelectStmt, pa
 			}
 			return sarg{ci: ci, op: flipCmp(n.Op), v: v}, true
 		}
+	case *InExpr:
+		if n.Not || n.Sub != nil {
+			return sarg{}, false
+		}
+		ci, ok := ex.sargColumn(n.E, t, rel, sel)
+		if !ok {
+			return sarg{}, false
+		}
+		vals := make([]Value, 0, len(n.List))
+		for _, item := range n.List {
+			if !ex.outerConst(item, sel) {
+				return sarg{}, false
+			}
+			v, err := ex.eval(item, parent)
+			if err != nil {
+				return sarg{}, false
+			}
+			vals = append(vals, v)
+		}
+		return sarg{ci: ci, op: "in", list: vals}, true
 	case *BetweenExpr:
 		if n.Not {
 			return sarg{}, false
@@ -283,17 +347,19 @@ func (ex *executor) outerConst(e Expr, sel *SelectStmt) bool {
 }
 
 // accessPath is one usable way to probe one index: equality on a leading
-// prefix of its columns, optionally followed by a range on the next column.
+// prefix of its columns, optionally followed by an IN multi-probe or a range
+// on the next column (mutually exclusive, both terminal).
 type accessPath struct {
 	ix  *tableIndex
 	eq  []Value  // probes for ix.cols[:len(eq)]
+	in  []Value  // multi-probe members for ix.cols[len(eq)]
 	rng *colSarg // optional bounds on ix.cols[len(eq)]
 }
 
 // usedCols is the number of leading index columns the path constrains.
 func (p accessPath) usedCols() int {
 	n := len(p.eq)
-	if p.rng != nil {
+	if len(p.in) > 0 || p.rng != nil {
 		n++
 	}
 	return n
@@ -304,22 +370,26 @@ func (p accessPath) coveredCols() []int {
 	return p.ix.cols[:p.usedCols()]
 }
 
-// describe renders the path for EXPLAIN: eq columns as "col=", the range
-// column as "col range".
+// describe renders the path for EXPLAIN: eq columns as "col=", an IN
+// multi-probe as "col in(n)", the range column as "col range".
 func (p accessPath) describe(t *Table) string {
 	parts := make([]string, 0, p.usedCols())
 	for i := range p.eq {
 		parts = append(parts, t.Cols[p.ix.cols[i]].Name+"=")
 	}
-	if p.rng != nil {
+	switch {
+	case len(p.in) > 0:
+		parts = append(parts, fmt.Sprintf("%s in(%d)", t.Cols[p.ix.cols[len(p.eq)]].Name, len(p.in)))
+	case p.rng != nil:
 		parts = append(parts, t.Cols[p.ix.cols[len(p.eq)]].Name+" range")
 	}
 	return fmt.Sprintf("%s (%s)", p.ix.name, strings.Join(parts, ", "))
 }
 
 // buildPaths derives every usable access path from the table's indexes and
-// the collected sargs: the longest equality prefix of each index, plus a
-// range on the following column when bounds exist.
+// the collected sargs: the longest equality prefix of each index, plus an IN
+// multi-probe or a range on the following column when one exists (IN wins —
+// it probes exact keys where a range walks between bounds).
 func buildPaths(t *Table, set sargSet) []accessPath {
 	var out []accessPath
 	for _, ix := range t.indexes {
@@ -331,47 +401,170 @@ func buildPaths(t *Table, set sargSet) []accessPath {
 			}
 			eq = append(eq, *cs.eq)
 		}
+		var in []Value
 		var rng *colSarg
 		if len(eq) < len(ix.cols) {
-			if cs := set.byCol[ix.cols[len(eq)]]; cs != nil && cs.hasRange() {
-				rng = cs
+			if cs := set.byCol[ix.cols[len(eq)]]; cs != nil {
+				switch {
+				case len(cs.in) > 0:
+					in = cs.in
+				case cs.hasRange():
+					rng = cs
+				}
 			}
 		}
-		if len(eq) == 0 && rng == nil {
+		if len(eq) == 0 && in == nil && rng == nil {
 			continue
 		}
-		out = append(out, accessPath{ix: ix, eq: eq, rng: rng})
+		out = append(out, accessPath{ix: ix, eq: eq, in: in, rng: rng})
 	}
 	return out
 }
 
-// choosePaths orders the candidate paths by estimated selectivity —
-// most constrained columns first, equality beating range, narrower indexes
-// beating wider ones, name as the deterministic tiebreak — then keeps the
-// best path plus any path that constrains a column no kept path covers
-// (intersecting a redundant path would cost lookups without pruning rows).
-func choosePaths(paths []accessPath) []accessPath {
-	if len(paths) == 0 {
-		return nil
+// pathEstimate estimates the candidate rows one path yields, from the
+// index's statistics: an equality prefix divides rows by the prefix NDV, an
+// IN list multiplies one deeper prefix's share by its member count, a range
+// on the leading column reads the histogram, a range on a later column
+// applies a fixed selectivity. Unconstrained trailing columns re-admit the
+// index's NULL rows (as pathPositions does). The estimate is clamped to
+// [1, rows+nullRows]; ok=false when no statistics have been derived yet.
+func pathEstimate(p accessPath) (float64, bool) {
+	s := p.ix.stats.Load()
+	if s == nil {
+		return 0, false
 	}
-	sort.Slice(paths, func(a, b int) bool {
-		pa, pb := paths[a], paths[b]
+	rows := float64(s.rows)
+	est := rows
+	k := len(p.eq)
+	if k > 0 && s.prefixNDV[k-1] > 0 {
+		est = rows / float64(s.prefixNDV[k-1])
+	}
+	switch {
+	case len(p.in) > 0:
+		if ndv := s.prefixNDV[k]; ndv > 0 {
+			est = float64(len(p.in)) * rows / float64(ndv)
+		}
+	case p.rng != nil:
+		if k == 0 {
+			est = s.rangeRows(p.rng.lo, p.rng.hi, p.rng.loStrict, p.rng.hiStrict)
+		} else {
+			est *= defaultRangeSelectivity
+		}
+	}
+	if p.usedCols() < len(p.ix.cols) {
+		est += float64(s.nullRows)
+	}
+	if est < 1 {
+		est = 1
+	}
+	if max := rows + float64(s.nullRows); est > max {
+		est = max
+	}
+	return est, true
+}
+
+// combinedEstimate is the estimated candidate count of a (possibly
+// intersected) plan under the independence assumption, for the EXPLAIN
+// est_rows note. ok=false when any path lacks statistics.
+func combinedEstimate(paths []accessPath, tableRows int) (float64, bool) {
+	est := -1.0
+	for _, p := range paths {
+		e, ok := pathEstimate(p)
+		if !ok {
+			return 0, false
+		}
+		if est < 0 {
+			est = e
+		} else if tableRows > 0 {
+			est *= e / float64(tableRows)
+		}
+	}
+	if est < 0 {
+		return 0, false
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est, true
+}
+
+// choosePaths picks which candidate paths to execute. With statistics on
+// every candidate (and costing enabled) the order is by estimated rows,
+// cheapest first, and an extra path joins the intersection only when its
+// pruning pays for its lookups; without statistics the structural order
+// applies — most constrained columns first, equality beating range,
+// covering beating non-covering, narrower indexes beating wider ones, name
+// as the deterministic tiebreak — and any path constraining a new column
+// joins the intersection. The second result reports whether the chosen plan
+// is a covering scan: a single path whose index holds every column the
+// statement reads (see coveringRefs) — an intersection already touches
+// several indexes, so covering only applies to one-path plans.
+func (ex *executor) choosePaths(t *Table, paths []accessPath, coverCols map[int]bool, coverOK bool) ([]accessPath, bool) {
+	if len(paths) == 0 {
+		return nil, false
+	}
+	costing := !ex.db.DisableStatsCosting
+	type cand struct {
+		p      accessPath
+		est    float64
+		hasEst bool
+		cover  bool
+	}
+	cands := make([]cand, len(paths))
+	allEst := costing
+	for i, p := range paths {
+		c := cand{p: p}
+		c.est, c.hasEst = pathEstimate(p)
+		if !c.hasEst {
+			allEst = false
+		}
+		if coverOK && costing {
+			c.cover = true
+			for ci := range coverCols {
+				found := false
+				for _, ic := range p.ix.cols {
+					if ic == ci {
+						found = true
+						break
+					}
+				}
+				if !found {
+					c.cover = false
+					break
+				}
+			}
+		}
+		cands[i] = c
+	}
+	structuralLess := func(a, b cand) bool {
+		pa, pb := a.p, b.p
 		if pa.usedCols() != pb.usedCols() {
 			return pa.usedCols() > pb.usedCols()
 		}
 		if len(pa.eq) != len(pb.eq) {
 			return len(pa.eq) > len(pb.eq)
 		}
+		if a.cover != b.cover {
+			return a.cover
+		}
 		if len(pa.ix.cols) != len(pb.ix.cols) {
 			return len(pa.ix.cols) < len(pb.ix.cols)
 		}
 		return pa.ix.name < pb.ix.name
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if allEst && cands[i].est != cands[j].est {
+			return cands[i].est < cands[j].est
+		}
+		return structuralLess(cands[i], cands[j])
 	})
+	tableRows := float64(t.store.Len())
 	covered := make(map[int]bool)
-	var chosen []accessPath
-	for _, p := range paths {
+	var chosen []cand
+	curEst := 0.0
+	for _, c := range cands {
 		adds := false
-		for _, ci := range p.coveredCols() {
+		for _, ci := range c.p.coveredCols() {
 			if !covered[ci] {
 				adds = true
 			}
@@ -379,12 +572,31 @@ func choosePaths(paths []accessPath) []accessPath {
 		if !adds {
 			continue
 		}
-		for _, ci := range p.coveredCols() {
+		if len(chosen) > 0 && allEst {
+			// Intersecting costs ~est lookups and prunes the current
+			// candidate set by (1 - est/tableRows) under independence; skip
+			// paths whose pruning cannot pay for their lookups.
+			sel := 1.0
+			if tableRows > 0 {
+				sel = c.est / tableRows
+			}
+			if curEst*(1-sel) <= c.est {
+				continue
+			}
+			curEst *= sel
+		} else {
+			curEst = c.est
+		}
+		chosen = append(chosen, c)
+		for _, ci := range c.p.coveredCols() {
 			covered[ci] = true
 		}
-		chosen = append(chosen, p)
 	}
-	return chosen
+	out := make([]accessPath, len(chosen))
+	for i, c := range chosen {
+		out[i] = c.p
+	}
+	return out, len(chosen) == 1 && chosen[0].cover
 }
 
 // pathPositions computes the candidate row positions of one path. When the
@@ -394,9 +606,24 @@ func choosePaths(paths []accessPath) []accessPath {
 // The result is a superset of the rows the full WHERE keeps.
 func pathPositions(p accessPath) []int {
 	var pos []int
-	if p.rng == nil && len(p.eq) == len(p.ix.cols) {
+	switch {
+	case len(p.in) > 0:
+		// Multi-probe: one lookup per IN member. Members are deduplicated at
+		// collection, so the per-member position sets are disjoint.
+		probe := make([]Value, len(p.eq)+1)
+		copy(probe, p.eq)
+		full := len(p.eq)+1 == len(p.ix.cols)
+		for _, v := range p.in {
+			probe[len(p.eq)] = v
+			if full {
+				pos = append(pos, p.ix.lookupEqual(probe)...)
+			} else {
+				pos = append(pos, p.ix.lookupPrefixRange(probe, nil, nil, false, false)...)
+			}
+		}
+	case p.rng == nil && len(p.eq) == len(p.ix.cols):
 		pos = p.ix.lookupEqual(p.eq) // shared with the index — read only
-	} else {
+	default:
 		var lo, hi *Value
 		var loS, hiS bool
 		if p.rng != nil {
@@ -436,10 +663,14 @@ func intersectPositions(sets [][]int) []int {
 
 // indexScan tries to answer the sargable WHERE conjuncts on the first FROM
 // table through its secondary indexes: a single (possibly composite) index
-// scan, or the intersection of several paths' row-id sets. It returns the
-// filtered rows (a superset of the rows the full WHERE will keep — the
-// residual WHERE still runs over every returned row) and whether an index
-// was used. See the error-parity contract at the top of this file.
+// scan — covering when the index holds every column the statement reads —
+// the intersection of several paths' row-id sets, or a union of
+// per-disjunct paths for a top-level OR. Prepared statements memoize the
+// chosen path template per DB, stamped with (schema version, stats epoch);
+// see plancache.go. It returns the filtered rows (a superset of the rows
+// the full WHERE will keep — the residual WHERE still runs over every
+// returned row) and whether an index was used. See the error-parity
+// contract at the top of this file.
 func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *scope) ([][]Value, bool, error) {
 	if t == nil || len(t.indexes) == 0 {
 		return nil, false, nil
@@ -448,44 +679,96 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 	if !ok {
 		return nil, false, nil
 	}
-	paths := choosePaths(buildPaths(t, set))
-	if len(paths) == 0 && !set.empty {
-		return nil, false, nil
-	}
-	var pos []int
-	if !set.empty {
-		sets := make([][]int, len(paths))
-		for i, p := range paths {
-			if err := p.ix.ensure(t); err != nil {
-				return nil, false, err
-			}
-			if p.ix.nan {
-				return nil, false, nil // NaN in an indexed column: only a scan has parity
-			}
-			sets[i] = pathPositions(p)
-		}
-		pos = intersectPositions(sets)
-	}
-	switch {
-	case set.empty:
+	if set.empty {
+		// A NULL probe is AND-ed into WHERE, so no row can survive whatever
+		// the paths; skip path choice but keep the sentinel-row contract.
 		planCounts.emptyProbe.Add(1)
 		ex.note("scan %s using impossible predicate (NULL probe)", rel.alias)
+		return ex.sentinelRows(t)
+	}
+	db := ex.db
+	schemaV, statsE := db.schemaVersion.Load(), db.statsEpoch.Load()
+	var paths []accessPath
+	covering, cached := false, false
+	if cp := db.plans.get(sel); cp != nil {
+		if cp.schemaVersion == schemaV && cp.statsEpoch == statsE {
+			if ps, ok := cp.instantiate(set); ok && !cp.full {
+				paths, covering, cached = ps, cp.covering, true
+				planCacheCounts.hits.Add(1)
+			}
+		} else {
+			db.plans.drop(sel)
+			planCacheCounts.invalidations.Add(1)
+		}
+	}
+	if !cached {
+		planCacheCounts.misses.Add(1)
+		built := buildPaths(t, set)
+		if len(built) == 0 {
+			if !db.DisableStatsCosting {
+				// No conjunct is sargable on its own; a top-level OR whose
+				// disjuncts all are can still avoid the full scan.
+				return ex.orUnionScan(t, rel, sel, parent)
+			}
+			return nil, false, nil
+		}
+		var coverCols map[int]bool
+		coverOK := false
+		if !db.DisableStatsCosting {
+			coverCols, coverOK = ex.coveringRefs(sel, t, rel)
+		}
+		paths, covering = ex.choosePaths(t, built, coverCols, coverOK)
+		db.plans.put(sel, planTemplateOf(schemaV, statsE, paths, covering))
+	}
+	// Estimate before ensure: the note must reflect the statistics the plan
+	// was chosen under, not the ones this execution's index builds derive.
+	suffix := ""
+	if !db.DisableStatsCosting {
+		if e, ok := combinedEstimate(paths, t.store.Len()); ok {
+			suffix = fmt.Sprintf(" est_rows=%d", int64(e+0.5))
+		}
+	}
+	if cached {
+		suffix += " (cached)"
+	}
+	sets := make([][]int, len(paths))
+	for i, p := range paths {
+		if err := p.ix.ensure(t); err != nil {
+			return nil, false, err
+		}
+		if p.ix.nan {
+			return nil, false, nil // NaN in an indexed column: only a scan has parity
+		}
+		sets[i] = pathPositions(p)
+	}
+	pos := intersectPositions(sets)
+	switch {
+	case covering && len(paths) == 1:
+		planCounts.coveringScan.Add(1)
+		ex.note("scan %s using covering index %s%s", rel.alias, paths[0].describe(t), suffix)
 	case len(paths) == 1:
 		planCounts.indexScan.Add(1)
-		ex.note("scan %s using index %s", rel.alias, paths[0].describe(t))
+		ex.note("scan %s using index %s%s", rel.alias, paths[0].describe(t), suffix)
 	default:
 		planCounts.indexIntersect.Add(1)
 		descs := make([]string, len(paths))
 		for i, p := range paths {
 			descs[i] = p.describe(t)
 		}
-		ex.note("scan %s using index intersection of %s", rel.alias, strings.Join(descs, " and "))
+		ex.note("scan %s using index intersection of %s%s", rel.alias, strings.Join(descs, " and "), suffix)
 	}
 	if len(pos) == 0 && t.store.Len() > 0 {
 		// Keep one sentinel row: the sargable conjuncts are not TRUE on it,
 		// so the residual WHERE drops it — but row-independent errors in
 		// other conjuncts still surface (see the error-parity contract).
 		pos = []int{0}
+	}
+	if covering && len(paths) == 1 {
+		rows, err := coveringRows(t, paths[0], pos)
+		if err != nil {
+			return nil, false, err
+		}
+		return rows, true, nil
 	}
 	rows := make([][]Value, len(pos))
 	for i, p := range pos {
@@ -496,6 +779,328 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 		rows[i] = row
 	}
 	return rows, true, nil
+}
+
+// sentinelRows implements the empty-plan half of the error-parity contract:
+// a non-empty table keeps row 0 (the residual WHERE drops it, but
+// row-independent errors in other conjuncts still surface).
+func (ex *executor) sentinelRows(t *Table) ([][]Value, bool, error) {
+	if t.store.Len() == 0 {
+		return [][]Value{}, true, nil
+	}
+	row, err := t.store.Get(0)
+	if err != nil {
+		return nil, false, err
+	}
+	return [][]Value{row}, true, nil
+}
+
+// orUnionScan expands a top-level OR conjunct into a deduplicated union of
+// per-disjunct index paths; the full WHERE stays residual over the union,
+// so rows admitted by one disjunct's path are still checked against the
+// whole predicate. Every disjunct must independently yield a path (a
+// disjunct only a full scan can answer makes the union pointless), a NULL
+// probe disjunct contributes no rows, and incomparable probes or NaN force
+// the full-scan parity fallback. Union plans are re-derived per execution
+// rather than cached — the per-disjunct sarg collection is the expensive
+// part and it cannot be skipped anyway.
+func (ex *executor) orUnionScan(t *Table, rel relation, sel *SelectStmt, parent *scope) ([][]Value, bool, error) {
+	var conjs []Expr
+	collectConjuncts(sel.Where, &conjs)
+	for _, conj := range conjs {
+		be, ok := conj.(*BinaryExpr)
+		if !ok || be.Op != "OR" {
+			continue
+		}
+		var disjs []Expr
+		collectDisjuncts(conj, &disjs)
+		var paths []accessPath
+		usable := true
+		for _, d := range disjs {
+			var dc []Expr
+			collectConjuncts(d, &dc)
+			dset, ok := ex.collectSargsFrom(t, rel, sel, parent, dc)
+			if !ok {
+				usable = false
+				break
+			}
+			if dset.empty {
+				continue // a NULL-probe disjunct can match nothing
+			}
+			built := buildPaths(t, dset)
+			if len(built) == 0 {
+				usable = false
+				break
+			}
+			chosen, _ := ex.choosePaths(t, built, nil, false)
+			paths = append(paths, chosen[0])
+		}
+		if !usable {
+			continue // another OR conjunct may still be expandable
+		}
+		seen := make(map[int]bool)
+		var pos []int
+		for _, p := range paths {
+			if err := p.ix.ensure(t); err != nil {
+				return nil, false, err
+			}
+			if p.ix.nan {
+				return nil, false, nil
+			}
+			for _, ri := range pathPositions(p) {
+				if !seen[ri] {
+					seen[ri] = true
+					pos = append(pos, ri)
+				}
+			}
+		}
+		sort.Ints(pos)
+		if len(paths) == 0 {
+			// Every disjunct was a NULL probe: the conjunct is never TRUE.
+			planCounts.emptyProbe.Add(1)
+			ex.note("scan %s using impossible predicate (NULL probe)", rel.alias)
+		} else {
+			planCounts.indexUnion.Add(1)
+			descs := make([]string, len(paths))
+			for i, p := range paths {
+				descs[i] = p.describe(t)
+			}
+			ex.note("scan %s using index union of %s", rel.alias, strings.Join(descs, " and "))
+		}
+		if len(pos) == 0 && t.store.Len() > 0 {
+			pos = []int{0} // sentinel row, as above
+		}
+		rows := make([][]Value, len(pos))
+		for i, ri := range pos {
+			row, err := t.store.Get(ri)
+			if err != nil {
+				return nil, false, err
+			}
+			rows[i] = row
+		}
+		return rows, true, nil
+	}
+	return nil, false, nil
+}
+
+// collectDisjuncts flattens an expression over OR into its disjuncts.
+func collectDisjuncts(e Expr, out *[]Expr) {
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "OR" {
+		collectDisjuncts(be.L, out)
+		collectDisjuncts(be.R, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// coveringRefs gathers the scan-table columns the statement reads, when the
+// query shape permits answering from index key tuples alone: one stored
+// FROM table, no star projection, and no subquery anywhere in the
+// statement's expressions (a subquery's scan reads whatever it likes).
+// ok=false means covering can never apply to this statement.
+func (ex *executor) coveringRefs(sel *SelectStmt, t *Table, rel relation) (map[int]bool, bool) {
+	if len(sel.From) != 1 {
+		return nil, false
+	}
+	refs := make(map[int]bool)
+	sub := false
+	visit := func(cr *ColumnRef) {
+		if cr.Table != "" && cr.Table != rel.alias {
+			return // an enclosing scope's relation
+		}
+		if ci, ok := t.colIdx[cr.Column]; ok {
+			refs[ci] = true
+		}
+		// Unknown names resolve to select aliases, enclosing scopes, or an
+		// error — none of which read this table's rows.
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, false
+		}
+		walkColumnRefs(item.Expr, visit, &sub)
+	}
+	walkColumnRefs(sel.Where, visit, &sub)
+	for _, g := range sel.GroupBy {
+		walkColumnRefs(g, visit, &sub)
+	}
+	walkColumnRefs(sel.Having, visit, &sub)
+	for _, o := range sel.OrderBy {
+		walkColumnRefs(o.Expr, visit, &sub)
+	}
+	if sub {
+		return nil, false
+	}
+	return refs, true
+}
+
+// walkColumnRefs visits every ColumnRef under e; *sub is set when a node
+// that can execute a subquery (or an unrecognized node) is found, which
+// makes covering analysis bail.
+func walkColumnRefs(e Expr, visit func(*ColumnRef), sub *bool) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *ColumnRef:
+		visit(n)
+	case *Literal, *ParamExpr:
+	case *UnaryExpr:
+		walkColumnRefs(n.E, visit, sub)
+	case *BinaryExpr:
+		if n.Sub != nil {
+			*sub = true
+			return
+		}
+		walkColumnRefs(n.L, visit, sub)
+		walkColumnRefs(n.R, visit, sub)
+	case *FuncCall:
+		for _, a := range n.Args {
+			walkColumnRefs(a, visit, sub)
+		}
+	case *IsNullExpr:
+		walkColumnRefs(n.E, visit, sub)
+	case *InExpr:
+		if n.Sub != nil {
+			*sub = true
+			return
+		}
+		walkColumnRefs(n.E, visit, sub)
+		for _, item := range n.List {
+			walkColumnRefs(item, visit, sub)
+		}
+	case *BetweenExpr:
+		walkColumnRefs(n.E, visit, sub)
+		walkColumnRefs(n.Lo, visit, sub)
+		walkColumnRefs(n.Hi, visit, sub)
+	case *LikeExpr:
+		walkColumnRefs(n.E, visit, sub)
+		walkColumnRefs(n.Pattern, visit, sub)
+	case *CaseExpr:
+		walkColumnRefs(n.Operand, visit, sub)
+		for _, w := range n.Whens {
+			walkColumnRefs(w.Cond, visit, sub)
+			walkColumnRefs(w.Then, visit, sub)
+		}
+		walkColumnRefs(n.Else, visit, sub)
+	default:
+		*sub = true // ExistsExpr, SubqueryExpr, future node kinds
+	}
+}
+
+// coveringFullScan answers a statement whose referenced columns all live in
+// one index straight from its key structures, when no access path applies
+// (including statements with no WHERE at all): the covering analog of the
+// full scan. Every position is returned; WHERE, if any, stays residual.
+// On paged tables this touches zero row pages.
+func (ex *executor) coveringFullScan(t *Table, rel relation, sel *SelectStmt) ([][]Value, bool, error) {
+	if t == nil || len(t.indexes) == 0 || ex.db.DisableIndexScan || ex.db.DisableStatsCosting {
+		return nil, false, nil
+	}
+	refs, ok := ex.coveringRefs(sel, t, rel)
+	if !ok {
+		return nil, false, nil
+	}
+	var best *tableIndex
+	for _, ix := range t.indexes {
+		all := true
+		for ci := range refs {
+			found := false
+			for _, ic := range ix.cols {
+				if ic == ci {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all && (best == nil || len(ix.cols) < len(best.cols)) {
+			best = ix // fewest columns: fewest store.Get fallbacks for NULL rows
+		}
+	}
+	if best == nil {
+		return nil, false, nil
+	}
+	if err := best.ensure(t); err != nil {
+		return nil, false, err
+	}
+	if best.nan {
+		return nil, false, nil
+	}
+	pos := make([]int, t.store.Len())
+	for i := range pos {
+		pos[i] = i
+	}
+	rows, err := coveringRows(t, accessPath{ix: best}, pos)
+	if err != nil {
+		return nil, false, err
+	}
+	planCounts.coveringScan.Add(1)
+	ex.note("scan %s using covering index %s", rel.alias, best.name)
+	return rows, true, nil
+}
+
+// coveringRows synthesizes result rows for the chosen positions straight
+// from the index key tuples — no row materialization, so zero page faults
+// on paged tables. Columns the index does not cover are never read (the
+// covering gate guarantees it) and stay NULL. Rows the key structures
+// exclude are the exceptions: a single-column index's NULL rows synthesize
+// as all-NULL (the one referenced column IS NULL there), while composite
+// NULL rows and the sentinel row materialize through the store.
+func coveringRows(t *Table, p accessPath, pos []int) ([][]Value, error) {
+	ix := p.ix
+	tup := make(map[int][]Value, len(pos))
+	addRange := func(start, end int) {
+		for ki := start; ki < end; ki++ {
+			for _, ri := range ix.keyRows[ki] {
+				tup[ri] = ix.keys[ki]
+			}
+		}
+	}
+	if len(p.in) > 0 {
+		probe := make([]Value, len(p.eq)+1)
+		copy(probe, p.eq)
+		for _, v := range p.in {
+			probe[len(p.eq)] = v
+			s, e := ix.prefixRange(probe, nil, nil, false, false)
+			addRange(s, e)
+		}
+	} else {
+		var lo, hi *Value
+		var loS, hiS bool
+		if p.rng != nil {
+			lo, hi, loS, hiS = p.rng.lo, p.rng.hi, p.rng.loStrict, p.rng.hiStrict
+		}
+		s, e := ix.prefixRange(p.eq, lo, hi, loS, hiS)
+		addRange(s, e)
+	}
+	nulls := make(map[int]bool, len(ix.nullRows))
+	for _, ri := range ix.nullRows {
+		nulls[ri] = true
+	}
+	rows := make([][]Value, len(pos))
+	for i, ri := range pos {
+		if kt, ok := tup[ri]; ok {
+			row := make([]Value, len(t.Cols))
+			for j, ci := range ix.cols {
+				row[ci] = kt[j]
+			}
+			rows[i] = row
+			continue
+		}
+		if nulls[ri] && len(ix.cols) == 1 {
+			rows[i] = make([]Value, len(t.Cols)) // the zero Value is NULL
+			continue
+		}
+		row, err := t.store.Get(ri)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
 }
 
 // collectConjuncts flattens a WHERE tree over AND into its conjuncts.

@@ -1,0 +1,201 @@
+package sqldb
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// statsFixture is a 1000-row table with a skewed low-cardinality column, a
+// unique column and a column carrying NULLs — enough shape to exercise NDV
+// counting, histogram packing and NULL exclusion.
+func statsFixture(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec("CREATE TABLE t (a INT, b FLOAT, c TEXT)")
+	rows := make([][]Value, 1000)
+	for i := range rows {
+		c := Text("x")
+		if i%4 == 0 {
+			c = Null()
+		}
+		rows[i] = []Value{Int(int64(i % 10)), Float(float64(i)), c}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE INDEX t_a ON t (a)")
+	db.MustExec("CREATE INDEX t_a_b ON t (a, b)")
+	db.MustExec("CREATE INDEX t_c ON t (c)")
+	return db
+}
+
+func TestAnalyzeBuildsStats(t *testing.T) {
+	db := statsFixture(t)
+	if s := db.IndexStats("t", "t_a"); s != nil {
+		t.Fatalf("stats exist before any index build or ANALYZE: %+v", s)
+	}
+	epoch := db.StatsEpoch()
+	if _, err := db.Exec("ANALYZE t"); err != nil {
+		t.Fatal(err)
+	}
+	if db.StatsEpoch() <= epoch {
+		t.Fatal("ANALYZE did not bump the stats epoch")
+	}
+
+	s := db.IndexStats("t", "t_a")
+	if s == nil {
+		t.Fatal("no stats for t_a after ANALYZE")
+	}
+	if s.Rows != 1000 || s.NullRows != 0 {
+		t.Errorf("t_a rows/nullRows = %d/%d, want 1000/0", s.Rows, s.NullRows)
+	}
+	if !reflect.DeepEqual(s.PrefixNDV, []int{10}) {
+		t.Errorf("t_a prefix NDV = %v, want [10]", s.PrefixNDV)
+	}
+	// Equi-depth invariants: cumulative counts strictly increase to the row
+	// total and bucket uppers strictly increase (runs of one value are never
+	// split across buckets, so each upper appears once).
+	if len(s.HistCum) == 0 || s.HistCum[len(s.HistCum)-1] != 1000 {
+		t.Errorf("t_a histogram does not accumulate to 1000: %v", s.HistCum)
+	}
+	for i := 1; i < len(s.HistUppers); i++ {
+		if c, err := Compare(s.HistUppers[i-1], s.HistUppers[i]); err != nil || c >= 0 {
+			t.Errorf("t_a histogram uppers not strictly increasing at %d: %v", i, s.HistUppers)
+		}
+		if s.HistCum[i] <= s.HistCum[i-1] {
+			t.Errorf("t_a histogram cum not strictly increasing at %d: %v", i, s.HistCum)
+		}
+	}
+
+	if s := db.IndexStats("t", "t_a_b"); !reflect.DeepEqual(s.PrefixNDV, []int{10, 1000}) {
+		t.Errorf("t_a_b prefix NDV = %v, want [10 1000]", s.PrefixNDV)
+	}
+	if s := db.IndexStats("t", "t_c"); s.Rows != 750 || s.NullRows != 250 {
+		t.Errorf("t_c rows/nullRows = %d/%d, want 750/250 (NULLs excluded)", s.Rows, s.NullRows)
+	}
+}
+
+func TestAnalyzeUnknownTable(t *testing.T) {
+	db := statsFixture(t)
+	if _, err := db.Exec("ANALYZE nope"); err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("ANALYZE nope: got %v, want unknown-table error", err)
+	}
+}
+
+// TestAnalyzeNotLogged pins the WAL contract: ANALYZE mutates no rows and
+// must not be replayed on rehydration (the statistics ride the snapshot
+// instead), while genuine mutations keep logging.
+func TestAnalyzeNotLogged(t *testing.T) {
+	db := statsFixture(t)
+	log := &recordingLogger{}
+	db.SetLogger(log)
+	if _, err := db.Exec("ANALYZE t"); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.events) != 0 {
+		t.Fatalf("ANALYZE was WAL-logged: %v", log.events)
+	}
+	if _, err := db.Exec("UPDATE t SET b = b WHERE a = -1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.events) != 1 {
+		t.Fatalf("UPDATE logged %d records, want 1", len(log.events))
+	}
+}
+
+// TestStatsDriftBumpsEpoch pins the drift threshold: after ANALYZE of 1000
+// rows the threshold is max(32, 1000/5) = 200 mutated rows; 199 mutations
+// leave the epoch alone, the 200th bumps it.
+func TestStatsDriftBumpsEpoch(t *testing.T) {
+	db := statsFixture(t)
+	db.MustExec("ANALYZE t")
+	epoch := db.StatsEpoch()
+
+	rows := make([][]Value, 199)
+	for i := range rows {
+		rows[i] = []Value{Int(int64(i)), Float(0), Null()}
+	}
+	if err := db.InsertRows("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.StatsEpoch(); got != epoch {
+		t.Fatalf("epoch bumped after 199/200 drifted rows: %d -> %d", epoch, got)
+	}
+	if err := db.InsertRows("t", [][]Value{{Int(0), Float(0), Null()}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.StatsEpoch(); got != epoch+1 {
+		t.Fatalf("epoch after crossing the drift threshold = %d, want %d", got, epoch+1)
+	}
+}
+
+// TestHistogramEquiDepth checks the bucket packer directly: 10 values with
+// 100 rows each against a depth of ceil(1000/32)=32 means every run
+// overflows its own bucket, one bucket per distinct value.
+func TestHistogramEquiDepth(t *testing.T) {
+	keys := make([][]Value, 10)
+	keyRows := make([][]int, 10)
+	for i := range keys {
+		keys[i] = []Value{Int(int64(i))}
+		keyRows[i] = make([]int, 100)
+	}
+	s := deriveIndexStats(1, keys, keyRows, 0)
+	if s.rows != 1000 || len(s.hist) != 10 {
+		t.Fatalf("rows=%d buckets=%d, want 1000 rows in 10 buckets", s.rows, len(s.hist))
+	}
+	// A strict bound landing exactly on a bucket upper still assumes half
+	// the bucket below (the interpolation rule), hence 550, not 500.
+	if got := s.rowsBelow(Int(5), false); got != 550 {
+		t.Errorf("rowsBelow(5, strict) = %v, want 550", got)
+	}
+	if got := s.rowsBelow(Int(5), true); got != 600 {
+		t.Errorf("rowsBelow(5, inclusive) = %v, want 600", got)
+	}
+	if got := s.rangeRows(nil, nil, false, false); got != 1000 {
+		t.Errorf("unbounded rangeRows = %v, want 1000", got)
+	}
+}
+
+// TestStatsDumpRoundtrip checks that statistics survive Dump/NewFromDump
+// and are usable immediately — restored without triggering index builds.
+func TestStatsDumpRoundtrip(t *testing.T) {
+	db := statsFixture(t)
+	db.MustExec("ANALYZE t")
+	d := db.Dump()
+	if len(d.Stats) != 3 {
+		t.Fatalf("dump carries %d stats records, want 3", len(d.Stats))
+	}
+	db2, err := NewFromDump(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range []string{"t_a", "t_a_b", "t_c"} {
+		want := db.IndexStats("t", ix)
+		got := db2.IndexStats("t", ix)
+		if got == nil || !reflect.DeepEqual(*got, *want) {
+			t.Errorf("restored stats for %s = %+v, want %+v", ix, got, want)
+		}
+	}
+	if db2.StatsEpoch() == 0 {
+		t.Error("restore did not bump the stats epoch")
+	}
+}
+
+// TestRestoreIndexStatsShapeMismatch: a dump whose shape no longer matches
+// the index (schema changed since) is refused, not installed.
+func TestRestoreIndexStatsShapeMismatch(t *testing.T) {
+	db := statsFixture(t)
+	if db.RestoreIndexStats(IndexStatsDump{Table: "t", Index: "t_a", Rows: 5, PrefixNDV: []int{5, 5}}) {
+		t.Error("mismatched PrefixNDV arity was accepted")
+	}
+	if db.RestoreIndexStats(IndexStatsDump{Table: "t", Index: "nope", Rows: 5, PrefixNDV: []int{5}}) {
+		t.Error("unknown index was accepted")
+	}
+	if db.RestoreIndexStats(IndexStatsDump{Table: "nope", Index: "t_a", Rows: 5, PrefixNDV: []int{5}}) {
+		t.Error("unknown table was accepted")
+	}
+	if s := db.IndexStats("t", "t_a"); s != nil {
+		t.Errorf("refused restore still installed stats: %+v", s)
+	}
+}
