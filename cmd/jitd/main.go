@@ -6,7 +6,8 @@
 //	jitd [-addr :8080] [-method ki] [-eras 12] [-rows 1200] [-horizon 3] [-k 8]
 //	     [-max-sessions 1024] [-session-ttl 30m] [-max-sql-rows 10000]
 //	     [-data-dir ""] [-wal-sync always] [-shards 0] [-max-pending-creates 32]
-//	     [-buffer-pool-pages 0]
+//	     [-buffer-pool-pages 0] [-slow-request 25ms] [-trace-sample 16]
+//	     [-log-format text] [-debug-addr ""]
 //
 // Endpoints:
 //
@@ -21,6 +22,9 @@
 //	POST   /api/sessions/{id}/ask      {"kind": "...", "feature": "...", "alpha": 0.7}
 //	POST   /api/sessions/{id}/sql      {"query": "SELECT ..."} (SELECT only, row-capped)
 //	GET    /debug/vars                 expvar metrics (sessions, evictions, WAL)
+//	GET    /debug/requests             sampled recent request traces (span trees)
+//	GET    /debug/requests/slow        every request over -slow-request, with plans
+//	GET    /metrics                    Prometheus text exposition
 //
 // Sessions are held in memory under an idle TTL and an LRU-evicting cap;
 // session creation is cancelled when the client disconnects. The session
@@ -50,14 +54,24 @@
 // session is its page directory rather than its rows. Pool behavior is
 // observable on /debug/vars as jitd_pool_{hits,misses,evictions,pinned,
 // dirty_writebacks,resident_pages}.
+//
+// Every request carries a trace: spans across the session manager, planner,
+// executor, pager and durability layer, tail-sampled into two rings. Fast
+// requests are kept 1-in-(-trace-sample); every request at or over
+// -slow-request is kept unconditionally with its query plan rendered (the
+// slow-query log on /debug/requests/slow). -log-format selects text or json
+// structured logs; -debug-addr, when set, serves net/http/pprof and
+// /debug/vars on a separate listener.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -84,14 +98,25 @@ func main() {
 	shards := flag.Int("shards", 0, "session-manager shard count (0 = GOMAXPROCS)")
 	maxPendingCreates := flag.Int("max-pending-creates", 32, "admitted concurrent session creations; past it POST /api/sessions gets 429")
 	bufferPoolPages := flag.Int("buffer-pool-pages", 0, "shared buffer pool frames for paged candidates storage (0 = plain in-heap rows; requires -data-dir)")
+	slowRequest := flag.Duration("slow-request", 25*time.Millisecond, "requests at or over this duration are always kept in the slow-trace ring with rendered plans")
+	traceSample := flag.Int("trace-sample", 16, "keep 1 in N fast requests in the recent-trace ring")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof and /debug/vars; empty = off")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
 
 	syncMode, err := persist.ParseSyncMode(*walSync)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "bad -wal-sync", "err", err)
 	}
 	if *bufferPoolPages > 0 && *dataDir == "" {
-		log.Fatal("-buffer-pool-pages requires -data-dir (paged storage needs a backing file)")
+		fatal(logger, "-buffer-pool-pages requires -data-dir (paged storage needs a backing file)")
 	}
 
 	cfg := justintime.DefaultLoanDemoConfig()
@@ -102,10 +127,10 @@ func main() {
 	cfg.K = *k
 	cfg.Seed = *seed
 
-	log.Printf("training %d models (%s) on %d eras x %d rows ...", *horizon+1, *method, *eras, *rows)
+	logger.Info("training models", "count", *horizon+1, "method", *method, "eras", *eras, "rows_per_era", *rows)
 	demo, err := justintime.NewLoanDemo(cfg)
 	if err != nil {
-		log.Fatalf("building demo system: %v", err)
+		fatal(logger, "building demo system failed", "err", err)
 	}
 
 	handler := server.NewWithConfig(demo.System, server.Config{
@@ -117,12 +142,28 @@ func main() {
 		Shards:            *shards,
 		MaxPendingCreates: *maxPendingCreates,
 		BufferPoolPages:   *bufferPoolPages,
+		SlowRequest:       *slowRequest,
+		TraceSampleEvery:  *traceSample,
+		Logger:            logger,
 	})
 	if *dataDir != "" {
-		log.Printf("session durability on: %s (wal-sync=%s)", *dataDir, syncMode)
+		logger.Info("session durability on", "data_dir", *dataDir, "wal_sync", syncMode.String())
 	}
 	if *bufferPoolPages > 0 {
-		log.Printf("paged candidates storage on: %d-page shared buffer pool (%d KiB)", *bufferPoolPages, *bufferPoolPages*8)
+		logger.Info("paged candidates storage on", "pool_pages", *bufferPoolPages, "pool_kib", *bufferPoolPages*8)
+	}
+	if *debugAddr != "" {
+		// The pprof import registered its handlers on http.DefaultServeMux,
+		// and expvar self-registers /debug/vars there too. Serving the
+		// default mux on a separate listener keeps profiling/introspection
+		// off the API port.
+		go func() {
+			dsrv := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			logger.Info("debug listener on", "addr", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
 	}
 	// ReadHeaderTimeout bounds how long an idle connection can sit in the
 	// header-read phase (slow-loris hygiene); bodies are size-capped and
@@ -134,25 +175,43 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("jitd listening on %s", *addr)
+	logger.Info("jitd listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(logger, "serve failed", "err", err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("signal received; draining in-flight requests ...")
+		logger.Info("signal received; draining in-flight requests")
 		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown failed", "err", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("serve: %v", err)
+			logger.Error("serve failed", "err", err)
 		}
 		if n := handler.Close(); n > 0 {
-			log.Printf("checkpointed %d live session(s) to disk", n)
+			logger.Info("checkpointed live sessions to disk", "sessions", n)
 		}
-		log.Printf("jitd stopped")
+		logger.Info("jitd stopped")
 	}
+}
+
+// buildLogger maps -log-format onto a slog handler writing to stderr.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("jitd: unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// fatal logs at Error level and exits non-zero (slog has no Fatal).
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
 }

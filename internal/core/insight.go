@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,6 +24,13 @@ type Insight struct {
 // statement cache) and executed under the session database's read lock, so
 // concurrent asks on one session proceed in parallel.
 func (sess *Session) Ask(q Question) (*Insight, error) {
+	return sess.AskCtx(context.Background(), q)
+}
+
+// AskCtx is Ask with trace propagation: when ctx carries an active obs.Span,
+// the question's SQL execution records a "sql.query" child span (statement,
+// plan shape, row count, page faults).
+func (sess *Session) AskCtx(ctx context.Context, q Question) (*Insight, error) {
 	query, args, err := sess.questionSQL(q)
 	if err != nil {
 		return nil, err
@@ -31,7 +39,7 @@ func (sess *Session) Ask(q Question) (*Insight, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: question %s: %w", q.Kind, err)
 	}
-	res, err := st.Query(sess.db, args...)
+	res, err := st.QueryCtx(ctx, sess.db, args...)
 	if err != nil {
 		return nil, fmt.Errorf("core: question %s: %w", q.Kind, err)
 	}

@@ -1,0 +1,422 @@
+// Package obs is the serving stack's observability spine: an
+// allocation-light, context-propagated span tracer plus a tail-sampling
+// trace collector.
+//
+// A Trace is one request's span tree. The HTTP middleware opens the root
+// span and stores it in the request context; every layer underneath —
+// session manager, SQL planner and executor, pager, persistence — attaches
+// child spans (or timed events) through the context. Completed traces land
+// in the collector's ring buffers: every request slower than the collector's
+// slow threshold is always kept (the slow-query log), faster requests are
+// kept at a configurable 1-in-N rate.
+//
+// Everything is nil-safe: with no collector (tracing disabled) or no active
+// span in the context, every method is a no-op on a nil receiver, so
+// instrumented code never branches on "is tracing on" beyond the nil check
+// the call itself performs.
+//
+// Because tail sampling requires building the span tree for *every* request
+// (the keep/drop decision needs the duration), the tree is engineered to
+// cost near nothing on the drop path: spans are carved from a fixed slab
+// inside the Trace (no per-span allocation until the slab overflows),
+// children link through sibling pointers instead of slices, integer attrs
+// store the int64 raw and render only at snapshot time, the request ID
+// materializes lazily, and kept traces are snapshotted only when a debug
+// endpoint scrapes them, so the Trace object itself recycles through a pool
+// and the serving path never renders anything.
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value annotation on a span, as rendered in snapshots.
+type Attr struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// attr is the internal storage form: integer values keep the raw int64 and
+// defer formatting to snapshot time (the drop path never formats).
+type attr struct {
+	key   string
+	val   string
+	iv    int64
+	isInt bool
+}
+
+func (a attr) render() Attr {
+	if a.isInt {
+		return Attr{Key: a.key, Val: strconv.FormatInt(a.iv, 10)}
+	}
+	return Attr{Key: a.key, Val: a.val}
+}
+
+// Bounds keeping a hostile or pathological request from growing a trace
+// without limit: spans below maxDepth attach no further children, and a span
+// keeps at most maxChildren children (the rest are counted, not stored).
+// inlineAttrs attrs per span live inline in the span itself; more spill to a
+// heap slice. slabSpans spans per trace come from the trace's slab; more
+// allocate individually.
+const (
+	maxDepth    = 12
+	maxChildren = 128
+	maxAttrs    = 64
+	inlineAttrs = 4
+	slabSpans   = 12
+)
+
+// Span is one timed operation in a trace. Spans form a tree with a split
+// ownership contract: attaching children is concurrency-safe — several
+// goroutines may StartChild/Event on a shared parent (a parallel fan-out
+// under one request), serialized by the parent's mutex — but every other
+// mutation (attrs, End) belongs to the one goroutine the span was handed to.
+// That split makes the common annotate-and-end path plain stores with no
+// lock, while still allowing forked work to hang sub-spans off a shared
+// parent. Snapshots happen only after the trace is finished (the collector
+// scrapes quiescent traces), so readers never race writers.
+//
+// Two layout decisions keep recording off the GC's radar. Children chain
+// through slab indexes, not pointers — index stores into the recycled slab
+// need no write barrier (the link fields encode index+1, so the zero value
+// means "none"). And a span records its start as a monotonic offset from the
+// trace's start instead of a time.Time: offsets come from time.Since (a
+// monotonic-clock read, cheaper than a full wall+monotonic time.Now) and
+// replace a pointer-carrying struct store with a plain int64.
+type Span struct {
+	name     string
+	startOff time.Duration // monotonic offset from tr.Start
+	tr       *Trace
+	idx      int32 // this span's slot in the trace (slab or overflow)
+	depth    int32
+
+	// Owner-only state: written by the span's goroutine, read at snapshot
+	// time after the trace quiesces.
+	ended        bool
+	dur          time.Duration
+	nattrs       int32
+	attrs        [inlineAttrs]attr
+	overflow     []attr
+	droppedAttrs int32 // attrs beyond maxAttrs
+
+	// Child list, guarded by mu (the only concurrent mutation).
+	mu          sync.Mutex
+	firstChild  int32 // index+1 of the first child; 0 = none
+	lastChild   int32
+	nextSibling int32
+	nchildren   int32
+	droppedKids int32 // children beyond maxChildren
+}
+
+// reset scrubs the bookkeeping a recycled slab slot may carry from its
+// previous life. tr and idx are stable across recycles and attr slots past
+// nattrs are never read, so neither is touched — cheaper than a full struct
+// clear on every request.
+func (s *Span) reset() {
+	s.ended = false
+	s.dur = 0
+	s.nattrs = 0
+	s.overflow = nil
+	s.droppedAttrs = 0
+	s.firstChild, s.lastChild, s.nextSibling = 0, 0, 0
+	s.nchildren = 0
+	s.droppedKids = 0
+}
+
+// sinceTraceStart returns the trace-relative monotonic clock reading.
+func (s *Span) sinceTraceStart() time.Duration {
+	if s.tr == nil {
+		return 0
+	}
+	return time.Since(s.tr.Start)
+}
+
+// StartChild opens a child span. Nil-safe: on a nil receiver (tracing off)
+// it returns nil, which is itself safe to use. A child at the depth bound
+// attaches nowhere and returns nil.
+func (s *Span) StartChild(name string) *Span {
+	return s.StartChildAttrs(name)
+}
+
+// StartChildAttrs is StartChild with initial annotations. The attrs are
+// written before the span is published (attach), so they cost no lock —
+// cheaper than StartChild followed by SetAttr. Nil-safe.
+func (s *Span) StartChildAttrs(name string, attrs ...Attr) *Span {
+	if s == nil || s.depth >= maxDepth {
+		return nil
+	}
+	c := s.tr.alloc()
+	c.name = name
+	c.startOff = s.sinceTraceStart()
+	c.depth = s.depth + 1
+	for _, a := range attrs {
+		c.setAttr(attr{key: a.Key, val: a.Val})
+	}
+	if !s.attach(c) {
+		return nil
+	}
+	return c
+}
+
+// attach links c as s's newest child, honoring the child cap.
+func (s *Span) attach(c *Span) bool {
+	s.mu.Lock()
+	if s.nchildren >= maxChildren {
+		s.droppedKids++
+		s.mu.Unlock()
+		return false
+	}
+	s.nchildren++
+	link := c.idx + 1
+	if s.lastChild == 0 {
+		s.firstChild = link
+	} else {
+		s.tr.spanAt(s.lastChild - 1).nextSibling = link
+	}
+	s.lastChild = link
+	s.mu.Unlock()
+	return true
+}
+
+// End stamps the span's duration and returns it, so callers that need the
+// value (slow-statement detection) don't pay a second read via Duration.
+// Owner-only, like all annotation. Idempotent — a repeat End returns the
+// first duration. Nil-safe.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if !s.ended {
+		s.ended = true
+		s.dur = s.sinceTraceStart() - s.startOff
+	}
+	return s.dur
+}
+
+// EndAttrInt records one final integer annotation and ends the span.
+// Idempotent and nil-safe like End.
+func (s *Span) EndAttrInt(key string, v int64) time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.setAttr(attr{key: key, iv: v, isInt: true})
+	return s.End()
+}
+
+// EndAttrs records final string annotations and ends the span. Idempotent
+// and nil-safe like End.
+func (s *Span) EndAttrs(attrs ...Attr) time.Duration {
+	if s == nil {
+		return 0
+	}
+	for _, a := range attrs {
+		s.setAttr(attr{key: a.Key, val: a.Val})
+	}
+	return s.End()
+}
+
+// Event attaches an already-timed child span. It is how code that measured
+// a duration itself — a pager fault accumulator, a plan derivation — lands
+// in the tree without holding an open span across the measured region. The
+// event renders at its parent's start: its duration was accumulated
+// somewhere inside the parent, so no single placement is exact, and using
+// the parent's avoids a clock read. Nil-safe.
+func (s *Span) Event(name string, d time.Duration, attrs ...Attr) {
+	if s == nil || s.depth >= maxDepth {
+		return
+	}
+	c := s.tr.alloc()
+	c.name = name
+	c.startOff = s.startOff
+	c.depth = s.depth + 1
+	c.dur = d
+	c.ended = true
+	// Values are copied out rather than retaining the variadic slice, so the
+	// caller's argument slice can stay on its stack.
+	for _, a := range attrs {
+		c.setAttr(attr{key: a.Key, val: a.Val})
+	}
+	s.attach(c)
+}
+
+// setAttr appends an annotation, honoring the cap. Owner-only (plain
+// stores): attrs are read back only at snapshot time, after the trace has
+// quiesced.
+func (s *Span) setAttr(a attr) {
+	switch {
+	case int(s.nattrs) >= maxAttrs:
+		s.droppedAttrs++
+		return
+	case int(s.nattrs) < inlineAttrs:
+		s.attrs[s.nattrs] = a
+	default:
+		s.overflow = append(s.overflow, a)
+	}
+	s.nattrs++
+}
+
+// SetAttr records a key=value annotation. Owner-only; nil-safe.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.setAttr(attr{key: key, val: val})
+}
+
+// SetAttrInt records an integer annotation without formatting it (snapshots
+// render it). Owner-only; nil-safe.
+func (s *Span) SetAttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(attr{key: key, iv: v, isInt: true})
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SinceStart returns the elapsed time since the span began (0 on nil). It
+// lets callers measure a sub-interval — e.g. lock wait inside a just-opened
+// span — with a single clock read instead of a separate baseline read.
+func (s *Span) SinceStart() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.sinceTraceStart() - s.startOff
+}
+
+// Duration returns the span's recorded duration (0 until End, 0 on nil).
+// Owner-only until the trace quiesces, like the rest of the span's state.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// SlowThreshold returns the owning collector's slow threshold, so deep
+// layers (the SQL executor deciding whether to re-derive a slow query's plan
+// text) can self-detect slowness without a config dependency. 0 on a nil
+// span or a trace without a collector.
+func (s *Span) SlowThreshold() time.Duration {
+	if s == nil || s.tr == nil || s.tr.c == nil {
+		return 0
+	}
+	return s.tr.c.slow
+}
+
+// SpanSnapshot is an immutable copy of a span subtree, safe to marshal.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	StartUnix  int64          `json:"start_us"` // µs since the Unix epoch
+	DurationUS int64          `json:"dur_us"`
+	Attrs      []Attr         `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+	Dropped    int            `json:"dropped,omitempty"`
+}
+
+// Snapshot copies the span subtree. The trace must be quiescent — the
+// collector only snapshots finished traces it holds in its rings, which is
+// what lets recording skip locks.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	snap := SpanSnapshot{
+		Name:       s.name,
+		DurationUS: s.dur.Microseconds(),
+		Dropped:    int(s.droppedAttrs + s.droppedKids),
+	}
+	if s.tr != nil {
+		snap.StartUnix = s.tr.Start.Add(s.startOff).UnixMicro()
+	}
+	if n := int(s.nattrs); n > 0 {
+		snap.Attrs = make([]Attr, 0, n)
+		for i := 0; i < n && i < inlineAttrs; i++ {
+			snap.Attrs = append(snap.Attrs, s.attrs[i].render())
+		}
+		for _, a := range s.overflow {
+			snap.Attrs = append(snap.Attrs, a.render())
+		}
+	}
+	for link := s.firstChild; link != 0; {
+		c := s.tr.spanAt(link - 1)
+		snap.Children = append(snap.Children, c.Snapshot())
+		link = c.nextSibling
+	}
+	return snap
+}
+
+// Find returns the first span named name in the subtree (depth-first), or
+// nil. A test helper, also used by handlers labeling slow traces.
+func (s *SpanSnapshot) Find(name string) *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for i := range s.Children {
+		if f := s.Children[i].Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// AttrVal returns the value of the named attr ("" when absent).
+func (s *SpanSnapshot) AttrVal(key string) string {
+	if s == nil {
+		return ""
+	}
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+type ctxKey struct{}
+
+// With returns ctx carrying sp as the active span. With a nil span it
+// returns ctx unchanged (no allocation on the tracing-off path).
+func With(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Start opens a child of the context's active span and returns a context
+// carrying it. With no active span it returns (ctx, nil) — both safe to use.
+// Hot paths that don't need the derived context should prefer
+// FromContext(ctx).StartChild(name), which skips the context allocation.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.StartChild(name)
+	if c == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, ctxKey{}, c), c
+}

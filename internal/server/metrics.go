@@ -159,6 +159,64 @@ func (h *latencyHist) snapshot() map[string]int64 {
 	return out
 }
 
+// cumulative returns the cumulative bucket counts in latencyBoundsUs order
+// with the +Inf total appended (index len(latencyBoundsUs)), plus the
+// observation sum in microseconds — the shape the Prometheus text renderer
+// consumes. Like snapshot, the total is derived from the same bucket loads,
+// so _count == the +Inf bucket even when a scrape races an observe.
+func (h *latencyHist) cumulative() (counts []int64, sumUs int64) {
+	counts = make([]int64, len(latencyBoundsUs)+1)
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		counts[i] = cum
+	}
+	return counts, h.sumUs.Load()
+}
+
+// routeHists holds one latency histogram per HTTP route path. Routes are
+// registered once per Server construction (fixed cardinality — the label is
+// the mux pattern, never the raw URL); like every other metric here the
+// histograms are process-global, shared across Servers.
+var routeHists struct {
+	mu sync.Mutex
+	m  map[string]*latencyHist
+}
+
+// routeHist returns (creating on first use) the histogram for a route path.
+func routeHist(path string) *latencyHist {
+	routeHists.mu.Lock()
+	defer routeHists.mu.Unlock()
+	if routeHists.m == nil {
+		routeHists.m = make(map[string]*latencyHist)
+	}
+	h, ok := routeHists.m[path]
+	if !ok {
+		h = &latencyHist{}
+		routeHists.m[path] = h
+	}
+	return h
+}
+
+// routeHistSnapshot copies the route→histogram map for rendering.
+func routeHistSnapshot() map[string]*latencyHist {
+	routeHists.mu.Lock()
+	defer routeHists.mu.Unlock()
+	out := make(map[string]*latencyHist, len(routeHists.m))
+	for k, v := range routeHists.m {
+		out[k] = v
+	}
+	return out
+}
+
+// walFsyncHist observes every WAL fsync's latency (wired into each
+// persister's store options); poolFaultHist observes every buffer-pool page
+// fault's read latency (wired into the pager's process-wide fault observer).
+var (
+	walFsyncHist  latencyHist
+	poolFaultHist latencyHist
+)
+
 // questionLatencies holds one histogram per canned question kind. The set
 // of kinds is closed (ParseQuestionKind rejects anything else), so the map
 // is built once and only read afterwards — no lock needed on observe.
@@ -181,6 +239,23 @@ func observeQuestionLatency(kind core.QuestionKind, d time.Duration) {
 }
 
 func init() {
+	// Every buffer-pool page fault in the process reports its disk-read
+	// latency here, whichever pool (and whichever statement) faulted it.
+	pager.SetFaultObserver(func(d time.Duration) { poolFaultHist.observe(d) })
+	// jitd_http_latency_us: per-route HTTP latency histograms (the expvar
+	// twin of the /metrics jitd_http_request_duration_seconds family).
+	expvar.Publish("jitd_http_latency_us", expvar.Func(func() interface{} {
+		hists := routeHistSnapshot()
+		out := make(map[string]map[string]int64, len(hists))
+		for route, h := range hists {
+			out[route] = h.snapshot()
+		}
+		return out
+	}))
+	// jitd_wal_fsync_us / jitd_pool_fault_us: I/O latency histograms for WAL
+	// fsyncs and buffer-pool page faults.
+	expvar.Publish("jitd_wal_fsync_us", expvar.Func(func() interface{} { return walFsyncHist.snapshot() }))
+	expvar.Publish("jitd_pool_fault_us", expvar.Func(func() interface{} { return poolFaultHist.snapshot() }))
 	// jitd_plan_shapes mirrors the query planner's per-plan-shape counters
 	// (full_scan, index_scan, index_intersection, empty_probe, top_k,
 	// index_join, hash_join, nested_loop_join): how often each access-path

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"justintime/internal/constraints"
 	"justintime/internal/core"
 	"justintime/internal/dataset"
+	"justintime/internal/obs"
 	"justintime/internal/sqldb"
 	"justintime/internal/sqldb/pager"
 	"justintime/internal/sqldb/persist"
@@ -59,6 +61,22 @@ type Config struct {
 	// pressure, so the resident heap cost of an idle session is its page
 	// directory, not its rows. 0 keeps rows on plain in-heap slices.
 	BufferPoolPages int
+	// SlowRequest is the tail-sampling threshold: every request at or over
+	// it is kept in the slow-trace ring (GET /debug/requests/slow) with a
+	// rendered query plan, regardless of sampling. <= 0 selects 25ms.
+	SlowRequest time.Duration
+	// TraceSampleEvery keeps 1 in N fast (sub-threshold) requests in the
+	// recent-trace ring (GET /debug/requests). <= 0 selects 16.
+	TraceSampleEvery int
+	// TraceRingCap bounds each trace ring (recent and slow). <= 0 selects 256.
+	TraceRingCap int
+	// DisableTracing turns request tracing off entirely: no spans, no trace
+	// rings, and /debug/requests reports 404. /metrics and the access log
+	// stay up.
+	DisableTracing bool
+	// Logger, when non-nil, replaces slog.Default() for the server's
+	// structured logs (access log, session-manager diagnostics).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +91,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPendingCreates <= 0 {
 		c.MaxPendingCreates = 32
+	}
+	if c.SlowRequest <= 0 {
+		c.SlowRequest = 25 * time.Millisecond
+	}
+	if c.TraceSampleEvery <= 0 {
+		c.TraceSampleEvery = 16
+	}
+	if c.TraceRingCap <= 0 {
+		c.TraceRingCap = 256
 	}
 	return c
 }
@@ -91,6 +118,11 @@ type Server struct {
 	// slot turns into 429 + Retry-After instead of an unbounded goroutine
 	// pile-up behind the beam searches.
 	createSem chan struct{}
+	// collector owns the per-request trace rings (nil when tracing is
+	// disabled; every use is nil-safe).
+	collector *obs.Collector
+	// logger receives the access log and flows into the session manager.
+	logger *slog.Logger
 }
 
 // New builds a Server around a configured system with default limits.
@@ -108,27 +140,155 @@ func NewWithConfig(sys *core.System, cfg Config) *Server {
 	if cfg.DataDir != "" {
 		p = newPersister(cfg.DataDir, sys, cfg.WALSync, pool)
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	var collector *obs.Collector
+	if !cfg.DisableTracing {
+		collector = obs.NewCollector(cfg.SlowRequest, cfg.TraceSampleEvery, cfg.TraceRingCap)
+	}
 	s := &Server{
 		sys:       sys,
 		cfg:       cfg,
 		pool:      pool,
 		sessions:  newSessionManager(cfg.MaxSessions, cfg.SessionTTL, cfg.Shards, p),
 		createSem: make(chan struct{}, cfg.MaxPendingCreates),
+		collector: collector,
+		logger:    logger,
 	}
+	// The manager is built by newSessionManager (whose signature tests
+	// depend on); observability is wired in afterwards.
+	s.sessions.traces = collector
+	s.sessions.logger = logger
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/schema", s.handleSchema)
-	mux.HandleFunc("GET /api/models", s.handleModels)
-	mux.HandleFunc("GET /api/profiles", s.handleProfiles)
-	mux.HandleFunc("GET /api/questions", s.handleQuestions)
-	mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
-	mux.HandleFunc("DELETE /api/sessions/{id}", s.handleDeleteSession)
-	mux.HandleFunc("GET /api/sessions/{id}/inputs", s.handleInputs)
-	mux.HandleFunc("GET /api/sessions/{id}/plan", s.handlePlan)
-	mux.HandleFunc("POST /api/sessions/{id}/ask", s.handleAsk)
-	mux.HandleFunc("POST /api/sessions/{id}/sql", s.handleSQL)
+	s.route(mux, "GET /api/schema", s.handleSchema)
+	s.route(mux, "GET /api/models", s.handleModels)
+	s.route(mux, "GET /api/profiles", s.handleProfiles)
+	s.route(mux, "GET /api/questions", s.handleQuestions)
+	s.route(mux, "POST /api/sessions", s.handleCreateSession)
+	s.route(mux, "DELETE /api/sessions/{id}", s.handleDeleteSession)
+	s.route(mux, "GET /api/sessions/{id}/inputs", s.handleInputs)
+	s.route(mux, "GET /api/sessions/{id}/plan", s.handlePlan)
+	s.route(mux, "POST /api/sessions/{id}/ask", s.handleAsk)
+	s.route(mux, "POST /api/sessions/{id}/sql", s.handleSQL)
+	// Introspection endpoints are served bare: scrapes and debug reads must
+	// not pollute the trace rings or the per-route latency histograms.
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/requests", s.handleRequests)
+	mux.HandleFunc("GET /debug/requests/slow", s.handleRequestsSlow)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
+}
+
+// statusWriter captures the response status for the access log and the
+// trace envelope.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// route registers handler under pattern, wrapped in the server's
+// observability middleware: a per-request trace carried on the request
+// context (tail-sampled into /debug/requests), an X-Request-Id response
+// header, a per-route latency histogram exported on /metrics, and a
+// structured access log line. The route label is the pattern's path as
+// registered — Go's mux matched pattern, not the raw URL — so label
+// cardinality is fixed at registration time.
+func (s *Server) route(mux *http.ServeMux, pattern string, handler http.HandlerFunc) {
+	method, path, _ := strings.Cut(pattern, " ")
+	hist := routeHist(path)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t := s.collector.StartRequest(method, path)
+		sw := &statusWriter{ResponseWriter: w}
+		// Finish recycles the trace, so the request ID is captured here and
+		// the trace itself is never touched after the Finish call below.
+		reqID := ""
+		if t != nil {
+			reqID = t.ID()
+			sw.Header().Set("X-Request-Id", reqID)
+			r = r.WithContext(obs.With(r.Context(), t.Root))
+		}
+		start := time.Now()
+		handler(sw, r)
+		d := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		hist.observe(d)
+		s.collector.Finish(t, sw.status)
+		s.logRequest(r, method, path, reqID, sw.status, d)
+	})
+}
+
+// logRequest writes one access-log line. Levels keep routine traffic out of
+// the way: 2xx/3xx log at Debug, slow requests at Info, client errors at
+// Warn, server errors at Error.
+func (s *Server) logRequest(r *http.Request, method, path, reqID string, status int, d time.Duration) {
+	lvl := slog.LevelDebug
+	switch {
+	case status >= 500:
+		lvl = slog.LevelError
+	case status >= 400:
+		lvl = slog.LevelWarn
+	case reqID != "" && d >= s.collector.SlowThreshold():
+		lvl = slog.LevelInfo
+	}
+	if !s.logger.Enabled(r.Context(), lvl) {
+		return
+	}
+	attrs := []any{"method", method, "route", path, "status", status, "dur_us", d.Microseconds()}
+	if reqID != "" {
+		attrs = append(attrs, "request_id", reqID)
+	}
+	if id := r.PathValue("id"); id != "" {
+		attrs = append(attrs, "session_id", id)
+	}
+	s.logger.Log(r.Context(), lvl, "request", attrs...)
+}
+
+// handleRequests serves the sampled recent traces, newest first.
+func (s *Server) handleRequests(w http.ResponseWriter, _ *http.Request) {
+	if s.collector == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("request tracing is disabled"))
+		return
+	}
+	finished, kept, keptSlow := s.collector.Stats()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"finished":  finished,
+		"kept":      kept,
+		"kept_slow": keptSlow,
+		"traces":    s.collector.Recent(),
+	})
+}
+
+// handleRequestsSlow serves the slow-request ring (the slow-query log):
+// every request over the slow threshold, newest first, each carrying its
+// full span tree and — for SQL statements — the rendered plan text.
+func (s *Server) handleRequestsSlow(w http.ResponseWriter, _ *http.Request) {
+	if s.collector == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("request tracing is disabled"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"threshold_us": s.collector.SlowThreshold().Microseconds(),
+		"traces":       s.collector.Slow(),
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -158,7 +318,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (*core.Session, bool) {
 	id := r.PathValue("id")
-	sess, ok := s.sessions.get(id)
+	sess, ok := s.sessions.getCtx(r.Context(), id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired session %q", id))
 		return nil, false
@@ -289,7 +449,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	// Session creation is the expensive step (T+1 beam searches); run it
 	// under the request context so a disconnected client cancels the
 	// generators instead of leaving them burning CPU.
-	sess, err := s.sys.NewSessionContext(r.Context(), profile, prefs)
+	genCtx, genSpan := obs.Start(r.Context(), "session.generate")
+	sess, err := s.sys.NewSessionContext(genCtx, profile, prefs)
+	genSpan.End()
 	if err != nil {
 		if r.Context().Err() != nil {
 			return // client is gone; nobody reads the response
@@ -304,7 +466,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	_, addSpan := obs.Start(r.Context(), "session.persist")
 	id, err := s.sessions.add(sess, req.Constraints)
+	addSpan.End()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -332,7 +496,7 @@ func (s *Server) handleInputs(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := inputsStmt.Query(sess.DB())
+	res, err := inputsStmt.QueryCtx(r.Context(), sess.DB())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -375,7 +539,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	ins, err := sess.Ask(core.Question{Kind: kind, Feature: req.Feature, Alpha: req.Alpha})
+	ins, err := sess.AskCtx(r.Context(), core.Question{Kind: kind, Feature: req.Feature, Alpha: req.Alpha})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -410,7 +574,9 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	// Parse once: a malformed statement reports 422, a well-formed
 	// non-SELECT is rejected with 400 (the endpoint is read-only by
 	// contract), and a SELECT executes from the already-compiled form.
+	parseStart := time.Now()
 	st, err := sqldb.Prepare(req.Query)
+	obs.FromContext(r.Context()).Event("sql.parse", time.Since(parseStart))
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -423,7 +589,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	// stops at MaxSQLRows+1 produced rows, so a SELECT over a huge table
 	// never materializes beyond the response cap. The one extra row is the
 	// truncation signal.
-	res, err := st.QueryCapped(sess.DB(), s.cfg.MaxSQLRows+1)
+	res, err := st.QueryCappedCtx(r.Context(), sess.DB(), s.cfg.MaxSQLRows+1)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return

@@ -1,18 +1,21 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"expvar"
 	"fmt"
 	"hash/maphash"
-	"log"
+	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"justintime/internal/core"
+	"justintime/internal/obs"
 	"justintime/internal/sqldb/persist"
 )
 
@@ -138,6 +141,22 @@ type sessionManager struct {
 	hookRehydrate   func(id string)
 	hookCheckpoint  func(id string)
 	hookRemoveFiles func(id string)
+
+	// traces, when non-nil, receives background-operation traces (eviction
+	// checkpoints) and is the collector request spans threaded in via getCtx
+	// belong to. logger, when non-nil, replaces slog.Default() for the
+	// manager's diagnostics. Both are wired by the Server after construction;
+	// tests building bare managers leave them nil.
+	traces *obs.Collector
+	logger *slog.Logger
+}
+
+// log returns the manager's structured logger.
+func (m *sessionManager) log() *slog.Logger {
+	if m.logger != nil {
+		return m.logger
+	}
+	return slog.Default()
 }
 
 func newSessionManager(max int, ttl time.Duration, shards int, p *persister) *sessionManager {
@@ -187,7 +206,12 @@ func (m *sessionManager) now() time.Time { return (*m.nowFn.Load())() }
 // shard placement is not attacker-predictable even though session IDs
 // travel in URLs.
 func (m *sessionManager) shardFor(id string) *sessionShard {
-	return m.shards[maphash.String(m.seed, id)%uint64(len(m.shards))]
+	return m.shards[m.shardIndexFor(id)]
+}
+
+// shardIndexFor exposes the shard number itself, for trace attribution.
+func (m *sessionManager) shardIndexFor(id string) uint64 {
+	return maphash.String(m.seed, id) % uint64(len(m.shards))
 }
 
 // noteResident adjusts the manager-local cap counter and the process-wide
@@ -233,9 +257,68 @@ func (m *sessionManager) add(sess *core.Session, constraintSrcs []string) (strin
 // (or pre-restart) session is rehydrated from its snapshot + WAL instead
 // of reporting 404, counting against the cap like any resident session.
 func (m *sessionManager) get(id string) (*core.Session, bool) {
-	sh := m.shardFor(id)
+	return m.lookup(id, nil)
+}
+
+// getCtx is get with trace propagation: when ctx carries an active obs.Span,
+// the lookup reports how it resolved — directly on the request's span for a
+// trivial resident hit, or under a "session.get" child span for the paths
+// that do real work (see lookup).
+func (m *sessionManager) getCtx(ctx context.Context, id string) (*core.Session, bool) {
+	return m.lookup(id, obs.FromContext(ctx))
+}
+
+// startGetSpan opens the "session.get" child under parent. Shard indexes are
+// tiny, so Itoa hits strconv's small-int cache and the pre-publish attr
+// costs neither an allocation nor a lock. Nil-safe (nil parent, nil span).
+func startGetSpan(parent *obs.Span, shIdx uint64) *obs.Span {
+	return parent.StartChildAttrs("session.get",
+		obs.Attr{Key: "shard", Val: strconv.Itoa(int(shIdx))})
+}
+
+// coldGetSpan returns span, opening it now if the fast path hadn't: a
+// lookup that leaves the fast path late (expiry, miss, delete race,
+// coalesce, rehydrate) still gets its tree node.
+func coldGetSpan(span, parent *obs.Span, shIdx uint64) *obs.Span {
+	if span != nil {
+		return span
+	}
+	return startGetSpan(parent, shIdx)
+}
+
+// endLookup finishes a "session.get" span with the lookup's resolution and
+// the shard-lock wait. Nil-safe.
+func endLookup(span *obs.Span, result string, lockWait time.Duration) {
+	if span == nil {
+		return
+	}
+	span.EndAttrs(obs.Attr{Key: "result", Val: result},
+		obs.Attr{Key: "lock_wait_us", Val: strconv.FormatInt(lockWait.Microseconds(), 10)})
+}
+
+// lookup is the body of get/getCtx; parent (nil when untraced) is the
+// request's active span. The fast path — an uncontended shard lock and a
+// resident hit — annotates parent directly (session_result / session_shard
+// attrs) instead of opening a child span: a trivial hit has no timing worth
+// a tree node, and skipping the span keeps tracing's hot-path cost to two
+// plain attr stores and zero clock reads. Every other resolution — lock
+// contention, expiry, miss, delete race, singleflight coalesce, rehydrate —
+// opens a "session.get" child covering the interesting work, so slow traces
+// still show the session manager's role in the tree.
+func (m *sessionManager) lookup(id string, parent *obs.Span) (*core.Session, bool) {
+	shIdx := m.shardIndexFor(id)
+	sh := m.shards[shIdx]
 	now := m.now()
-	sh.mu.Lock()
+	var span *obs.Span
+	var lockWait time.Duration
+	if !sh.mu.TryLock() {
+		// Contended: open the span before blocking so the wait is measured —
+		// the span's own start is the baseline, so the wait costs one clock
+		// read after the lock lands and nothing inside the critical section.
+		span = startGetSpan(parent, shIdx)
+		sh.mu.Lock()
+		lockWait = span.SinceStart()
+	}
 	if e, ok := sh.entries[id]; ok && !e.deleted {
 		// With persistence on, the TTL bounds residency, not lifetime, so an
 		// expired-but-still-resident session is served directly instead of
@@ -250,9 +333,11 @@ func (m *sessionManager) get(id string) (*core.Session, bool) {
 				sh.mu.Unlock()
 				m.noteResident(-1)
 				metricEvictionsTTL.Add(1)
+				endLookup(coldGetSpan(span, parent, shIdx), "expired", lockWait)
 				return nil, false
 			}
 			sh.mu.Unlock()
+			endLookup(coldGetSpan(span, parent, shIdx), "expired", lockWait)
 			return nil, false
 		}
 		e.lastUsed = now
@@ -267,12 +352,21 @@ func (m *sessionManager) get(id string) (*core.Session, bool) {
 		victims := sh.maybeExpireLocked(now)
 		sh.mu.Unlock()
 		m.asyncFinish(sh, victims)
+		if span != nil {
+			endLookup(span, "hit", lockWait)
+		} else if parent != nil {
+			// Fast path: two plain attr stores on the request's span, no
+			// child span, no clock read.
+			parent.SetAttr("session_result", "hit")
+			parent.SetAttrInt("session_shard", int64(shIdx))
+		}
 		return sess, true
 	}
 	victims := sh.maybeExpireLocked(now)
 	if m.persist == nil {
 		sh.mu.Unlock()
 		m.asyncFinish(sh, victims)
+		endLookup(coldGetSpan(span, parent, shIdx), "miss", lockWait)
 		return nil, false
 	}
 	if sh.deleting[id] > 0 {
@@ -280,6 +374,7 @@ func (m *sessionManager) get(id string) (*core.Session, bool) {
 		// files; starting a load now could resurrect it. Delete wins.
 		sh.mu.Unlock()
 		m.asyncFinish(sh, victims)
+		endLookup(coldGetSpan(span, parent, shIdx), "deleted", lockWait)
 		return nil, false
 	}
 	// Cold miss: singleflight the disk load. Whoever installs the
@@ -290,26 +385,36 @@ func (m *sessionManager) get(id string) (*core.Session, bool) {
 		sh.mu.Unlock()
 		m.asyncFinish(sh, victims)
 		metricRehydrationsCoalesced.Add(1)
+		span = coldGetSpan(span, parent, shIdx)
+		wait := span.StartChild("singleflight.wait")
 		<-r.done
+		wait.End()
+		endLookup(span, "coalesced", lockWait)
 		return r.sess, r.ok
 	}
 	r := &rehydration{done: make(chan struct{})}
 	sh.inflight[id] = r
 	sh.mu.Unlock()
 	m.asyncFinish(sh, victims)
-	return sh.rehydrate(id, r)
+	return sh.rehydrate(id, r, coldGetSpan(span, parent, shIdx), lockWait)
 }
 
 // rehydrate performs the winner's side of a singleflight disk load: open
 // the snapshot+WAL (no shard lock held), then publish the result — unless a
 // DELETE raced the load, in which case delete wins: the files are removed
-// and every waiter sees a miss.
-func (sh *sessionShard) rehydrate(id string, r *rehydration) (*core.Session, bool) {
+// and every waiter sees a miss. span (nil when untraced) receives a
+// "session.rehydrate" child covering the disk load and is ended here.
+func (sh *sessionShard) rehydrate(id string, r *rehydration, span *obs.Span, lockWait time.Duration) (*core.Session, bool) {
 	m := sh.m
 	if m.hookRehydrate != nil {
 		m.hookRehydrate(id)
 	}
+	rs := span.StartChild("session.rehydrate")
 	sess, store, err := m.persist.open(id)
+	if err != nil && err != errSessionNotOnDisk {
+		rs.SetAttr("error", err.Error())
+	}
+	rs.End()
 	if err == nil {
 		// Make room before publishing (as creation does). The inflight
 		// record is still registered, so later misses keep coalescing and a
@@ -328,14 +433,16 @@ func (sh *sessionShard) rehydrate(id string, r *rehydration) (*core.Session, boo
 			m.persist.remove(id) // in case the open re-created anything
 		}
 		close(r.done)
+		endLookup(span, "deleted", lockWait)
 		return nil, false
 	}
 	if err != nil {
 		sh.mu.Unlock()
 		if err != errSessionNotOnDisk {
-			log.Printf("server: rehydrating session %s: %v", id, err)
+			m.log().Error("session rehydration failed", "session_id", id, "err", err)
 		}
 		close(r.done)
+		endLookup(span, "miss", lockWait)
 		return nil, false
 	}
 	sh.entries[id] = &sessionEntry{sess: sess, store: store, lastUsed: m.now(), state: stateLive}
@@ -345,6 +452,7 @@ func (sh *sessionShard) rehydrate(id string, r *rehydration) (*core.Session, boo
 	r.sess, r.ok = sess, true
 	close(r.done)
 	m.enforceCap()
+	endLookup(span, "rehydrate", lockWait)
 	return sess, true
 }
 
@@ -488,7 +596,7 @@ func (m *sessionManager) shutdown() int {
 			sh.mu.Unlock()
 			var cpErr error
 			if store != nil {
-				cpErr = checkpointStoreIfDirty(store)
+				cpErr = m.checkpointIfDirty(v.id, store)
 			}
 			sh.mu.Lock()
 			if done := sh.settleClaimLocked(v.id, v.e); done {
@@ -498,7 +606,7 @@ func (m *sessionManager) shutdown() int {
 			sh.mu.Unlock()
 			if store != nil {
 				if cpErr != nil {
-					log.Printf("server: checkpointing session %s on shutdown: %v", v.id, cpErr)
+					m.log().Error("shutdown checkpoint failed", "session_id", v.id, "err", cpErr)
 				} else {
 					n++
 				}
@@ -642,7 +750,7 @@ func (sh *sessionShard) finishEviction(id string, e *sessionEntry, cause *expvar
 		if m.hookCheckpoint != nil {
 			m.hookCheckpoint(id)
 		}
-		cpErr = checkpointStoreIfDirty(store)
+		cpErr = m.checkpointIfDirty(id, store)
 	}
 
 	sh.mu.Lock()
@@ -654,7 +762,7 @@ func (sh *sessionShard) finishEviction(id string, e *sessionEntry, cause *expvar
 	if cpErr != nil {
 		// The on-disk pair still holds the last good checkpoint + WAL; a
 		// later rehydration recovers that state. Log the gap and proceed.
-		log.Printf("server: checkpointing session %s on eviction: %v", id, cpErr)
+		m.log().Error("eviction checkpoint failed", "session_id", id, "err", cpErr)
 	}
 	if store != nil {
 		store.Close()
@@ -754,14 +862,32 @@ func (m *sessionManager) evictGlobalLRU() bool {
 	return true
 }
 
-// checkpointStoreIfDirty folds a session's WAL into a fresh snapshot,
-// counting it — unless the WAL is clean, in which case the snapshot on disk
-// already equals the live state and the write+fsync is skipped.
-func checkpointStoreIfDirty(st *persist.Store) error {
+// checkpointIfDirty folds a session's WAL into a fresh snapshot, counting
+// it — unless the WAL is clean, in which case the snapshot on disk already
+// equals the live state and the write+fsync is skipped. When the manager
+// has a trace collector, the checkpoint runs under a background trace
+// (method "bg", route "session.checkpoint"), so eviction and shutdown I/O
+// shows up in /debug/requests with the same span detail as request work.
+func (m *sessionManager) checkpointIfDirty(id string, st *persist.Store) error {
 	if !st.Dirty() {
 		return nil
 	}
-	if err := st.Checkpoint(); err != nil {
+	ctx := context.Background()
+	var t *obs.Trace
+	if m.traces != nil {
+		t = m.traces.StartRequest("bg", "session.checkpoint")
+		t.Root.SetAttr("session_id", id)
+		ctx = obs.With(ctx, t.Root)
+	}
+	err := st.CheckpointCtx(ctx)
+	if t != nil {
+		status := 0
+		if err != nil {
+			status = 500
+		}
+		m.traces.Finish(t, status)
+	}
+	if err != nil {
 		return err
 	}
 	metricCheckpoints.Add(1)

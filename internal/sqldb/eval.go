@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"justintime/internal/obs"
+	"justintime/internal/sqldb/pager"
 )
 
 // relation is a named, typed row source visible in a scope (a FROM table,
@@ -74,11 +77,21 @@ func not3(v Value) Value {
 // records every plan decision for EXPLAIN. capRows > 0 bounds the TOP-LEVEL
 // statement's output to that many rows (see Stmt.QueryCapped); execSelect
 // consumes it on entry so subqueries run uncapped.
+// span and ptrack are the request-tracing seam (see tracing.go): span is the
+// statement's "sql.query" trace span, ptrack accumulates the page faults this
+// statement causes on paged storage. Both are nil when the statement runs
+// untraced, and every use is nil-guarded, so the untraced path pays nothing.
 type executor struct {
 	db      *DB
 	params  []Value
 	trace   *planTrace
 	capRows int
+	span    *obs.Span
+	ptrack  *pager.Tracker
+
+	// ptrackBuf backs ptrack for traced statements so enabling fault
+	// attribution costs no allocation (ptrack = &ptrackBuf).
+	ptrackBuf pager.Tracker
 }
 
 // eval evaluates e in the given scope (which may be nil for constant

@@ -361,7 +361,8 @@ func (ex *executor) trySimpleCapped(sel *SelectStmt, parent *scope, capRows int)
 	if !prefiltered {
 		planCounts.fullScan.Add(1)
 		ex.note("scan %s", rel.alias)
-		err := t.store.Scan(func(_ int, row []Value) error {
+		ex.notePlan("full_scan", false, -1, 0)
+		err := ex.storeScan(t, func(_ int, row []Value) error {
 			done, err := emit(row)
 			if err != nil {
 				return err
@@ -531,7 +532,8 @@ func (ex *executor) execFrom(sel *SelectStmt, parent *scope) ([]relation, []tupl
 			if !used {
 				planCounts.fullScan.Add(1)
 				ex.note("scan %s", rel.alias)
-				if rows, err = t.store.All(); err != nil {
+				ex.notePlan("full_scan", false, -1, 0)
+				if rows, err = ex.storeAll(t); err != nil {
 					return nil, nil, err
 				}
 			}
@@ -597,7 +599,7 @@ func (ex *executor) join(rels []relation, tuples []tuple, rel relation, rows [][
 			return nil
 		}
 		var err error
-		rows, err = t.store.All()
+		rows, err = ex.storeAll(t)
 		return err
 	}
 	if cond != nil && len(rels) > 0 {
@@ -715,7 +717,7 @@ func (ex *executor) indexNestedLoopJoin(rels []relation, tuples []tuple, rel rel
 			probe[0] = v
 			pk := v.key()
 			for _, ri := range ix.lookupEqual(probe) {
-				row, err := t.store.Get(ri)
+				row, err := ex.storeGet(t, ri)
 				if err != nil {
 					return nil, err
 				}

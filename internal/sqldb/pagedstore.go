@@ -70,12 +70,18 @@ func (pt *PagedTable) pageOf(i int) int {
 }
 
 // Get implements RowStore; the returned row is a fresh copy.
-func (pt *PagedTable) Get(i int) ([]Value, error) {
+func (pt *PagedTable) Get(i int) ([]Value, error) { return pt.GetTracked(i, nil) }
+
+// GetTracked is Get with pool-activity attribution: a page fault this read
+// causes (and any eviction/writeback it forces) is charged to tk, so the
+// executor can report its own paging cost on the request trace. tk may be
+// nil.
+func (pt *PagedTable) GetTracked(i int, tk *pager.Tracker) ([]Value, error) {
 	if i < 0 || i >= pt.total {
 		return nil, fmt.Errorf("sqldb: row id %d out of range [0,%d)", i, pt.total)
 	}
 	p := pt.pageOf(i)
-	fr, err := pt.file.Pin(p)
+	fr, err := pt.file.PinTracked(p, tk)
 	if err != nil {
 		return nil, err
 	}
@@ -90,9 +96,14 @@ func (pt *PagedTable) Get(i int) ([]Value, error) {
 // Scan implements RowStore. Each page is pinned only while its rows decode;
 // fn runs on copies, so it may itself touch other paged tables.
 func (pt *PagedTable) Scan(fn func(i int, row []Value) error) error {
+	return pt.ScanTracked(nil, fn)
+}
+
+// ScanTracked is Scan with pool-activity attribution (see GetTracked).
+func (pt *PagedTable) ScanTracked(tk *pager.Tracker, fn func(i int, row []Value) error) error {
 	id := 0
 	for p, want := range pt.pageRows {
-		fr, err := pt.file.Pin(p)
+		fr, err := pt.file.PinTracked(p, tk)
 		if err != nil {
 			return err
 		}

@@ -95,7 +95,14 @@ func (f *File) Pages() int {
 
 // Pin faults page pageNo into the pool and returns it pinned.
 func (f *File) Pin(pageNo int) (*Frame, error) {
-	return f.pool.pin(f, pageNo)
+	return f.pool.pin(f, pageNo, nil)
+}
+
+// PinTracked is Pin with per-caller attribution: a fault (and any eviction
+// or writeback it forces) is charged to tk, so a request trace can report
+// its own pool activity. tk may be nil.
+func (f *File) PinTracked(pageNo int, tk *Tracker) (*Frame, error) {
+	return f.pool.pin(f, pageNo, tk)
 }
 
 // Allocate appends a fresh page and returns its number and a pinned, zeroed,

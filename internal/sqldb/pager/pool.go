@@ -3,6 +3,7 @@ package pager
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrNoFrames is returned by Pin when every frame in the pool is pinned:
@@ -120,8 +121,10 @@ func (fr *Frame) Unpin() {
 
 // pin returns a pinned frame holding page pageNo of f, faulting it from
 // disk on a miss. Concurrent pins of the same missing page coalesce onto one
-// disk read.
-func (p *Pool) pin(f *File, pageNo int) (*Frame, error) {
+// disk read. A non-nil tracker receives this caller's fault/eviction
+// activity (trace attribution); the process-wide fault observer sees every
+// fault's read latency regardless.
+func (p *Pool) pin(f *File, pageNo int, tk *Tracker) (*Frame, error) {
 	k := frameKey{file: f, pageNo: pageNo}
 	p.mu.Lock()
 	for {
@@ -136,7 +139,7 @@ func (p *Pool) pin(f *File, pageNo int) (*Frame, error) {
 			p.mu.Unlock()
 			return fr, nil
 		}
-		fr, err := p.acquireLocked()
+		fr, err := p.acquireLocked(tk)
 		if err != nil {
 			p.mu.Unlock()
 			return nil, err
@@ -155,7 +158,13 @@ func (p *Pool) pin(f *File, pageNo int) (*Frame, error) {
 		p.table[k] = fr
 		p.misses++
 		p.mu.Unlock()
+		readStart := time.Now()
 		rerr := f.readPage(pageNo, fr.buf)
+		if rerr == nil {
+			d := time.Since(readStart)
+			tk.noteFault(d)
+			observeFault(d)
+		}
 		p.mu.Lock()
 		fr.loading = false
 		if rerr != nil {
@@ -177,7 +186,7 @@ func (p *Pool) pin(f *File, pageNo int) (*Frame, error) {
 func (p *Pool) pinNew(f *File, pageNo int) (*Frame, error) {
 	k := frameKey{file: f, pageNo: pageNo}
 	p.mu.Lock()
-	fr, err := p.acquireLocked()
+	fr, err := p.acquireLocked(nil)
 	if err != nil {
 		p.mu.Unlock()
 		return nil, err
@@ -195,7 +204,9 @@ func (p *Pool) pinNew(f *File, pageNo int) (*Frame, error) {
 // acquireLocked reclaims a victim frame, writing back its contents first if
 // dirty. Called and returns with p.mu held (the lock is dropped around the
 // writeback I/O). The returned frame is unmapped and reserved with pins=1.
-func (p *Pool) acquireLocked() (*Frame, error) {
+// A non-nil tracker is charged for the eviction (and writeback) this
+// caller's fault forced.
+func (p *Pool) acquireLocked(tk *Tracker) (*Frame, error) {
 	for {
 		fr, allPinned := p.victimLocked()
 		if fr == nil {
@@ -215,7 +226,11 @@ func (p *Pool) acquireLocked() (*Frame, error) {
 			vk := fr.key
 			p.writebacks++
 			p.mu.Unlock()
+			writeStart := time.Now()
 			werr := vk.file.writePage(vk.pageNo, fr.buf)
+			if werr == nil {
+				tk.noteWriteback(time.Since(writeStart))
+			}
 			p.mu.Lock()
 			fr.flushing = false
 			fr.pins--
@@ -233,6 +248,7 @@ func (p *Pool) acquireLocked() (*Frame, error) {
 			delete(p.table, fr.key)
 			fr.mapped = false
 			p.evictions++
+			tk.noteEviction()
 		}
 		fr.dirty = false
 		fr.ref = false

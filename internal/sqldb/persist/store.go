@@ -1,12 +1,15 @@
 package persist
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
+	"justintime/internal/obs"
 	"justintime/internal/sqldb"
 	"justintime/internal/sqldb/pager"
 )
@@ -25,6 +28,10 @@ type Options struct {
 	// OnWALWrite, when set, observes every appended WAL record's framed
 	// size in bytes — the hook metrics counters attach to.
 	OnWALWrite func(bytes int)
+	// OnFsync, when set, observes the latency of every WAL fsync (per-record
+	// in SyncAlways mode, per-flush-point in SyncBatched) — the hook the
+	// /metrics fsync histogram attaches to.
+	OnFsync func(d time.Duration)
 	// Pool, when set, rehydrates paged tables by attaching their page files
 	// to this buffer pool instead of decoding every row: a cold open costs
 	// only the snapshot's schema records, and rows fault in page by page as
@@ -199,6 +206,7 @@ func attach(dir string, db *sqldb.DB, epoch uint64, opts Options) (*Store, error
 	if err != nil {
 		return nil, err
 	}
+	wal.onFsync = opts.OnFsync
 	st := &Store{dir: dir, db: db, wal: wal, epoch: epoch}
 	db.SetLogger(wal)
 	return st, nil
@@ -227,18 +235,33 @@ func (s *Store) Sync() error { return s.wal.Sync() }
 // replay as before; between rename and reset, the new snapshot sees the old
 // WAL's epoch as stale and discards it (its effects are inside the
 // snapshot); after the reset, the pair is simply the new epoch.
-func (s *Store) Checkpoint() error {
+func (s *Store) Checkpoint() error { return s.CheckpointCtx(context.Background()) }
+
+// CheckpointCtx is Checkpoint with trace propagation: when ctx carries an
+// active obs.Span, the snapshot write and the WAL reset land on the trace as
+// timed child spans, with the pre-fold WAL size as an attribute.
+func (s *Store) CheckpointCtx(ctx context.Context) error {
+	_, span := obs.Start(ctx, "persist.checkpoint")
+	defer span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("persist: store is closed")
 	}
+	span.SetAttrInt("wal_bytes", s.wal.Size()-walHeaderLen)
 	next := s.epoch + 1
 	err := s.db.CheckpointWith(func(d *sqldb.Dump) error {
+		snapStart := time.Now()
 		if err := writeState(s.dir, d, next); err != nil {
 			return err
 		}
-		return s.wal.Reset(next)
+		span.Event("snapshot.write", time.Since(snapStart))
+		resetStart := time.Now()
+		if err := s.wal.Reset(next); err != nil {
+			return err
+		}
+		span.Event("wal.reset", time.Since(resetStart))
+		return nil
 	})
 	if err == nil {
 		s.epoch = next

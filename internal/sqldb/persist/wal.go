@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"justintime/internal/sqldb"
 )
@@ -74,7 +75,19 @@ type WAL struct {
 	mode    SyncMode
 	size    int64 // current valid length, including header
 	onWrite func(int)
+	onFsync func(time.Duration)
 	closed  bool
+}
+
+// syncTimed fsyncs the log file, reporting the latency to the onFsync hook.
+// Callers hold w.mu.
+func (w *WAL) syncTimed() error {
+	start := time.Now()
+	err := w.f.Sync()
+	if err == nil && w.onFsync != nil {
+		w.onFsync(time.Since(start))
+	}
+	return err
 }
 
 // walHeaderLen is the file header: magic (8 bytes) + checkpoint epoch (u64).
@@ -245,7 +258,7 @@ func (w *WAL) append(payload []byte) error {
 		return fmt.Errorf("persist: wal flush: %w", err)
 	}
 	if w.mode == SyncAlways {
-		if err := w.f.Sync(); err != nil {
+		if err := w.syncTimed(); err != nil {
 			return fmt.Errorf("persist: wal fsync: %w", err)
 		}
 	}
@@ -307,7 +320,7 @@ func (w *WAL) Sync() error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	return w.syncTimed()
 }
 
 // Reset empties the log back to a bare header carrying the new checkpoint

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"justintime/internal/sqldb/pager"
 )
 
 // This file is the cost-aware access-path planner behind SELECT execution:
@@ -684,6 +687,7 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 		// the paths; skip path choice but keep the sentinel-row contract.
 		planCounts.emptyProbe.Add(1)
 		ex.note("scan %s using impossible predicate (NULL probe)", rel.alias)
+		ex.notePlan("empty_probe", false, 0, 0)
 		return ex.sentinelRows(t)
 	}
 	db := ex.db
@@ -701,8 +705,15 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 			planCacheCounts.invalidations.Add(1)
 		}
 	}
+	// Plan-cache hits do no planning work, so only misses time it — the
+	// cache-hit hot path pays zero clock reads for the plan event.
+	var planDur time.Duration
 	if !cached {
 		planCacheCounts.misses.Add(1)
+		var planStart time.Time
+		if ex.span != nil {
+			planStart = time.Now()
+		}
 		built := buildPaths(t, set)
 		if len(built) == 0 {
 			if !db.DisableStatsCosting {
@@ -719,13 +730,18 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 		}
 		paths, covering = ex.choosePaths(t, built, coverCols, coverOK)
 		db.plans.put(sel, planTemplateOf(schemaV, statsE, paths, covering))
+		if ex.span != nil {
+			planDur = time.Since(planStart)
+		}
 	}
 	// Estimate before ensure: the note must reflect the statistics the plan
 	// was chosen under, not the ones this execution's index builds derive.
 	suffix := ""
+	estRows := int64(-1)
 	if !db.DisableStatsCosting {
 		if e, ok := combinedEstimate(paths, t.store.Len()); ok {
-			suffix = fmt.Sprintf(" est_rows=%d", int64(e+0.5))
+			estRows = int64(e + 0.5)
+			suffix = fmt.Sprintf(" est_rows=%d", estRows)
 		}
 	}
 	if cached {
@@ -742,20 +758,26 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 		sets[i] = pathPositions(p)
 	}
 	pos := intersectPositions(sets)
+	shape := "index_scan"
 	switch {
 	case covering && len(paths) == 1:
+		shape = "covering_scan"
 		planCounts.coveringScan.Add(1)
 		ex.note("scan %s using covering index %s%s", rel.alias, paths[0].describe(t), suffix)
 	case len(paths) == 1:
 		planCounts.indexScan.Add(1)
 		ex.note("scan %s using index %s%s", rel.alias, paths[0].describe(t), suffix)
 	default:
+		shape = "index_intersection"
 		planCounts.indexIntersect.Add(1)
 		descs := make([]string, len(paths))
 		for i, p := range paths {
 			descs[i] = p.describe(t)
 		}
 		ex.note("scan %s using index intersection of %s%s", rel.alias, strings.Join(descs, " and "), suffix)
+	}
+	if ex.span != nil {
+		ex.notePlan(shape, cached, estRows, planDur)
 	}
 	if len(pos) == 0 && t.store.Len() > 0 {
 		// Keep one sentinel row: the sargable conjuncts are not TRUE on it,
@@ -764,7 +786,7 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 		pos = []int{0}
 	}
 	if covering && len(paths) == 1 {
-		rows, err := coveringRows(t, paths[0], pos)
+		rows, err := coveringRows(t, paths[0], pos, ex.ptrack)
 		if err != nil {
 			return nil, false, err
 		}
@@ -772,7 +794,7 @@ func (ex *executor) indexScan(t *Table, rel relation, sel *SelectStmt, parent *s
 	}
 	rows := make([][]Value, len(pos))
 	for i, p := range pos {
-		row, err := t.store.Get(p)
+		row, err := ex.storeGet(t, p)
 		if err != nil {
 			return nil, false, err
 		}
@@ -788,7 +810,7 @@ func (ex *executor) sentinelRows(t *Table) ([][]Value, bool, error) {
 	if t.store.Len() == 0 {
 		return [][]Value{}, true, nil
 	}
-	row, err := t.store.Get(0)
+	row, err := ex.storeGet(t, 0)
 	if err != nil {
 		return nil, false, err
 	}
@@ -859,6 +881,7 @@ func (ex *executor) orUnionScan(t *Table, rel relation, sel *SelectStmt, parent 
 			// Every disjunct was a NULL probe: the conjunct is never TRUE.
 			planCounts.emptyProbe.Add(1)
 			ex.note("scan %s using impossible predicate (NULL probe)", rel.alias)
+			ex.notePlan("empty_probe", false, 0, 0)
 		} else {
 			planCounts.indexUnion.Add(1)
 			descs := make([]string, len(paths))
@@ -866,13 +889,14 @@ func (ex *executor) orUnionScan(t *Table, rel relation, sel *SelectStmt, parent 
 				descs[i] = p.describe(t)
 			}
 			ex.note("scan %s using index union of %s", rel.alias, strings.Join(descs, " and "))
+			ex.notePlan("index_union", false, -1, 0)
 		}
 		if len(pos) == 0 && t.store.Len() > 0 {
 			pos = []int{0} // sentinel row, as above
 		}
 		rows := make([][]Value, len(pos))
 		for i, ri := range pos {
-			row, err := t.store.Get(ri)
+			row, err := ex.storeGet(t, ri)
 			if err != nil {
 				return nil, false, err
 			}
@@ -1033,12 +1057,13 @@ func (ex *executor) coveringFullScan(t *Table, rel relation, sel *SelectStmt) ([
 	for i := range pos {
 		pos[i] = i
 	}
-	rows, err := coveringRows(t, accessPath{ix: best}, pos)
+	rows, err := coveringRows(t, accessPath{ix: best}, pos, ex.ptrack)
 	if err != nil {
 		return nil, false, err
 	}
 	planCounts.coveringScan.Add(1)
 	ex.note("scan %s using covering index %s", rel.alias, best.name)
+	ex.notePlan("covering_scan", false, -1, 0)
 	return rows, true, nil
 }
 
@@ -1049,7 +1074,7 @@ func (ex *executor) coveringFullScan(t *Table, rel relation, sel *SelectStmt) ([
 // exclude are the exceptions: a single-column index's NULL rows synthesize
 // as all-NULL (the one referenced column IS NULL there), while composite
 // NULL rows and the sentinel row materialize through the store.
-func coveringRows(t *Table, p accessPath, pos []int) ([][]Value, error) {
+func coveringRows(t *Table, p accessPath, pos []int, tk *pager.Tracker) ([][]Value, error) {
 	ix := p.ix
 	tup := make(map[int][]Value, len(pos))
 	addRange := func(start, end int) {
@@ -1094,7 +1119,7 @@ func coveringRows(t *Table, p accessPath, pos []int) ([][]Value, error) {
 			rows[i] = make([]Value, len(t.Cols)) // the zero Value is NULL
 			continue
 		}
-		row, err := t.store.Get(ri)
+		row, err := storeGetTracked(t, ri, tk)
 		if err != nil {
 			return nil, err
 		}
@@ -1270,7 +1295,7 @@ func (ex *executor) tryTopK(sel *SelectStmt, parent *scope) (*Result, bool, erro
 	processed := 0
 	emit := func(ri int) (bool, error) {
 		processed++
-		row, rerr := t.store.Get(ri)
+		row, rerr := ex.storeGet(t, ri)
 		if rerr != nil {
 			return true, rerr
 		}
@@ -1358,6 +1383,7 @@ func (ex *executor) tryTopK(sel *SelectStmt, parent *scope) (*Result, bool, erro
 	}
 
 	planCounts.topK.Add(1)
+	ex.notePlan("top_k", false, -1, 0)
 	if ex.trace != nil {
 		parts := make([]string, 0, j+len(orderCols))
 		for i := 0; i < j; i++ {

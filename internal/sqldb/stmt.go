@@ -1,6 +1,13 @@
 package sqldb
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// errQueryNotSelect is returned when Query runs a non-SELECT statement.
+var errQueryNotSelect = errors.New("sqldb: Query requires a SELECT statement")
 
 // Stmt is a compiled SQL statement: the parse happens once, at Prepare time,
 // and every execution reuses the AST. A Stmt is bound to no particular
@@ -65,19 +72,7 @@ func (st *Stmt) checkArgs(args []Value) error {
 // Query executes a prepared SELECT (or EXPLAIN SELECT) against db under its
 // read lock.
 func (st *Stmt) Query(db *DB, args ...Value) (*Result, error) {
-	if !st.IsSelect() {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
-	}
-	if err := st.checkArgs(args); err != nil {
-		return nil, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ex := &executor{db: db, params: args}
-	if e, ok := st.stmt.(*ExplainStmt); ok {
-		return ex.explain(e.Sel)
-	}
-	return ex.execSelect(st.stmt.(*SelectStmt), nil)
+	return st.queryTraced(context.Background(), db, 0, args)
 }
 
 // QueryCapped is Query with limit pushdown: the top-level statement stops
@@ -89,22 +84,7 @@ func (st *Stmt) Query(db *DB, args ...Value) (*Result, error) {
 // never capped — that would change results, not just bound their size.
 // maxRows <= 0 means uncapped; EXPLAIN output is never capped.
 func (st *Stmt) QueryCapped(db *DB, maxRows int, args ...Value) (*Result, error) {
-	if !st.IsSelect() {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
-	}
-	if err := st.checkArgs(args); err != nil {
-		return nil, err
-	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ex := &executor{db: db, params: args}
-	if e, ok := st.stmt.(*ExplainStmt); ok {
-		return ex.explain(e.Sel)
-	}
-	if maxRows > 0 {
-		ex.capRows = maxRows
-	}
-	return ex.execSelect(st.stmt.(*SelectStmt), nil)
+	return st.queryTraced(context.Background(), db, maxRows, args)
 }
 
 // Exec executes a prepared non-SELECT statement against db under its write

@@ -11,6 +11,12 @@
 #   BENCH_PKGS    space-separated packages    (default: ./internal/sqldb ./internal/server .)
 #   BENCHTIME     go -benchtime               (default: 1s)
 #   COUNT         go -count                   (default: 3)
+#   ROUNDS        repeat the whole go test invocation N times (default: 1).
+#                 Use ROUNDS=N COUNT=1 when comparing sub-benchmark variants
+#                 (e.g. tracing=off vs tracing=on): -count groups all runs of
+#                 one variant minutes before the other, so slow machine drift
+#                 lands entirely on one side; repeated single-count rounds
+#                 interleave the variants in time and the drift cancels.
 #
 # Output: scripts/bench/BENCH_<label>.json — an array of
 #   {"name": ..., "iters": ..., "metrics": {"ns/op": ..., "B/op": ..., ...}}
@@ -25,6 +31,7 @@ label="${1:-$(date +%Y%m%d-%H%M%S)}"
 filter="${BENCH_FILTER:-.}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-3}"
+rounds="${ROUNDS:-1}"
 # shellcheck disable=SC2206
 pkgs=(${BENCH_PKGS:-./internal/sqldb ./internal/server .})
 
@@ -33,12 +40,14 @@ out="scripts/bench/BENCH_${label}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo ">> go test -run '^\$' -bench '$filter' -benchmem -benchtime=$benchtime -count=$count ${pkgs[*]}" >&2
-go test -run '^$' -bench "$filter" -benchmem -benchtime="$benchtime" -count="$count" "${pkgs[@]}" | tee "$raw" >&2
+echo ">> go test -run '^\$' -bench '$filter' -benchmem -benchtime=$benchtime -count=$count ${pkgs[*]}  (x$rounds rounds)" >&2
+for ((round = 0; round < rounds; round++)); do
+  go test -run '^$' -bench "$filter" -benchmem -benchtime="$benchtime" -count="$count" "${pkgs[@]}"
+done | tee "$raw" >&2
 
 {
-  printf '{\n  "label": "%s",\n  "date": "%s",\n  "go": "%s",\n  "filter": "%s",\n  "benchtime": "%s",\n  "count": %s,\n  "results": [\n' \
-    "$label" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(go env GOVERSION)" "$filter" "$benchtime" "$count"
+  printf '{\n  "label": "%s",\n  "date": "%s",\n  "go": "%s",\n  "filter": "%s",\n  "benchtime": "%s",\n  "count": %s,\n  "rounds": %s,\n  "results": [\n' \
+    "$label" "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(go env GOVERSION)" "$filter" "$benchtime" "$count" "$rounds"
   awk '
     /^Benchmark/ && NF >= 4 {
       if (seen) printf ",\n"

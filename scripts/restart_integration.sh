@@ -77,9 +77,23 @@ curl -sf -X POST "$BASE/api/sessions/$SID/sql" -H 'Content-Type: application/jso
   -d '{"query": "SELECT * FROM candidates ORDER BY time, diff, gap, p"}' >"$WORK/pre_rows.json" \
   || fail "pre-restart candidates dump failed"
 
+echo "== scrape /metrics before shutdown =="
+curl -sf "$BASE/metrics" >"$WORK/metrics_pre.txt" || fail "pre-shutdown /metrics scrape failed"
+grep -q '^jitd_sessions_live 1$' "$WORK/metrics_pre.txt" \
+  || fail "pre-shutdown /metrics does not report the live session"
+ASK_COUNT=$(sed -n 's/^jitd_http_request_duration_seconds_count{route="\/api\/sessions\/{id}\/ask"} \([0-9]*\)$/\1/p' "$WORK/metrics_pre.txt")
+[ "${ASK_COUNT:-0}" = "4" ] || fail "expected 4 observed ask requests in /metrics, saw '${ASK_COUNT:-}'"
+# The first run's session flow is read-only after the creation snapshot, so
+# assert the exposition families are present rather than a fsync count.
+grep -q '^jitd_wal_fsync_duration_seconds_bucket{le="+Inf"}' "$WORK/metrics_pre.txt" \
+  || fail "pre-shutdown /metrics is missing the WAL fsync histogram"
+grep -q '^jitd_plan_shapes_total{shape=' "$WORK/metrics_pre.txt" \
+  || fail "pre-shutdown /metrics is missing plan-shape counters"
+
 echo "== SIGTERM (checkpoint to disk) =="
 stop_jitd
-grep -q "checkpointed 1 live session" "$LOG" || fail "shutdown did not checkpoint the session"
+grep -q 'msg="checkpointed live sessions to disk" sessions=1' "$LOG" \
+  || fail "shutdown did not checkpoint the session"
 
 echo "== second run: same -data-dir, same session id =="
 start_jitd
@@ -98,6 +112,16 @@ diff -u "$WORK/pre_rows.json" "$WORK/post_rows.json" || fail "candidates databas
 # second generation (the only POST /api/sessions happened in run one).
 REHYDRATIONS=$(curl -sf "$BASE/debug/vars" | sed -n 's/.*"jitd_rehydrations": \([0-9]*\).*/\1/p')
 [ "${REHYDRATIONS:-0}" = "1" ] || fail "expected 1 rehydration, saw '${REHYDRATIONS:-}'"
+
+echo "== scrape /metrics after restart =="
+curl -sf "$BASE/metrics" >"$WORK/metrics_post.txt" || fail "post-restart /metrics scrape failed"
+grep -q '^jitd_rehydrations_total 1$' "$WORK/metrics_post.txt" \
+  || fail "post-restart /metrics does not report the rehydration"
+grep -q '^jitd_sessions_live 1$' "$WORK/metrics_post.txt" \
+  || fail "post-restart /metrics does not report the rehydrated session as live"
+# Rehydration faults the session's pages back in through the buffer pool.
+grep -q '^jitd_pool_misses_total [1-9]' "$WORK/metrics_post.txt" \
+  || fail "post-restart /metrics shows no buffer-pool faults after rehydration"
 
 stop_jitd
 echo "PASS: session $SID survived the restart byte-for-byte"
