@@ -62,22 +62,45 @@
 // slow-query log on /debug/requests/slow). -log-format selects text or json
 // structured logs; -debug-addr, when set, serves net/http/pprof and
 // /debug/vars on a separate listener.
+//
+// Cluster mode. With -cluster-config (the jitrouter shard map) and
+// -shard-name, this process runs as one shard: it mints only session IDs it
+// owns under the map's rendezvous hash, so sessions created here route back
+// here through the router. With -replicate-to host:port (requires
+// -data-dir), every session's durable state streams to a warm standby: WAL
+// appends as they happen, full file sets on create/checkpoint, deletions.
+// Replication health is on /metrics (jitd_replication_*; the lag gauges
+// must read 0 under quiesced traffic before a failover).
+//
+// Standby mode. With -standby -replication-listen host:port (requires
+// -data-dir), the process trains its models, then ingests its primary's
+// replication stream into -data-dir instead of serving: every /api request
+// answers 503 + Retry-After until POST /admin/promote stops ingest and
+// opens the full API over the replicated session tree (sessions rehydrate
+// lazily from local disk). GET /admin/standby reports ingest counters while
+// waiting.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"justintime"
+	"justintime/internal/cluster"
 	"justintime/internal/server"
 	"justintime/internal/sqldb/persist"
 )
@@ -102,6 +125,11 @@ func main() {
 	traceSample := flag.Int("trace-sample", 16, "keep 1 in N fast requests in the recent-trace ring")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof and /debug/vars; empty = off")
+	clusterConfig := flag.String("cluster-config", "", "shard map JSON (the jitrouter config); with -shard-name, mint only owned session IDs")
+	shardName := flag.String("shard-name", "", "this process's name in -cluster-config")
+	replicateTo := flag.String("replicate-to", "", "warm standby's replication listener host:port; streams WAL + checkpoints there (requires -data-dir)")
+	standbyMode := flag.Bool("standby", false, "run as a warm standby: ingest a primary's replication stream, gate the API until /admin/promote")
+	replicationListen := flag.String("replication-listen", "", "standby's replication listener host:port (requires -standby)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat)
@@ -118,6 +146,32 @@ func main() {
 	if *bufferPoolPages > 0 && *dataDir == "" {
 		fatal(logger, "-buffer-pool-pages requires -data-dir (paged storage needs a backing file)")
 	}
+	if (*clusterConfig == "") != (*shardName == "") {
+		fatal(logger, "-cluster-config and -shard-name go together")
+	}
+	if *replicateTo != "" && *dataDir == "" {
+		fatal(logger, "-replicate-to requires -data-dir (replication ships the on-disk session tree)")
+	}
+	if *standbyMode && (*dataDir == "" || *replicationListen == "") {
+		fatal(logger, "-standby requires -data-dir and -replication-listen")
+	}
+	if *replicationListen != "" && !*standbyMode {
+		fatal(logger, "-replication-listen requires -standby")
+	}
+	var keepID func(string) bool
+	if *clusterConfig != "" {
+		m, err := cluster.LoadMap(*clusterConfig)
+		if err != nil {
+			fatal(logger, "bad -cluster-config", "err", err)
+		}
+		if m.ByName(*shardName) == nil {
+			fatal(logger, "shard not in cluster map", "shard", *shardName)
+		}
+		names := m.Names()
+		name := *shardName
+		keepID = func(id string) bool { return cluster.OwnedBy(id, name, names) }
+		logger.Info("cluster shard mode", "shard", name, "shards", len(names))
+	}
 
 	cfg := justintime.DefaultLoanDemoConfig()
 	cfg.Method = *method
@@ -133,19 +187,49 @@ func main() {
 		fatal(logger, "building demo system failed", "err", err)
 	}
 
-	handler := server.NewWithConfig(demo.System, server.Config{
-		MaxSessions:       *maxSessions,
-		SessionTTL:        *sessionTTL,
-		MaxSQLRows:        *maxSQLRows,
-		DataDir:           *dataDir,
-		WALSync:           syncMode,
-		Shards:            *shards,
-		MaxPendingCreates: *maxPendingCreates,
-		BufferPoolPages:   *bufferPoolPages,
-		SlowRequest:       *slowRequest,
-		TraceSampleEvery:  *traceSample,
-		Logger:            logger,
-	})
+	buildServer := func() *server.Server {
+		return server.NewWithConfig(demo.System, server.Config{
+			MaxSessions:       *maxSessions,
+			SessionTTL:        *sessionTTL,
+			MaxSQLRows:        *maxSQLRows,
+			DataDir:           *dataDir,
+			WALSync:           syncMode,
+			Shards:            *shards,
+			MaxPendingCreates: *maxPendingCreates,
+			BufferPoolPages:   *bufferPoolPages,
+			SlowRequest:       *slowRequest,
+			TraceSampleEvery:  *traceSample,
+			Logger:            logger,
+			KeepSessionID:     keepID,
+			ReplicateTo:       *replicateTo,
+		})
+	}
+	var handler http.Handler
+	var closeNode func() int
+	if *standbyMode {
+		replica, err := persist.NewReplica(filepath.Join(*dataDir, "sessions"), logger)
+		if err != nil {
+			fatal(logger, "building replica failed", "err", err)
+		}
+		server.RegisterReplica(replica)
+		rln, err := net.Listen("tcp", *replicationListen)
+		if err != nil {
+			fatal(logger, "replication listener failed", "err", err)
+		}
+		go replica.Serve(rln)
+		sb := &standbyNode{replica: replica, build: buildServer, logger: logger}
+		handler = sb
+		closeNode = sb.Close
+		logger.Info("warm standby: ingesting replication stream",
+			"replication_listen", *replicationListen, "data_dir", *dataDir)
+	} else {
+		srv := buildServer()
+		handler = srv
+		closeNode = srv.Close
+	}
+	if *replicateTo != "" {
+		logger.Info("replicating to warm standby", "target", *replicateTo)
+	}
 	if *dataDir != "" {
 		logger.Info("session durability on", "data_dir", *dataDir, "wal_sync", syncMode.String())
 	}
@@ -191,11 +275,86 @@ func main() {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("serve failed", "err", err)
 		}
-		if n := handler.Close(); n > 0 {
+		if n := closeNode(); n > 0 {
 			logger.Info("checkpointed live sessions to disk", "sessions", n)
 		}
 		logger.Info("jitd stopped")
 	}
+}
+
+// standbyNode is the warm-standby lifecycle around a Server that does not
+// exist yet: before promotion it ingests the primary's replication stream
+// and answers 503 to the API (so a router's health probe never routes here);
+// POST /admin/promote stops ingest and builds the real Server over the
+// replicated session tree, after which every request flows through it.
+type standbyNode struct {
+	replica *persist.Replica
+	build   func() *server.Server
+	logger  *slog.Logger
+
+	mu  sync.RWMutex
+	srv *server.Server // nil until promoted
+}
+
+func (n *standbyNode) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/admin/promote" {
+		n.promote(w)
+		return
+	}
+	n.mu.RLock()
+	srv := n.srv
+	n.mu.RUnlock()
+	if srv != nil {
+		srv.ServeHTTP(w, r)
+		return
+	}
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/admin/standby":
+		writeJSON(w, http.StatusOK, map[string]interface{}{"promoted": false, "replica": n.replica.Stats()})
+	case r.URL.Path == "/debug/vars":
+		expvar.Handler().ServeHTTP(w, r)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"error": "standby: not promoted; POST /admin/promote to take over",
+		})
+	}
+}
+
+// promote stops replication ingest and opens the API. Idempotent: a second
+// promotion reports success without rebuilding anything.
+func (n *standbyNode) promote(w http.ResponseWriter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv != nil {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"promoted": true, "already": true})
+		return
+	}
+	st := n.replica.Stats()
+	if err := n.replica.Close(); err != nil {
+		n.logger.Error("standby: closing replica failed", "err", err)
+	}
+	n.srv = n.build()
+	n.logger.Info("standby promoted to primary",
+		"applied_records", st.AppliedRecords, "applied_bytes", st.AppliedBytes, "syncs", st.Syncs)
+	writeJSON(w, http.StatusOK, map[string]interface{}{"promoted": true})
+}
+
+// Close shuts down whichever phase the node is in.
+func (n *standbyNode) Close() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv != nil {
+		return n.srv.Close()
+	}
+	_ = n.replica.Close()
+	return 0
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // buildLogger maps -log-format onto a slog handler writing to stderr.

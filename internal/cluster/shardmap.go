@@ -1,0 +1,148 @@
+// Package cluster is the multi-process scale-out layer: a static shard map
+// splitting the session space across N jitd processes, deterministic
+// rendezvous hashing of session IDs onto shards, and an HTTP router that
+// forwards requests to the owning shard over pooled keep-alive connections.
+//
+// The design keeps the wire boundary thin: shards are ordinary jitd
+// processes speaking the ordinary JSON API, the router adds no state of its
+// own beyond the shard map and health, and ownership is a pure function of
+// (session ID, shard names) — so a request sent directly to the owning
+// shard and one sent through the router are answered byte-identically.
+//
+// Ownership hashes only shard *names*, never addresses: a failover that
+// promotes a warm standby re-points the name at a new address without
+// moving any session, and a shard-map reload with unchanged names is
+// guaranteed routing-stable.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Shard is one entry of the shard map: a stable name (the hashing identity),
+// the primary's API address, and optionally its warm standby's API address
+// (informational — the router never routes to a standby until a reload
+// re-points Addr at it after promotion).
+type Shard struct {
+	// Name is the shard's stable identity; session ownership hashes names,
+	// so a shard keeps its sessions across address changes (failover).
+	Name string `json:"name"`
+	// Addr is the primary's HTTP API host:port.
+	Addr string `json:"addr"`
+	// Standby, when set, is the standby's HTTP API host:port (where the
+	// promotion endpoint lives). The router only records it for /admin/map;
+	// traffic goes to Addr.
+	Standby string `json:"standby,omitempty"`
+}
+
+// Map is a parsed, validated shard map.
+type Map struct {
+	Shards []Shard `json:"shards"`
+}
+
+// shardNamePattern keeps names usable as metric label values and config
+// keys; the empty name is rejected separately.
+var shardNamePattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// ParseMap validates a shard map from its JSON encoding.
+func ParseMap(raw []byte) (*Map, error) {
+	var m Map
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("cluster: parsing shard map: %w", err)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: shard map has no shards")
+	}
+	seen := make(map[string]bool, len(m.Shards))
+	for i, s := range m.Shards {
+		if !shardNamePattern.MatchString(s.Name) {
+			return nil, fmt.Errorf("cluster: shard %d has invalid name %q", i, s.Name)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if strings.TrimSpace(s.Addr) == "" {
+			return nil, fmt.Errorf("cluster: shard %q has no addr", s.Name)
+		}
+	}
+	return &m, nil
+}
+
+// LoadMap reads and validates a shard map file.
+func LoadMap(path string) (*Map, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading shard map: %w", err)
+	}
+	return ParseMap(raw)
+}
+
+// Names returns the shard names in map order.
+func (m *Map) Names() []string {
+	names := make([]string, len(m.Shards))
+	for i, s := range m.Shards {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns the shard with the given name, or nil.
+func (m *Map) ByName(name string) *Shard {
+	for i := range m.Shards {
+		if m.Shards[i].Name == name {
+			return &m.Shards[i]
+		}
+	}
+	return nil
+}
+
+// Owner returns the name of the shard owning sessionID under this map.
+func (m *Map) Owner(sessionID string) string {
+	return Owner(sessionID, m.Names())
+}
+
+// Owner maps a session ID onto one of the shard names by rendezvous
+// (highest-random-weight) hashing: every (shard, id) pair gets a
+// deterministic 64-bit score and the highest score wins. The function is a
+// pure function of its arguments — no seeds, no process state — so every
+// router and every shard in the cluster agrees on ownership, restarts
+// change nothing, and adding or removing one shard moves only the sessions
+// whose argmax involved that shard (~1/N of the space).
+//
+// Ties are broken by name order; with a 64-bit hash they are effectively
+// impossible, but the tiebreak keeps the function total and deterministic.
+func Owner(sessionID string, shardNames []string) string {
+	best := ""
+	var bestScore uint64
+	for _, name := range shardNames {
+		s := hrwScore(name, sessionID)
+		if best == "" || s > bestScore || (s == bestScore && name < best) {
+			best, bestScore = name, s
+		}
+	}
+	return best
+}
+
+// OwnedBy reports whether sessionID belongs to shard name under shardNames
+// — the predicate a shard uses to mint only IDs it owns.
+func OwnedBy(sessionID, name string, shardNames []string) bool {
+	return Owner(sessionID, shardNames) == name
+}
+
+// hrwScore is the rendezvous weight of (shard, key): FNV-1a over
+// name\x00key. FNV is stable across platforms and Go versions, which is the
+// property that matters here; its distribution over random 128-bit session
+// IDs is comfortably uniform.
+func hrwScore(name, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomIDs mints n hex session IDs from a fixed seed — the same shape the
+// server mints (32 hex chars), reproducible across runs.
+func randomIDs(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%016x%016x", rng.Uint64(), rng.Uint64())
+	}
+	return ids
+}
+
+// TestOwnerProperties is the routing-parity property test over 10k random
+// session IDs: ownership is deterministic, independent of shard-name order,
+// stable under a shard-map reload that only changes addresses, and balanced
+// within ±15% of the uniform share.
+func TestOwnerProperties(t *testing.T) {
+	names := []string{"s0", "s1", "s2"}
+	ids := randomIDs(10000)
+
+	counts := map[string]int{}
+	for _, id := range ids {
+		owner := Owner(id, names)
+		if owner == "" {
+			t.Fatalf("no owner for %q", id)
+		}
+		counts[owner]++
+
+		// Deterministic: recomputing gives the same answer.
+		if again := Owner(id, names); again != owner {
+			t.Fatalf("owner of %q flapped: %s then %s", id, owner, again)
+		}
+		// Order-independent: rendezvous hashing scores every (name, id)
+		// pair, so the argmax cannot depend on slice order.
+		perm := []string{"s2", "s0", "s1"}
+		if p := Owner(id, perm); p != owner {
+			t.Fatalf("owner of %q depends on name order: %s vs %s", id, owner, p)
+		}
+		// Agreement: the shard-side predicate matches the router-side map.
+		if !OwnedBy(id, owner, names) {
+			t.Fatalf("OwnedBy disagrees with Owner for %q", id)
+		}
+	}
+
+	// Uniformity: each shard within ±15% of n/3.
+	want := float64(len(ids)) / float64(len(names))
+	for _, name := range names {
+		got := float64(counts[name])
+		if got < want*0.85 || got > want*1.15 {
+			t.Fatalf("shard %s owns %d of %d ids, outside ±15%% of %f (all: %v)",
+				name, counts[name], len(ids), want, counts)
+		}
+	}
+
+	// Reload stability: a map with the same names but every address changed
+	// (the failover reload) routes every ID identically.
+	m1 := mustParse(t, `{"shards":[{"name":"s0","addr":"a:1"},{"name":"s1","addr":"a:2"},{"name":"s2","addr":"a:3"}]}`)
+	m2 := mustParse(t, `{"shards":[{"name":"s0","addr":"b:9"},{"name":"s1","addr":"b:8","standby":"b:7"},{"name":"s2","addr":"b:6"}]}`)
+	for _, id := range ids {
+		if m1.Owner(id) != m2.Owner(id) {
+			t.Fatalf("reload moved session %q: %s -> %s", id, m1.Owner(id), m2.Owner(id))
+		}
+	}
+}
+
+// TestOwnerSingleShardAndRemoval pins the rendezvous minimal-movement
+// property: removing one shard relocates only the sessions it owned.
+func TestOwnerSingleShardAndRemoval(t *testing.T) {
+	ids := randomIDs(2000)
+	all := []string{"s0", "s1", "s2"}
+	reduced := []string{"s0", "s2"}
+	for _, id := range ids {
+		before := Owner(id, all)
+		after := Owner(id, reduced)
+		if before != "s1" && after != before {
+			t.Fatalf("removing s1 moved %q from %s to %s", id, before, after)
+		}
+		if before == "s1" && after != "s0" && after != "s2" {
+			t.Fatalf("orphaned session %q went to %q", id, after)
+		}
+	}
+	if got := Owner("anything", []string{"only"}); got != "only" {
+		t.Fatalf("single-shard owner = %q", got)
+	}
+	if got := Owner("anything", nil); got != "" {
+		t.Fatalf("empty shard list owner = %q", got)
+	}
+}
+
+func TestParseMapValidation(t *testing.T) {
+	cases := []struct {
+		raw string
+		ok  bool
+	}{
+		{`{"shards":[{"name":"a","addr":"x:1"}]}`, true},
+		{`{"shards":[]}`, false},
+		{`{"shards":[{"name":"","addr":"x:1"}]}`, false},
+		{`{"shards":[{"name":"a b","addr":"x:1"}]}`, false},
+		{`{"shards":[{"name":"a","addr":""}]}`, false},
+		{`{"shards":[{"name":"a","addr":"x:1"},{"name":"a","addr":"x:2"}]}`, false},
+		{`not json`, false},
+	}
+	for _, c := range cases {
+		_, err := ParseMap([]byte(c.raw))
+		if (err == nil) != c.ok {
+			t.Errorf("ParseMap(%s): err=%v, want ok=%v", c.raw, err, c.ok)
+		}
+	}
+}
+
+func mustParse(t *testing.T, raw string) *Map {
+	t.Helper()
+	m, err := ParseMap([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Sanity: shard maps round-trip through JSON (the reload path re-reads the
+// file the operator wrote).
+func TestMapRoundTrip(t *testing.T) {
+	m := mustParse(t, `{"shards":[{"name":"s0","addr":"h:1","standby":"h:2"}]}`)
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseMap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Shards[0] != m.Shards[0] {
+		t.Fatalf("round trip: %+v vs %+v", m2.Shards[0], m.Shards[0])
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"justintime/internal/core"
 	"justintime/internal/sqldb"
 	"justintime/internal/sqldb/pager"
+	"justintime/internal/sqldb/persist"
 )
 
 // Process-wide serving metrics, exported on /debug/vars (the expvar page the
@@ -99,6 +100,97 @@ func unregisterPool(p *pager.Pool) {
 			return
 		}
 	}
+}
+
+// replRegistry tracks the process's live replication endpoints: shippers
+// (primary side, registered by Servers running with ReplicateTo) and
+// replicas (standby side, registered by the daemon via RegisterReplica).
+// Same shape as the other registries: expvar names are process-global, so
+// the gauges below are Funcs over the registry.
+var replRegistry struct {
+	mu       sync.Mutex
+	shippers []*persist.Shipper
+	replicas []*persist.Replica
+}
+
+func registerShipper(s *persist.Shipper) {
+	replRegistry.mu.Lock()
+	defer replRegistry.mu.Unlock()
+	replRegistry.shippers = append(replRegistry.shippers, s)
+}
+
+func unregisterShipper(s *persist.Shipper) {
+	replRegistry.mu.Lock()
+	defer replRegistry.mu.Unlock()
+	for i, x := range replRegistry.shippers {
+		if x == s {
+			replRegistry.shippers = append(replRegistry.shippers[:i], replRegistry.shippers[i+1:]...)
+			return
+		}
+	}
+}
+
+// RegisterReplica adds a standby replica to the process's replication
+// metrics (the jitd_replica_* vars and /metrics families). The daemon calls
+// it when running as a warm standby, since the replica lives outside any
+// Server.
+func RegisterReplica(r *persist.Replica) {
+	replRegistry.mu.Lock()
+	defer replRegistry.mu.Unlock()
+	replRegistry.replicas = append(replRegistry.replicas, r)
+}
+
+// UnregisterReplica removes a replica registered with RegisterReplica.
+func UnregisterReplica(r *persist.Replica) {
+	replRegistry.mu.Lock()
+	defer replRegistry.mu.Unlock()
+	for i, x := range replRegistry.replicas {
+		if x == r {
+			replRegistry.replicas = append(replRegistry.replicas[:i], replRegistry.replicas[i+1:]...)
+			return
+		}
+	}
+}
+
+// shipperStats sums stats across the registered shippers; connected is true
+// when every registered shipper has a live feed (vacuously true with none).
+func shipperStats() (sum persist.ShipperStats, any bool) {
+	replRegistry.mu.Lock()
+	ss := append([]*persist.Shipper(nil), replRegistry.shippers...)
+	replRegistry.mu.Unlock()
+	sum.Connected = true
+	for _, s := range ss {
+		st := s.Stats()
+		sum.Connected = sum.Connected && st.Connected
+		sum.LagRecords += st.LagRecords
+		sum.LagBytes += st.LagBytes
+		sum.ShippedRecords += st.ShippedRecords
+		sum.ShippedBytes += st.ShippedBytes
+		sum.Syncs += st.Syncs
+		sum.Deletes += st.Deletes
+		sum.Resyncs += st.Resyncs
+		sum.Reconnects += st.Reconnects
+		sum.Overflows += st.Overflows
+	}
+	return sum, len(ss) > 0
+}
+
+// replicaStats sums stats across the registered replicas.
+func replicaStats() (sum persist.ReplicaStats, any bool) {
+	replRegistry.mu.Lock()
+	rs := append([]*persist.Replica(nil), replRegistry.replicas...)
+	replRegistry.mu.Unlock()
+	sum.Connected = true
+	for _, r := range rs {
+		st := r.Stats()
+		sum.Connected = sum.Connected && st.Connected
+		sum.AppliedRecords += st.AppliedRecords
+		sum.AppliedBytes += st.AppliedBytes
+		sum.Syncs += st.Syncs
+		sum.Deletes += st.Deletes
+		sum.ResyncsSent += st.ResyncsSent
+	}
+	return sum, len(rs) > 0
 }
 
 // poolStats sums Stats across the registered pools.
@@ -301,6 +393,24 @@ func init() {
 	expvar.Publish("jitd_pool_dirty_writebacks", expvar.Func(func() interface{} { return poolStats().DirtyWritebacks }))
 	expvar.Publish("jitd_pool_pinned", expvar.Func(func() interface{} { return poolStats().Pinned }))
 	expvar.Publish("jitd_pool_resident_pages", expvar.Func(func() interface{} { return poolStats().Resident }))
+	// Replication state over every registered shipper (primary side) and
+	// replica (standby side). The lag gauges are the failover gate: a
+	// standby may be promoted once jitd_repl_lag_records reads 0 under
+	// quiesced traffic.
+	expvar.Publish("jitd_repl_shipper", expvar.Func(func() interface{} {
+		st, any := shipperStats()
+		if !any {
+			return nil
+		}
+		return st
+	}))
+	expvar.Publish("jitd_repl_replica", expvar.Func(func() interface{} {
+		st, any := replicaStats()
+		if !any {
+			return nil
+		}
+		return st
+	}))
 	// jitd_shard_sessions: resident sessions per shard, summed element-wise
 	// across the process's live session managers (one, outside of tests).
 	// Uneven counts reveal hash skew; a stuck shard reveals a lock problem.

@@ -38,6 +38,11 @@ type persister struct {
 	sys  *core.System
 	opts persist.Options
 	pool *pager.Pool // non-nil: candidates tables go on paged storage
+	// shipper, when non-nil, streams this session tree to a warm standby:
+	// WAL appends ride per-session OnAppend hooks, file-set changes (create,
+	// checkpoint) and deletions are announced through it. Wired by the Server
+	// right after construction, before any session exists.
+	shipper *persist.Shipper
 }
 
 // newPersister prepares <dataDir>/sessions and sweeps orphans left by a
@@ -58,6 +63,24 @@ func newPersister(dataDir string, sys *core.System, sync persist.SyncMode, pool 
 	_ = os.MkdirAll(p.root, 0o755)
 	p.sweepOrphans()
 	return p
+}
+
+// optsFor returns the store options for one session, with the replication
+// append hook bound to its id when shipping is on.
+func (p *persister) optsFor(id string) persist.Options {
+	opts := p.opts
+	if p.shipper != nil {
+		opts.OnAppend = p.shipper.OnAppend(id)
+	}
+	return opts
+}
+
+// noteSync announces that id's durable file set changed shape (created or
+// checkpointed). Nil-safe when shipping is off.
+func (p *persister) noteSync(id string) {
+	if p.shipper != nil {
+		p.shipper.NoteSync(id)
+	}
 }
 
 // dir maps a validated session id to its directory.
@@ -95,12 +118,13 @@ func (p *persister) create(id string, sess *core.Session, constraintSrcs []strin
 			return nil, err
 		}
 	}
-	store, err := persist.Create(dir, sess.DB(), p.opts)
+	store, err := persist.Create(dir, sess.DB(), p.optsFor(id))
 	if err != nil {
 		sess.DB().ClosePagedStores()
 		os.RemoveAll(dir)
 		return nil, err
 	}
+	p.noteSync(id)
 	return store, nil
 }
 
@@ -122,7 +146,7 @@ func (p *persister) open(id string) (*core.Session, *persist.Store, error) {
 	if raw, err := os.ReadFile(filepath.Join(dir, metaFile)); err == nil {
 		_ = json.Unmarshal(raw, &meta) // tolerate a missing/corrupt sidecar: x_0 stands in
 	}
-	db, store, err := persist.Open(dir, p.opts)
+	db, store, err := persist.Open(dir, p.optsFor(id))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -143,7 +167,13 @@ func (p *persister) remove(id string) bool {
 	if _, err := os.Stat(dir); err != nil {
 		return false
 	}
-	return persist.Remove(dir) == nil
+	if persist.Remove(dir) != nil {
+		return false
+	}
+	if p.shipper != nil {
+		p.shipper.NoteDelete(id)
+	}
+	return true
 }
 
 // sweepOrphans removes the debris an unclean shutdown can leave in the

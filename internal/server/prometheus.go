@@ -47,6 +47,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("jitd_pool_pinned", "Buffer-pool frames currently pinned by queries.", ps.Pinned)
 	gauge("jitd_pool_resident_pages", "Buffer-pool frames currently mapped to a page.", ps.Resident)
 
+	boolGauge := func(name, help string, v bool) {
+		n := int64(0)
+		if v {
+			n = 1
+		}
+		gauge(name, help, n)
+	}
+	if st, any := shipperStats(); any {
+		boolGauge("jitd_replication_connected", "Primary-side replication feed is connected (1 = yes).", st.Connected)
+		gauge("jitd_replication_lag_records", "Replication events queued or shipped but unacknowledged.", st.LagRecords)
+		gauge("jitd_replication_lag_bytes", "Replication bytes queued or shipped but unacknowledged.", st.LagBytes)
+		counter("jitd_replication_shipped_records_total", "Replication frames shipped to the standby.", st.ShippedRecords)
+		counter("jitd_replication_shipped_bytes_total", "Replication payload bytes shipped to the standby.", st.ShippedBytes)
+		counter("jitd_replication_syncs_total", "Full session file sets shipped (create, checkpoint, resync).", st.Syncs)
+		counter("jitd_replication_resyncs_total", "Resync requests received from the standby.", st.Resyncs)
+		counter("jitd_replication_reconnects_total", "Times the replication feed (re)connected.", st.Reconnects)
+		counter("jitd_replication_overflows_total", "Times the ship queue overflowed and forced a re-handshake.", st.Overflows)
+	}
+	if st, any := replicaStats(); any {
+		boolGauge("jitd_replica_connected", "Standby-side replication feed is connected (1 = yes).", st.Connected)
+		counter("jitd_replica_applied_records_total", "WAL records applied by the standby.", st.AppliedRecords)
+		counter("jitd_replica_applied_bytes_total", "Replicated bytes applied by the standby.", st.AppliedBytes)
+		counter("jitd_replica_syncs_total", "Full session file sets applied by the standby.", st.Syncs)
+		counter("jitd_replica_deletes_total", "Session deletions applied by the standby.", st.Deletes)
+		counter("jitd_replica_resyncs_sent_total", "Resync requests the standby sent to the primary.", st.ResyncsSent)
+	}
+
 	finished, kept, keptSlow := s.collector.Stats()
 	counter("jitd_traces_finished_total", "Requests whose trace completed (sampled or not).", int64(finished))
 	counter("jitd_traces_kept_total", "Fast-request traces kept by 1-in-N sampling.", int64(kept))

@@ -77,6 +77,19 @@ type Config struct {
 	// Logger, when non-nil, replaces slog.Default() for the server's
 	// structured logs (access log, session-manager diagnostics).
 	Logger *slog.Logger
+	// KeepSessionID, when non-nil, filters freshly minted session IDs:
+	// creation redraws until the predicate accepts one. A cluster shard
+	// passes cluster ownership of its own name here, so every session it
+	// creates hashes back to it under the shard map — the invariant the
+	// router's consistent hashing relies on. Nil accepts every ID.
+	KeepSessionID func(id string) bool
+	// ReplicateTo, when non-empty (and DataDir is set — replication ships
+	// the on-disk session tree), streams every session's durable state to
+	// the warm standby listening at this host:port: WAL appends as they
+	// happen, full file sets on create/checkpoint, deletions as they
+	// happen. The standby replays continuously and can be promoted to
+	// primary after a failover.
+	ReplicateTo string
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +136,9 @@ type Server struct {
 	collector *obs.Collector
 	// logger receives the access log and flows into the session manager.
 	logger *slog.Logger
+	// shipper streams the session tree to a warm standby (nil when
+	// Config.ReplicateTo is empty).
+	shipper *persist.Shipper
 }
 
 // New builds a Server around a configured system with default limits.
@@ -144,6 +160,14 @@ func NewWithConfig(sys *core.System, cfg Config) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	var shipper *persist.Shipper
+	if p != nil && cfg.ReplicateTo != "" {
+		// Wired before the session manager exists, so no session's store can
+		// be created without its append hook.
+		shipper = persist.NewShipper(p.root, cfg.ReplicateTo, logger)
+		p.shipper = shipper
+		registerShipper(shipper)
+	}
 	var collector *obs.Collector
 	if !cfg.DisableTracing {
 		collector = obs.NewCollector(cfg.SlowRequest, cfg.TraceSampleEvery, cfg.TraceRingCap)
@@ -156,11 +180,13 @@ func NewWithConfig(sys *core.System, cfg Config) *Server {
 		createSem: make(chan struct{}, cfg.MaxPendingCreates),
 		collector: collector,
 		logger:    logger,
+		shipper:   shipper,
 	}
 	// The manager is built by newSessionManager (whose signature tests
-	// depend on); observability is wired in afterwards.
+	// depend on); observability and cluster seams are wired in afterwards.
 	s.sessions.traces = collector
 	s.sessions.logger = logger
+	s.sessions.keepID = cfg.KeepSessionID
 	mux := http.NewServeMux()
 	s.route(mux, "GET /api/schema", s.handleSchema)
 	s.route(mux, "GET /api/models", s.handleModels)
@@ -300,6 +326,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // requests; it returns the number of sessions made durable.
 func (s *Server) Close() int {
 	n := s.sessions.shutdown()
+	if s.shipper != nil {
+		// Shutdown checkpoints queued sync events behind it; give the standby
+		// a bounded window to acknowledge them before letting go.
+		s.shipper.Close(3 * time.Second)
+		unregisterShipper(s.shipper)
+	}
 	if s.pool != nil {
 		unregisterPool(s.pool)
 	}

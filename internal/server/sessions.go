@@ -149,6 +149,13 @@ type sessionManager struct {
 	// tests building bare managers leave them nil.
 	traces *obs.Collector
 	logger *slog.Logger
+
+	// keepID, when non-nil, filters freshly minted session IDs: add retries
+	// until the predicate accepts one. It is how a cluster shard mints only
+	// IDs it owns under the shard map's hash, so a created session's ID
+	// routes back to the shard holding it. Wired by the Server after
+	// construction, before any request runs.
+	keepID func(string) bool
 }
 
 // log returns the manager's structured logger.
@@ -228,7 +235,7 @@ func (m *sessionManager) noteResident(delta int64) {
 // serve it. If the insert pushes the store past the global cap, the least
 // recently used session anywhere is evicted.
 func (m *sessionManager) add(sess *core.Session, constraintSrcs []string) (string, error) {
-	id, err := newSessionID()
+	id, err := m.mintSessionID()
 	if err != nil {
 		return "", err
 	}
@@ -250,6 +257,24 @@ func (m *sessionManager) add(sess *core.Session, constraintSrcs []string) (strin
 	m.asyncFinish(sh, victims)
 	m.enforceCap()
 	return id, nil
+}
+
+// mintSessionID generates session IDs until the keepID predicate accepts
+// one (rejection sampling). With N cluster shards the acceptance rate is
+// ~1/N per draw, so the bound is never hit in practice; reaching it means
+// the predicate rejects everything (a shard map that doesn't contain this
+// shard's name), which should fail loudly rather than loop forever.
+func (m *sessionManager) mintSessionID() (string, error) {
+	for attempt := 0; attempt < 4096; attempt++ {
+		id, err := newSessionID()
+		if err != nil {
+			return "", err
+		}
+		if m.keepID == nil || m.keepID(id) {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("server: could not mint an acceptable session id (is this shard in the cluster map?)")
 }
 
 // get returns the session for id and marks it used. A miss on the
@@ -891,5 +916,10 @@ func (m *sessionManager) checkpointIfDirty(id string, st *persist.Store) error {
 		return err
 	}
 	metricCheckpoints.Add(1)
+	if m.persist != nil {
+		// The file set changed shape (new snapshot epoch, reset WAL, fresh
+		// page files): ship the whole set to the standby.
+		m.persist.noteSync(id)
+	}
 	return nil
 }

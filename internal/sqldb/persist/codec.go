@@ -42,6 +42,11 @@ func (e *enc) str(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
 // Value encoding is shared with the pager's slotted pages and lives in
 // sqldb (AppendValue/DecodeValue); tags are pinned there so the file format
 // survives reorderings of the in-memory enum.
@@ -122,6 +127,18 @@ func (d *dec) str() string {
 	return s
 }
 
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail("bytes")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+n])
+	d.off += n
+	return b
+}
+
 func (d *dec) value() sqldb.Value {
 	if d.err != nil {
 		return sqldb.Null()
@@ -185,6 +202,17 @@ func writeFrame(w io.Writer, payload []byte) (int, error) {
 	}
 	n, err := w.Write(payload)
 	return 8 + n, err
+}
+
+// frameBytes returns the exact on-disk framing of payload as one slice —
+// what writeFrame would emit. Used where the framed bytes themselves are
+// needed (WAL shipping addresses records by file offset).
+func frameBytes(payload []byte) []byte {
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame
 }
 
 // readFrame reads one framed payload. A clean end of file (EOF before the

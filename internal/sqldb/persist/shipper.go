@@ -1,0 +1,511 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shipper queue bounds. Overflowing either drops the connection and
+// re-handshakes (the diff re-ships whatever the dropped events carried) —
+// bounded memory beats an unbounded backlog to a slow standby.
+const (
+	shipMaxQueueEvents = 8192
+	shipMaxQueueBytes  = 64 << 20
+)
+
+type shipKind uint8
+
+const (
+	shipSync shipKind = iota + 1 // ship the session's full file set (read at send time)
+	shipAppend
+	shipDelete
+)
+
+type shipEvent struct {
+	kind  shipKind
+	id    string
+	epoch uint64
+	off   int64
+	data  []byte
+}
+
+// outstanding is one sent-but-unacknowledged frame's contribution to lag.
+type outstanding struct {
+	seq     uint64
+	records int64
+	bytes   int64
+}
+
+// ShipperStats is a point-in-time snapshot of a shipper's counters. Lag
+// counts events queued plus sent-but-unacknowledged; it is meaningful while
+// Connected (when disconnected the handshake diff owns catch-up and the
+// queue is empty by construction).
+type ShipperStats struct {
+	Connected      bool  `json:"connected"`
+	LagRecords     int64 `json:"lag_records"`
+	LagBytes       int64 `json:"lag_bytes"`
+	ShippedRecords int64 `json:"shipped_records"`
+	ShippedBytes   int64 `json:"shipped_bytes"`
+	Syncs          int64 `json:"syncs"`
+	Deletes        int64 `json:"deletes"`
+	Resyncs        int64 `json:"resyncs"`
+	Reconnects     int64 `json:"reconnects"`
+	Overflows      int64 `json:"overflows"`
+}
+
+// Shipper streams a primary's session tree to a warm standby. Hook events
+// (NoteAppend / NoteSync / NoteDelete) enqueue; a background loop dials the
+// standby, diffs the standby's reported cursors against local disk, ships
+// the delta, then drains the queue. Acknowledgements retire events from the
+// lag gauges. All failure handling converges on one move: drop the
+// connection and re-handshake.
+type Shipper struct {
+	root   string // sessions tree root
+	target string // standby replication listener host:port
+	logger *slog.Logger
+
+	dialTimeout time.Duration
+	backoff     time.Duration
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []shipEvent
+	queuedBytes int64
+	accepting   bool // hook events enqueue only while a connection is being fed
+	overflowed  bool
+	closed      bool
+	out         []outstanding // FIFO, retired by acks
+	outRecords  int64
+	outBytes    int64
+	// inFlight covers the window between dequeue and the outstanding ledger,
+	// so lag never transiently dips while a frame is being encoded.
+	inFlightRecords int64
+	inFlightBytes   int64
+
+	seq       atomic.Uint64
+	connected atomic.Bool
+	shippedR  atomic.Int64
+	shippedB  atomic.Int64
+	syncs     atomic.Int64
+	deletes   atomic.Int64
+	resyncs   atomic.Int64
+	redials   atomic.Int64
+	overflows atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// NewShipper creates a shipper for the session tree at root targeting a
+// standby's replication listener, and starts its connection loop.
+func NewShipper(root, target string, logger *slog.Logger) *Shipper {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Shipper{
+		root:        root,
+		target:      target,
+		logger:      logger,
+		dialTimeout: 3 * time.Second,
+		backoff:     500 * time.Millisecond,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.run()
+	}()
+	return s
+}
+
+// Target returns the standby address the shipper feeds.
+func (s *Shipper) Target() string { return s.target }
+
+// Stats returns the shipper's counters and current lag.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	lagR := int64(len(s.queue)) + s.inFlightRecords + s.outRecords
+	lagB := s.queuedBytes + s.inFlightBytes + s.outBytes
+	s.mu.Unlock()
+	return ShipperStats{
+		Connected:      s.connected.Load(),
+		LagRecords:     lagR,
+		LagBytes:       lagB,
+		ShippedRecords: s.shippedR.Load(),
+		ShippedBytes:   s.shippedB.Load(),
+		Syncs:          s.syncs.Load(),
+		Deletes:        s.deletes.Load(),
+		Resyncs:        s.resyncs.Load(),
+		Reconnects:     s.redials.Load(),
+		Overflows:      s.overflows.Load(),
+	}
+}
+
+// OnAppend returns the per-session Options.OnAppend hook for session id.
+// It runs under the WAL's lock, so it only copies the event into the queue.
+func (s *Shipper) OnAppend(id string) func(epoch uint64, off int64, frame []byte) {
+	return func(epoch uint64, off int64, frame []byte) {
+		s.enqueue(shipEvent{kind: shipAppend, id: id, epoch: epoch, off: off, data: frame})
+	}
+}
+
+// NoteSync asks the shipper to ship session id's full file set (call after
+// create and after checkpoints — the moments the file set changes shape).
+func (s *Shipper) NoteSync(id string) {
+	s.enqueue(shipEvent{kind: shipSync, id: id})
+}
+
+// NoteDelete asks the shipper to remove session id from the standby.
+func (s *Shipper) NoteDelete(id string) {
+	s.enqueue(shipEvent{kind: shipDelete, id: id})
+}
+
+// Close stops the shipper after attempting to drain queued and unacked
+// events for up to drain. Returns true if fully drained.
+func (s *Shipper) Close(drain time.Duration) bool {
+	deadline := time.Now().Add(drain)
+	drained := false
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		empty := len(s.queue) == 0 && s.inFlightRecords == 0 && s.outRecords == 0
+		connected := s.connected.Load()
+		s.mu.Unlock()
+		if empty && connected {
+			drained = true
+			break
+		}
+		if !connected {
+			break // no standby to drain to; don't burn the timeout
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return drained
+}
+
+// enqueue adds a hook event while a connection is live; outside that window
+// the handshake diff owns catch-up, so the event is dropped. Overflow trips
+// the connection instead of growing without bound.
+func (s *Shipper) enqueue(ev shipEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.accepting || s.closed || s.overflowed {
+		return
+	}
+	if len(s.queue) >= shipMaxQueueEvents || s.queuedBytes+int64(len(ev.data)) > shipMaxQueueBytes {
+		s.overflowed = true
+		s.overflows.Add(1)
+		s.cond.Broadcast()
+		return
+	}
+	s.queue = append(s.queue, ev)
+	s.queuedBytes += int64(len(ev.data))
+	s.cond.Broadcast()
+}
+
+// run is the connection loop: dial, handshake-diff, stream, repeat.
+func (s *Shipper) run() {
+	first := true
+	for {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		if !first {
+			s.sleepBackoff()
+		}
+		first = false
+		conn, err := net.DialTimeout("tcp", s.target, s.dialTimeout)
+		if err != nil {
+			continue
+		}
+		s.redials.Add(1)
+		s.feed(conn)
+		conn.Close()
+		s.connected.Store(false)
+		s.mu.Lock()
+		s.accepting = false
+		s.queue = nil
+		s.queuedBytes = 0
+		s.out = nil
+		s.outRecords, s.outBytes = 0, 0
+		s.inFlightRecords, s.inFlightBytes = 0, 0
+		s.overflowed = false
+		s.mu.Unlock()
+	}
+}
+
+func (s *Shipper) sleepBackoff() {
+	deadline := time.Now().Add(s.backoff)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// feed drives one connection end to end: read the standby's cursors, open
+// the queue (so no event between now and the local scan is lost — anything
+// already on disk is covered by the diff, anything later by the queue, and
+// the overlap deduplicates at the standby), ship the diff, then stream.
+func (s *Shipper) feed(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	payload, err := readFrame(br)
+	if err != nil {
+		return
+	}
+	standby, err := decodeState(payload)
+	if err != nil {
+		s.logger.Error("shipper: bad handshake", "err", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.accepting = true
+	s.queue = nil
+	s.queuedBytes = 0
+	s.overflowed = false
+	s.mu.Unlock()
+	s.connected.Store(true)
+	s.logger.Info("shipper: connected", "target", s.target, "standby_sessions", len(standby))
+
+	// Ack reader: retires outstanding frames, turns resync requests into
+	// queued sync events, and wakes the sender on connection death.
+	done := make(chan struct{})
+	var readerErr atomic.Bool
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(done)
+		for {
+			payload, err := readFrame(br)
+			if err != nil {
+				readerErr.Store(true)
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			d := &dec{buf: payload}
+			switch typ := d.u8(); typ {
+			case repAckT:
+				s.ackUpTo(d.u64())
+			case repResyncT:
+				id := d.str()
+				if d.err == nil {
+					s.resyncs.Add(1)
+					s.enqueue(shipEvent{kind: shipSync, id: id})
+				}
+			}
+		}
+	}()
+
+	if err := s.shipDiff(conn, standby); err != nil {
+		s.logger.Info("shipper: diff ship failed", "err", err)
+		conn.Close()
+		<-done
+		return
+	}
+
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed && !s.overflowed && !readerErr.Load() {
+			s.cond.Wait()
+		}
+		if s.closed || s.overflowed || readerErr.Load() {
+			s.mu.Unlock()
+			break
+		}
+		ev := s.queue[0]
+		s.queue = s.queue[1:]
+		s.queuedBytes -= int64(len(ev.data))
+		s.inFlightRecords++
+		s.inFlightBytes += int64(len(ev.data))
+		s.mu.Unlock()
+		err := s.shipEvent(conn, ev)
+		s.mu.Lock()
+		s.inFlightRecords--
+		s.inFlightBytes -= int64(len(ev.data))
+		s.mu.Unlock()
+		if err != nil {
+			s.logger.Info("shipper: send failed", "err", err)
+			break
+		}
+	}
+	conn.Close()
+	<-done
+}
+
+// shipDiff reconciles the standby against local disk: sessions it lacks or
+// holds at another epoch get a full sync, sessions behind on the same epoch
+// get the missing WAL byte range, sessions it holds that no longer exist
+// locally get a delete.
+func (s *Shipper) shipDiff(conn net.Conn, standby []repCursor) error {
+	byID := make(map[string]repCursor, len(standby))
+	for _, c := range standby {
+		byID[c.id] = c
+	}
+	entries, err := os.ReadDir(s.root)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	local := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() || !replSafeName(e.Name()) {
+			continue
+		}
+		id := e.Name()
+		local[id] = true
+		dir := filepath.Join(s.root, id)
+		epoch, size, ok := sessionCursor(dir)
+		if !ok {
+			continue // mid-create; its NoteSync will queue behind us
+		}
+		sb, have := byID[id]
+		switch {
+		case !have || sb.epoch != epoch || sb.walSize > size:
+			if err := s.sendSync(conn, id); err != nil {
+				return err
+			}
+		case sb.walSize < size:
+			delta := make([]byte, size-sb.walSize)
+			f, err := os.Open(filepath.Join(dir, WALFile))
+			if err != nil {
+				return err
+			}
+			_, rerr := f.ReadAt(delta, sb.walSize)
+			f.Close()
+			if rerr != nil {
+				return rerr
+			}
+			if err := s.sendAppend(conn, id, epoch, sb.walSize, delta); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range standby {
+		if !local[c.id] {
+			if err := s.sendDelete(conn, c.id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// shipEvent sends one queued event.
+func (s *Shipper) shipEvent(conn net.Conn, ev shipEvent) error {
+	switch ev.kind {
+	case shipSync:
+		return s.sendSync(conn, ev.id)
+	case shipAppend:
+		return s.sendAppend(conn, ev.id, ev.epoch, ev.off, ev.data)
+	case shipDelete:
+		return s.sendDelete(conn, ev.id)
+	}
+	return fmt.Errorf("persist: unknown ship event kind %d", ev.kind)
+}
+
+func (s *Shipper) sendSync(conn net.Conn, id string) error {
+	files, _, _, err := readSessionFiles(filepath.Join(s.root, id))
+	if err != nil {
+		// The session vanished or won't settle; a later event (delete or the
+		// standby's next resync) resolves it. Not a connection error.
+		s.logger.Info("shipper: sync skipped", "session", id, "err", err)
+		return nil
+	}
+	seq := s.seq.Add(1)
+	n := int64(syncBytes(files))
+	s.addOutstanding(seq, 1, n)
+	if _, err := writeFrame(conn, encodeSync(seq, id, files)); err != nil {
+		return err
+	}
+	s.syncs.Add(1)
+	s.shippedR.Add(1)
+	s.shippedB.Add(n)
+	return nil
+}
+
+func (s *Shipper) sendAppend(conn net.Conn, id string, epoch uint64, off int64, data []byte) error {
+	seq := s.seq.Add(1)
+	s.addOutstanding(seq, 1, int64(len(data)))
+	if _, err := writeFrame(conn, encodeAppend(seq, id, epoch, off, data)); err != nil {
+		return err
+	}
+	s.shippedR.Add(1)
+	s.shippedB.Add(int64(len(data)))
+	return nil
+}
+
+func (s *Shipper) sendDelete(conn net.Conn, id string) error {
+	seq := s.seq.Add(1)
+	s.addOutstanding(seq, 1, 0)
+	if _, err := writeFrame(conn, encodeDelete(seq, id)); err != nil {
+		return err
+	}
+	s.deletes.Add(1)
+	s.shippedR.Add(1)
+	return nil
+}
+
+func (s *Shipper) addOutstanding(seq uint64, records, bytes int64) {
+	s.mu.Lock()
+	s.out = append(s.out, outstanding{seq: seq, records: records, bytes: bytes})
+	s.outRecords += records
+	s.outBytes += bytes
+	s.mu.Unlock()
+}
+
+// ackUpTo retires every outstanding frame with sequence <= seq.
+func (s *Shipper) ackUpTo(seq uint64) {
+	s.mu.Lock()
+	for len(s.out) > 0 && s.out[0].seq <= seq {
+		s.outRecords -= s.out[0].records
+		s.outBytes -= s.out[0].bytes
+		s.out = s.out[1:]
+	}
+	s.mu.Unlock()
+}
+
+// decodeState parses the standby's handshake frame.
+func decodeState(payload []byte) ([]repCursor, error) {
+	d := &dec{buf: payload}
+	if typ := d.u8(); typ != repStateT {
+		return nil, fmt.Errorf("persist: expected state frame, got type %d", typ)
+	}
+	n := int(d.u32())
+	if d.err != nil || n > 1<<20 {
+		return nil, fmt.Errorf("persist: malformed state frame")
+	}
+	out := make([]repCursor, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		id := d.str()
+		epoch := d.u64()
+		size := int64(d.u64())
+		out = append(out, repCursor{id: id, epoch: epoch, walSize: size})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return out, nil
+}

@@ -32,6 +32,11 @@ type Options struct {
 	// in SyncAlways mode, per-flush-point in SyncBatched) — the hook the
 	// /metrics fsync histogram attaches to.
 	OnFsync func(d time.Duration)
+	// OnAppend, when set, observes every appended WAL record as the exact
+	// framed bytes written to the file, with the checkpoint epoch and the
+	// file offset the frame starts at. Called in append order under the
+	// WAL's lock — the hook replication shipping attaches to.
+	OnAppend func(epoch uint64, off int64, frame []byte)
 	// Pool, when set, rehydrates paged tables by attaching their page files
 	// to this buffer pool instead of decoding every row: a cold open costs
 	// only the snapshot's schema records, and rows fault in page by page as
@@ -207,6 +212,7 @@ func attach(dir string, db *sqldb.DB, epoch uint64, opts Options) (*Store, error
 		return nil, err
 	}
 	wal.onFsync = opts.OnFsync
+	wal.onAppend = opts.OnAppend
 	st := &Store{dir: dir, db: db, wal: wal, epoch: epoch}
 	db.SetLogger(wal)
 	return st, nil

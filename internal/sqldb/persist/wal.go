@@ -69,14 +69,21 @@ var errWALClosed = errors.New("persist: WAL is closed")
 // under the database's write lock, which makes the record order the exact
 // serialization order of the writes.
 type WAL struct {
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	mode    SyncMode
-	size    int64 // current valid length, including header
-	onWrite func(int)
-	onFsync func(time.Duration)
-	closed  bool
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	mode  SyncMode
+	size  int64  // current valid length, including header
+	epoch uint64 // checkpoint epoch carried in the file header
+	// onAppend, when set, observes every appended record as the exact framed
+	// bytes that landed in the file, with the epoch and the file offset the
+	// frame starts at — the hook WAL shipping attaches to. Called in append
+	// order under the WAL's lock, after the record is durable per the sync
+	// mode.
+	onAppend func(epoch uint64, off int64, frame []byte)
+	onWrite  func(int)
+	onFsync  func(time.Duration)
+	closed   bool
 }
 
 // syncTimed fsyncs the log file, reporting the latency to the onFsync hook.
@@ -142,6 +149,7 @@ func openWAL(path string, db *sqldb.DB, epoch uint64, mode SyncMode, onWrite fun
 		w:       bufio.NewWriterSize(f, 1<<16),
 		mode:    mode,
 		size:    good,
+		epoch:   epoch,
 		onWrite: onWrite,
 	}, replayed, nil
 }
@@ -248,7 +256,20 @@ func (w *WAL) append(payload []byte) error {
 	if w.closed {
 		return errWALClosed
 	}
-	n, err := writeFrame(w.w, payload)
+	off := w.size
+	var frame []byte
+	var n int
+	var err error
+	if w.onAppend != nil {
+		// Materialize the frame so the shipping hook sees the exact bytes
+		// that landed on disk (offset-addressed replication needs them
+		// verbatim).
+		frame = frameBytes(payload)
+		_, err = w.w.Write(frame)
+		n = len(frame)
+	} else {
+		n, err = writeFrame(w.w, payload)
+	}
 	if err != nil {
 		return fmt.Errorf("persist: wal append: %w", err)
 	}
@@ -265,6 +286,9 @@ func (w *WAL) append(payload []byte) error {
 	w.size += int64(n)
 	if w.onWrite != nil {
 		w.onWrite(n)
+	}
+	if w.onAppend != nil {
+		w.onAppend(w.epoch, off, frame)
 	}
 	return nil
 }
@@ -349,6 +373,7 @@ func (w *WAL) Reset(epoch uint64) error {
 		return w.poisonLocked(err)
 	}
 	w.size = walHeaderLen
+	w.epoch = epoch
 	return nil
 }
 

@@ -17,6 +17,11 @@
 #                 one variant minutes before the other, so slow machine drift
 #                 lands entirely on one side; repeated single-count rounds
 #                 interleave the variants in time and the drift cancels.
+#   CLUSTER=1     build cmd/jitd and cmd/jitrouter, export JITD_BIN /
+#                 JITROUTER_BIN, and default the filter/packages to the
+#                 3-shard aggregate-throughput benchmark (single jitd process
+#                 vs cluster behind jitrouter, real processes, same box):
+#                   CLUSTER=1 scripts/bench_compare.sh pr9-cluster
 #
 # Output: scripts/bench/BENCH_<label>.json — an array of
 #   {"name": ..., "iters": ..., "metrics": {"ns/op": ..., "B/op": ..., ...}}
@@ -28,6 +33,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-$(date +%Y%m%d-%H%M%S)}"
+if [ -n "${CLUSTER:-}" ]; then
+  # Cluster mode: the benchmark spawns real jitd/jitrouter processes, so
+  # build them once here and point the test at the binaries. The workload is
+  # request-bound; a longer benchtime keeps process startup out of the number.
+  bindir="$(mktemp -d)"
+  echo ">> building jitd and jitrouter for the cluster benchmark" >&2
+  go build -o "$bindir/jitd" ./cmd/jitd
+  go build -o "$bindir/jitrouter" ./cmd/jitrouter
+  export JITD_BIN="$bindir/jitd" JITROUTER_BIN="$bindir/jitrouter"
+  BENCH_FILTER="${BENCH_FILTER:-BenchmarkClusterServe}"
+  BENCH_PKGS="${BENCH_PKGS:-./internal/cluster}"
+  BENCHTIME="${BENCHTIME:-15s}"
+  COUNT="${COUNT:-1}"
+fi
 filter="${BENCH_FILTER:-.}"
 benchtime="${BENCHTIME:-1s}"
 count="${COUNT:-3}"
@@ -38,7 +57,7 @@ pkgs=(${BENCH_PKGS:-./internal/sqldb ./internal/server .})
 mkdir -p scripts/bench
 out="scripts/bench/BENCH_${label}.json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+trap 'rm -f "$raw"; rm -rf "${bindir:-}"' EXIT
 
 echo ">> go test -run '^\$' -bench '$filter' -benchmem -benchtime=$benchtime -count=$count ${pkgs[*]}  (x$rounds rounds)" >&2
 for ((round = 0; round < rounds; round++)); do
