@@ -101,6 +101,7 @@ import (
 
 	"justintime"
 	"justintime/internal/cluster"
+	"justintime/internal/fault"
 	"justintime/internal/server"
 	"justintime/internal/sqldb/persist"
 )
@@ -130,6 +131,8 @@ func main() {
 	replicateTo := flag.String("replicate-to", "", "warm standby's replication listener host:port; streams WAL + checkpoints there (requires -data-dir)")
 	standbyMode := flag.Bool("standby", false, "run as a warm standby: ingest a primary's replication stream, gate the API until /admin/promote")
 	replicationListen := flag.String("replication-listen", "", "standby's replication listener host:port (requires -standby)")
+	faultDisk := flag.String("fault-disk", "", "chaos: deterministic disk-fault schedule, e.g. 'enospc:after=65536,times=8' or 'fail-fsync:nth=3' (see internal/fault)")
+	faultNet := flag.String("fault-net", "", "chaos: replication-link fault config, e.g. 'latency=2ms,reset-after=32768,first-conns=6'")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat)
@@ -157,6 +160,20 @@ func main() {
 	}
 	if *replicationListen != "" && !*standbyMode {
 		fatal(logger, "-replication-listen requires -standby")
+	}
+	diskInj, err := fault.ParseDiskSpec(*faultDisk)
+	if err != nil {
+		fatal(logger, "bad -fault-disk", "err", err)
+	}
+	netCfg, err := fault.ParseNetSpec(*faultNet)
+	if err != nil {
+		fatal(logger, "bad -fault-net", "err", err)
+	}
+	if diskInj != nil {
+		logger.Warn("disk fault injection armed", "spec", *faultDisk)
+	}
+	if netCfg != nil {
+		logger.Warn("network fault injection armed on the replication link", "spec", *faultNet)
 	}
 	var keepID func(string) bool
 	if *clusterConfig != "" {
@@ -188,7 +205,7 @@ func main() {
 	}
 
 	buildServer := func() *server.Server {
-		return server.NewWithConfig(demo.System, server.Config{
+		scfg := server.Config{
 			MaxSessions:       *maxSessions,
 			SessionTTL:        *sessionTTL,
 			MaxSQLRows:        *maxSQLRows,
@@ -202,7 +219,14 @@ func main() {
 			Logger:            logger,
 			KeepSessionID:     keepID,
 			ReplicateTo:       *replicateTo,
-		})
+		}
+		if diskInj != nil {
+			scfg.FS = diskInj
+		}
+		if netCfg != nil {
+			scfg.ReplicationDial = fault.DialTimeout(netCfg)
+		}
+		return server.NewWithConfig(demo.System, scfg)
 	}
 	var handler http.Handler
 	var closeNode func() int
@@ -215,6 +239,9 @@ func main() {
 		rln, err := net.Listen("tcp", *replicationListen)
 		if err != nil {
 			fatal(logger, "replication listener failed", "err", err)
+		}
+		if netCfg != nil {
+			rln = fault.Listener(rln, netCfg)
 		}
 		go replica.Serve(rln)
 		sb := &standbyNode{replica: replica, build: buildServer, logger: logger}

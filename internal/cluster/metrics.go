@@ -58,6 +58,29 @@ type shardMetrics struct {
 	errors      atomic.Int64 // forwards that failed after any retry
 	unavailable atomic.Int64 // requests answered 503 locally (shard down / no address)
 	latency     forwardHist
+
+	// okCount/okSumUs track successful forwards only — the shard's actual
+	// service time, excluding failed forwards whose duration measures our
+	// own dial/response timeouts. This is the series the derived Retry-After
+	// hint reads; the full histogram above keeps recording everything.
+	okCount atomic.Int64
+	okSumUs atomic.Int64
+}
+
+// observeOK records one successful forward's duration.
+func (sm *shardMetrics) observeOK(d time.Duration) {
+	sm.okCount.Add(1)
+	sm.okSumUs.Add(d.Microseconds())
+}
+
+// meanOKUs returns the mean successful-forward latency in microseconds
+// (0 with no successful forwards yet).
+func (sm *shardMetrics) meanOKUs() int64 {
+	n := sm.okCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return sm.okSumUs.Load() / n
 }
 
 // routerMetrics aggregates the router's observable state.

@@ -7,10 +7,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"justintime/internal/fault"
 )
 
 // RouterConfig tunes a Router.
@@ -28,8 +31,11 @@ type RouterConfig struct {
 	// answers turns into a 503 after this long instead of a hung client
 	// connection. <= 0 selects 30s.
 	ForwardTimeout time.Duration
-	// DownAfter is the consecutive probe failures that mark a shard down.
-	// <= 0 selects 2.
+	// DownAfter is the consecutive failures (probe or forward) that mark a
+	// shard down. <= 0 selects 2. A down shard is probed on a jittered
+	// capped-exponential backoff (base ProbeInterval, cap 10x) rather than
+	// the fixed interval, so a long-dead shard is not hammered while a
+	// freshly-promoted standby is still noticed quickly.
 	DownAfter int
 }
 
@@ -59,7 +65,7 @@ type shardState struct {
 	client  *http.Client
 	tr      *http.Transport
 	healthy atomic.Bool
-	fails   int // prober-goroutine-private consecutive failure count
+	fails   atomic.Int32 // consecutive failures, fed by prober and forwards
 	stop    chan struct{}
 }
 
@@ -179,25 +185,39 @@ func (rt *Router) Close() {
 // shard, and (deliberately) gated on the shard actually serving the API: a
 // standby answers it 503 until promoted, so the router never routes to an
 // unpromoted standby even if a reload points at one early.
+//
+// The loop is a circuit breaker: a healthy shard is probed at the fixed
+// ProbeInterval, but once marked down its probes back off exponentially
+// (jittered, capped at 10x ProbeInterval) — a dead shard costs a trickle of
+// probes instead of a steady hammer, while the cap keeps a promoted standby
+// from waiting long to be noticed. Any probe success snaps the schedule back
+// to the base interval.
 func (rt *Router) probeLoop(s *shardState) {
-	t := time.NewTicker(rt.cfg.ProbeInterval)
-	defer t.Stop()
+	retry := fault.Backoff{Base: rt.cfg.ProbeInterval, Max: 10 * rt.cfg.ProbeInterval}
 	for {
+		wait := rt.cfg.ProbeInterval
+		if !s.healthy.Load() {
+			wait = retry.Next()
+		}
+		t := time.NewTimer(wait)
 		select {
 		case <-s.stop:
+			t.Stop()
 			return
 		case <-t.C:
-			rt.probeOnce(s)
+			if rt.probeOnce(s) {
+				retry.Reset()
+			}
 		}
 	}
 }
 
-func (rt *Router) probeOnce(s *shardState) {
+func (rt *Router) probeOnce(s *shardState) bool {
 	// A dedicated tiny client: probes must not compete with (or be stalled
 	// by) forwarded traffic's pool, and must carry their own short timeout.
 	req, err := http.NewRequest(http.MethodGet, "http://"+s.addr+"/api/questions", nil)
 	if err != nil {
-		return
+		return false
 	}
 	cl := &http.Client{Transport: s.tr, Timeout: rt.cfg.ProbeTimeout}
 	resp, err := cl.Do(req)
@@ -207,12 +227,18 @@ func (rt *Router) probeOnce(s *shardState) {
 		resp.Body.Close()
 	}
 	if ok {
-		s.fails = 0
+		s.fails.Store(0)
 		s.healthy.Store(true)
-		return
+		return true
 	}
-	s.fails++
-	if s.fails >= rt.cfg.DownAfter {
+	rt.noteFailure(s)
+	return false
+}
+
+// noteFailure records one failed exchange with a shard (probe or forward)
+// and opens the breaker once the consecutive-failure threshold is crossed.
+func (rt *Router) noteFailure(s *shardState) {
+	if s.fails.Add(1) >= int32(rt.cfg.DownAfter) {
 		s.healthy.Store(false)
 	}
 }
@@ -327,11 +353,16 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		sm.errors.Add(1)
 		sm.latency.observe(time.Since(start))
+		// Forward failures feed the same breaker the prober does: a shard
+		// that just refused traffic should fail fast for the next request
+		// instead of waiting for the prober to notice.
+		rt.noteFailure(s)
 		rt.unavailable(w, s.name, fmt.Errorf("forward to shard %s failed: %w", s.name, err))
 		return
 	}
 	defer resp.Body.Close()
 	sm.forwarded.Add(1)
+	s.fails.Store(0)
 
 	hdr := w.Header()
 	for k, vs := range resp.Header {
@@ -339,7 +370,9 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
-	sm.latency.observe(time.Since(start))
+	d := time.Since(start)
+	sm.latency.observe(d)
+	sm.observeOK(d)
 }
 
 // idempotent reports whether a method is safe to replay blind.
@@ -348,15 +381,35 @@ func idempotent(method string) bool {
 }
 
 // unavailable answers 503 + Retry-After — the router's contract for any
-// shard it cannot reach right now.
+// shard it cannot reach right now. The retry hint is derived from the
+// shard's observed forward latency rather than a constant: a client of a
+// shard that answers in microseconds can retry in a second, while one whose
+// requests already took seconds should wait proportionally longer.
 func (rt *Router) unavailable(w http.ResponseWriter, shard string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSecs(shard)))
 	w.WriteHeader(http.StatusServiceUnavailable)
 	_ = json.NewEncoder(w).Encode(map[string]string{
 		"error": fmt.Sprintf("shard unavailable: %v", err),
 		"shard": shard,
 	})
+}
+
+// retryAfterSecs turns a shard's observed mean forward latency into a
+// Retry-After hint: four mean service times (successful forwards only, so
+// timeout-bound failures don't inflate the hint), floored at 1s and capped
+// at 30s. A shard with no successful forwards yet (or the synthetic "any"
+// shard) gets the 1s floor.
+func (rt *Router) retryAfterSecs(shard string) int {
+	meanUs := rt.metrics.shard(shard).meanOKUs()
+	secs := int((4*meanUs + 999999) / 1000000)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // health snapshots shard name -> healthy.

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a jittered capped-exponential retry schedule: the delay doubles
+// from Base on every Next up to Max, and each returned value is jittered
+// uniformly in [delay/2, delay] so a fleet of retriers never synchronizes
+// into thundering herds. Reset on success. The zero value is usable; a zero
+// Base defaults to 100ms and a zero Max to 15s.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+
+	mu       sync.Mutex
+	cur      time.Duration
+	attempts int
+	rng      *rand.Rand
+}
+
+// Next returns the delay to sleep before the upcoming attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	base, maxD := b.Base, b.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if maxD <= 0 {
+		maxD = 15 * time.Second
+	}
+	if b.cur <= 0 {
+		b.cur = base
+	}
+	d := b.cur
+	if b.cur < maxD {
+		b.cur *= 2
+		if b.cur > maxD {
+			b.cur = maxD
+		}
+	}
+	b.attempts++
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	// Jitter on the top half keeps the floor meaningful while decorrelating
+	// concurrent retriers.
+	return d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+}
+
+// Attempts reports how many times Next has been called since the last Reset
+// — the current failure streak.
+func (b *Backoff) Attempts() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempts
+}
+
+// Reset returns the schedule to its base delay (call after a success).
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cur = 0
+	b.attempts = 0
+}

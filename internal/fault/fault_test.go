@@ -1,0 +1,272 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func writeFile(t *testing.T, fsys FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	if err := writeFile(t, OS, path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OS.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	f.Close()
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read %q err %v", got, err)
+	}
+	if Of(nil) != OS {
+		t.Fatalf("Of(nil) should be the real filesystem")
+	}
+}
+
+func TestInjectorNthSync(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil)
+	inj.AddRule(Rule{Op: OpSync, Nth: 2, Times: 1})
+	f, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrIO) {
+		t.Fatalf("second sync err = %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync (rule exhausted): %v", err)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", inj.Injected())
+	}
+}
+
+func TestInjectorENOSPCAfterBytesThenClears(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(nil)
+	inj.AddRule(Rule{Op: OpMutate, AfterBytes: 10, Err: ErrNoSpace, Times: 2})
+	f, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write under budget: %v", err)
+	}
+	// Budget exceeded: the next two mutations fail, then the rule goes
+	// inert and writes succeed again (how a chaos run's disk "recovers").
+	for i := 0; i < 2; i++ {
+		_, err := f.Write(make([]byte, 8))
+		if !IsNoSpace(err) {
+			t.Fatalf("write %d past budget err = %v, want ENOSPC", i, err)
+		}
+	}
+	if _, err := f.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write after rule exhausted: %v", err)
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	inj := NewInjector(nil)
+	inj.AddRule(Rule{Op: OpWrite, Nth: 1, Torn: 3, Times: 1})
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello world"))
+	if n != 3 || !errors.Is(err, ErrIO) {
+		t.Fatalf("torn write = (%d, %v), want (3, EIO)", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, []byte("hel")) {
+		t.Fatalf("on disk %q, want the 3-byte torn prefix", got)
+	}
+}
+
+func TestInjectorEIOReadIsNotENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := writeFile(t, OS, path, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(nil)
+	inj.AddRule(Rule{Op: OpRead, Nth: 1, Err: ErrIO, Times: 1})
+	f, err := inj.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Read(make([]byte, 4)); !errors.Is(err, syscall.EIO) || IsNoSpace(err) {
+		t.Fatalf("read err = %v, want EIO (and not ENOSPC)", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 4), 0); err != nil {
+		t.Fatalf("read after rule exhausted: %v", err)
+	}
+}
+
+func TestInjectorCrashBefore(t *testing.T) {
+	dir := t.TempDir()
+	// Clean run: count the I/O boundaries of open+write+sync.
+	rec := NewInjector(nil)
+	doIO := func(fsys FS) error {
+		return writeFile(t, fsys, filepath.Join(dir, "f"), []byte("abc"))
+	}
+	if err := doIO(rec); err != nil {
+		t.Fatal(err)
+	}
+	total := rec.Ops()
+	if total < 3 {
+		t.Fatalf("expected >= 3 boundaries, got %d", total)
+	}
+	// Crash at every boundary: ops before k succeed, op k and later fail.
+	for k := int64(0); k < total; k++ {
+		inj := NewInjector(nil)
+		inj.CrashBefore(k)
+		err := doIO(inj)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash at %d: err = %v, want ErrCrashed", k, err)
+		}
+		if !inj.Crashed() {
+			t.Fatalf("crash at %d: injector not in crashed state", k)
+		}
+		// Everything after the crash point fails too — no I/O reaches disk.
+		if _, err := inj.Stat(dir); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("post-crash op err = %v, want ErrCrashed", err)
+		}
+	}
+	// Clear revives the injector.
+	inj := NewInjector(nil)
+	inj.CrashBefore(0)
+	if _, err := inj.Stat(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatal("expected crash")
+	}
+	inj.Clear()
+	if _, err := inj.Stat(dir); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+}
+
+func TestBackoffDoublesCapsAndResets(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 400 * time.Millisecond}
+	bounds := []time.Duration{100, 200, 400, 400} // ms, pre-jitter
+	for i, want := range bounds {
+		d := b.Next()
+		lo, hi := want*time.Millisecond/2, want*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+	if b.Attempts() != len(bounds) {
+		t.Fatalf("attempts = %d, want %d", b.Attempts(), len(bounds))
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("attempts after reset = %d", b.Attempts())
+	}
+	if d := b.Next(); d > 100*time.Millisecond {
+		t.Fatalf("delay after reset %v, want <= base", d)
+	}
+}
+
+func TestParseDiskSpec(t *testing.T) {
+	inj, err := ParseDiskSpec("fail-fsync:nth=2; enospc:after=1024,times=4,path=wal")
+	if err != nil || inj == nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if inj, err := ParseDiskSpec(""); inj != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", inj, err)
+	}
+	for _, bad := range []string{"bogus:nth=1", "enospc:times=2", "flaky:path=x", "torn-write:nth"} {
+		if _, err := ParseDiskSpec(bad); err == nil {
+			t.Fatalf("spec %q parsed; want error", bad)
+		}
+	}
+}
+
+func TestParseNetSpec(t *testing.T) {
+	cfg, err := ParseNetSpec("latency=2ms,reset-after=32768,torn=512,drop-every=40,first-conns=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Latency != 2*time.Millisecond || cfg.ResetAfter != 32768 || cfg.Torn != 512 ||
+		cfg.DropEvery != 40 || cfg.FirstConns != 6 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if cfg, err := ParseNetSpec(""); cfg != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", cfg, err)
+	}
+	if _, err := ParseNetSpec("first-conns=3"); err == nil {
+		t.Fatal("inert spec should be rejected")
+	}
+}
+
+func TestNetResetAfterTearsAndDies(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		b, _ := io.ReadAll(c)
+		c.Close()
+		got <- b
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := WrapConn(raw, &NetConfig{ResetAfter: 8, Torn: 2})
+	if _, err := conn.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write inside budget: %v", err)
+	}
+	n, err := conn.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("over-budget write = (%d, %v), want (2, ECONNRESET)", n, err)
+	}
+	// The connection is dead for good.
+	if _, err := conn.Write([]byte("x")); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("post-reset write err = %v", err)
+	}
+	if b := <-got; !bytes.Equal(b, []byte("12345678ab")) {
+		t.Fatalf("peer saw %q, want full first write plus 2-byte torn prefix", b)
+	}
+}

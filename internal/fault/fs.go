@@ -1,0 +1,77 @@
+// Package fault is the injectable I/O plane: a minimal VFS interface over
+// the handful of os calls the storage engine makes (FS/File), a passthrough
+// implementation (OS) that adds zero overhead, a deterministic fault
+// injector (Injector) that can fail the Nth fsync, tear a write at byte k,
+// return ENOSPC after a byte budget, error a chosen read, or simulate power
+// loss at an exact I/O boundary — plus the network-side equivalents (conn
+// and listener wrappers injecting latency, partial writes and mid-stream
+// resets) and the jittered capped-exponential Backoff used by every
+// reconnect/retry loop in the system.
+//
+// Production code paths hold a FS value that defaults to OS; tests and the
+// chaos harness swap in an Injector. Nothing outside stdlib is imported, so
+// every layer (pager, persist, server, cluster) can depend on this package.
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the storage engine uses. *os.File satisfies
+// it directly; the injector wraps it to interpose on reads, writes and
+// fsyncs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Name() string
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the subset of package os the storage engine uses. The default
+// implementation is OS; an Injector implements the same surface with
+// deterministic faults layered on top.
+type FS interface {
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	Open(path string) (File, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(path string) ([]os.DirEntry, error)
+	Stat(path string) (os.FileInfo, error)
+}
+
+// OS is the zero-overhead passthrough FS used in production: every call maps
+// 1:1 onto package os, and the returned File values are *os.File themselves
+// (no wrapper in the I/O path at all).
+var OS FS = osFS{}
+
+// Of normalizes an optional FS: nil means the real filesystem.
+func Of(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+func (osFS) Open(path string) (File, error)       { return os.Open(path) }
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) Stat(path string) (os.FileInfo, error)      { return os.Stat(path) }

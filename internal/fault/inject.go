@@ -1,0 +1,360 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Op is a bitmask of I/O operation classes an injection rule can target.
+type Op uint16
+
+const (
+	OpOpen Op = 1 << iota
+	OpRead
+	OpWrite
+	OpSync
+	OpTruncate
+	OpRename
+	OpRemove
+	OpMkdir
+	OpReadDir
+	OpStat
+)
+
+// OpAny matches every operation class.
+const OpAny = ^Op(0)
+
+// OpMutate matches every operation that changes disk state — the class an
+// out-of-space disk fails while reads keep working.
+const OpMutate = OpOpen | OpWrite | OpSync | OpTruncate | OpRename | OpMkdir
+
+// ErrCrashed is returned by every operation after a simulated power loss:
+// the crash-point harness arms an Injector with CrashBefore(k), and from the
+// k-th I/O boundary on, nothing further reaches the disk.
+var ErrCrashed = errors.New("fault: simulated power loss")
+
+// ErrNoSpace and ErrIO are the canonical injected errno values, chosen so
+// errors.Is sees exactly what a real full disk or failing device produces.
+var (
+	ErrNoSpace error = syscall.ENOSPC
+	ErrIO      error = syscall.EIO
+)
+
+// IsNoSpace reports whether err is (or wraps) an out-of-space condition —
+// the trigger for the server's read-only degraded mode.
+func IsNoSpace(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+// diskInjected and netInjected count every injected fault process-wide, so
+// the /metrics page can report chaos activity without holding a reference to
+// any particular injector.
+var (
+	diskInjected atomic.Int64
+	netInjected  atomic.Int64
+)
+
+// DiskInjected returns the process-wide count of injected disk faults.
+func DiskInjected() int64 { return diskInjected.Load() }
+
+// NetInjected returns the process-wide count of injected network faults.
+func NetInjected() int64 { return netInjected.Load() }
+
+// Rule is one deterministic fault schedule. A rule watches the operations
+// matching (Op mask, Path substring) and fires per its counters:
+//
+//   - Nth skips the first Nth-1 matching operations (1-based; 0 = no skip).
+//   - Every fires only on every Every-th matching operation (0 = each one).
+//   - AfterBytes arms the rule only once the cumulative bytes written by
+//     matching write operations exceed the budget (how "disk full after N
+//     bytes" is expressed).
+//   - Times caps the total number of firings (0 = unlimited), after which
+//     the rule goes inert — which is what lets an injected ENOSPC "clear"
+//     so the server's recovery probe can observe the space coming back.
+//
+// A firing returns Err (ErrIO when unset). Torn > 0 makes a firing write
+// operation persist the first Torn bytes before failing — a torn write.
+// Crash makes the firing also flip the injector into the crashed state, as
+// if power was lost at that exact boundary.
+type Rule struct {
+	Op         Op
+	Path       string
+	Nth        int
+	Every      int
+	AfterBytes int64
+	Times      int
+	Err        error
+	Torn       int
+	Crash      bool
+}
+
+type ruleState struct {
+	Rule
+	seen  int
+	fired int
+	bytes int64
+}
+
+// Injector is a FS implementing deterministic fault schedules on top of a
+// base filesystem (OS when nil). It is safe for concurrent use; every
+// operation observed increments a global sequence, which is what the
+// crash-point harness enumerates.
+type Injector struct {
+	base FS
+
+	mu       sync.Mutex
+	seq      int64
+	crashAt  int64 // -1 = never; ops with index >= crashAt fail
+	crashed  bool
+	rules    []*ruleState
+	injected int64
+}
+
+// NewInjector returns an Injector over base (the real filesystem when nil)
+// with no rules armed: a passthrough until AddRule or CrashBefore.
+func NewInjector(base FS) *Injector {
+	return &Injector{base: Of(base), crashAt: -1}
+}
+
+// AddRule arms one fault schedule.
+func (i *Injector) AddRule(r Rule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = append(i.rules, &ruleState{Rule: r})
+}
+
+// CrashBefore simulates power loss at I/O boundary k: operations 0..k-1
+// complete normally, operation k and everything after fail with ErrCrashed.
+// Pass a count from Ops() of a clean run to enumerate every boundary.
+func (i *Injector) CrashBefore(k int64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.crashAt = k
+}
+
+// Ops returns the number of I/O boundaries observed so far.
+func (i *Injector) Ops() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.seq
+}
+
+// Injected returns how many faults this injector has fired.
+func (i *Injector) Injected() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.injected
+}
+
+// Crashed reports whether a simulated power loss has occurred.
+func (i *Injector) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// Clear disarms every rule and any crash state; the sequence counter keeps
+// counting.
+func (i *Injector) Clear() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = nil
+	i.crashAt = -1
+	i.crashed = false
+}
+
+// step observes one I/O boundary and decides whether to inject. torn is
+// meaningful only for failing write operations: the number of bytes the
+// caller should persist before returning err.
+func (i *Injector) step(op Op, path string, nbytes int) (torn int, err error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.crashed {
+		return 0, ErrCrashed
+	}
+	if i.crashAt >= 0 && i.seq >= i.crashAt {
+		i.crashed = true
+		return 0, ErrCrashed
+	}
+	i.seq++
+	for _, r := range i.rules {
+		if r.Op&op == 0 {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		if op == OpWrite {
+			r.bytes += int64(nbytes)
+		}
+		if r.AfterBytes > 0 && r.bytes <= r.AfterBytes {
+			continue
+		}
+		r.seen++
+		if r.Nth > 0 && r.seen < r.Nth {
+			continue
+		}
+		if r.Every > 0 && r.seen%r.Every != 0 {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		r.fired++
+		i.injected++
+		diskInjected.Add(1)
+		if r.Crash {
+			i.crashed = true
+		}
+		ferr := r.Err
+		switch {
+		case r.Crash:
+			ferr = ErrCrashed
+		case ferr == nil:
+			ferr = ErrIO
+		}
+		return r.Torn, ferr
+	}
+	return 0, nil
+}
+
+// FS interface.
+
+func (i *Injector) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if _, err := i.step(OpOpen, path, 0); err != nil {
+		return nil, err
+	}
+	f, err := i.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, path: path}, nil
+}
+
+func (i *Injector) Open(path string) (File, error) {
+	if _, err := i.step(OpOpen, path, 0); err != nil {
+		return nil, err
+	}
+	f, err := i.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, path: path}, nil
+}
+
+func (i *Injector) Rename(oldPath, newPath string) error {
+	if _, err := i.step(OpRename, newPath, 0); err != nil {
+		return err
+	}
+	return i.base.Rename(oldPath, newPath)
+}
+
+func (i *Injector) Remove(path string) error {
+	if _, err := i.step(OpRemove, path, 0); err != nil {
+		return err
+	}
+	return i.base.Remove(path)
+}
+
+func (i *Injector) RemoveAll(path string) error {
+	if _, err := i.step(OpRemove, path, 0); err != nil {
+		return err
+	}
+	return i.base.RemoveAll(path)
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := i.step(OpMkdir, path, 0); err != nil {
+		return err
+	}
+	return i.base.MkdirAll(path, perm)
+}
+
+func (i *Injector) ReadDir(path string) ([]os.DirEntry, error) {
+	if _, err := i.step(OpReadDir, path, 0); err != nil {
+		return nil, err
+	}
+	return i.base.ReadDir(path)
+}
+
+func (i *Injector) Stat(path string) (os.FileInfo, error) {
+	if _, err := i.step(OpStat, path, 0); err != nil {
+		return nil, err
+	}
+	return i.base.Stat(path)
+}
+
+// injFile interposes the injector on every read, write, fsync and truncate
+// of one open file. Seek and Close are not I/O boundaries: seeking changes
+// no disk state, and a crashed "power loss" file can always be closed.
+type injFile struct {
+	inj  *Injector
+	f    File
+	path string
+}
+
+func (x *injFile) Read(p []byte) (int, error) {
+	if _, err := x.inj.step(OpRead, x.path, len(p)); err != nil {
+		return 0, err
+	}
+	return x.f.Read(p)
+}
+
+func (x *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if _, err := x.inj.step(OpRead, x.path, len(p)); err != nil {
+		return 0, err
+	}
+	return x.f.ReadAt(p, off)
+}
+
+func (x *injFile) Write(p []byte) (int, error) {
+	if torn, err := x.inj.step(OpWrite, x.path, len(p)); err != nil {
+		n := 0
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, _ = x.f.Write(p[:torn])
+		}
+		return n, err
+	}
+	return x.f.Write(p)
+}
+
+func (x *injFile) WriteAt(p []byte, off int64) (int, error) {
+	if torn, err := x.inj.step(OpWrite, x.path, len(p)); err != nil {
+		n := 0
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, _ = x.f.WriteAt(p[:torn], off)
+		}
+		return n, err
+	}
+	return x.f.WriteAt(p, off)
+}
+
+func (x *injFile) Seek(offset int64, whence int) (int64, error) {
+	return x.f.Seek(offset, whence)
+}
+
+func (x *injFile) Truncate(size int64) error {
+	if _, err := x.inj.step(OpTruncate, x.path, 0); err != nil {
+		return err
+	}
+	return x.f.Truncate(size)
+}
+
+func (x *injFile) Sync() error {
+	if _, err := x.inj.step(OpSync, x.path, 0); err != nil {
+		return err
+	}
+	return x.f.Sync()
+}
+
+func (x *injFile) Close() error               { return x.f.Close() }
+func (x *injFile) Name() string               { return x.f.Name() }
+func (x *injFile) Stat() (os.FileInfo, error) { return x.f.Stat() }

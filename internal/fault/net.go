@@ -1,0 +1,142 @@
+package fault
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// NetConfig shapes the faults a wrapped connection injects. The zero value
+// injects nothing.
+type NetConfig struct {
+	// Latency is added before every write — a slow or congested link.
+	Latency time.Duration
+	// ResetAfter, when > 0, is a per-connection byte budget: once a
+	// connection has written that many bytes, the next write sends only a
+	// prefix (Torn bytes, default half) and then the connection dies with
+	// ECONNRESET — a mid-stream reset with a partial final write, the
+	// nastiest shape a framed protocol has to survive.
+	ResetAfter int64
+	// Torn is how many bytes of the reset-triggering write actually reach
+	// the peer (0 = half of the write).
+	Torn int
+	// DropEvery, when > 0, drops (closes) the connection on every
+	// DropEvery-th write — a flapping link.
+	DropEvery int
+	// FirstConns, when > 0, faults only the first N connections of a
+	// wrapped listener or dialer; later connections pass through clean.
+	// This is how chaos runs guarantee convergence after the storm.
+	FirstConns int
+}
+
+// active reports whether the config injects anything at all.
+func (c *NetConfig) active() bool {
+	return c != nil && (c.Latency > 0 || c.ResetAfter > 0 || c.DropEvery > 0)
+}
+
+// WrapConn returns conn with cfg's faults layered on its write path. A nil
+// or zero cfg returns conn unchanged.
+func WrapConn(conn net.Conn, cfg *NetConfig) net.Conn {
+	if !cfg.active() {
+		return conn
+	}
+	return &faultConn{Conn: conn, cfg: *cfg}
+}
+
+// Listener wraps l so accepted connections carry cfg's faults. With
+// cfg.FirstConns > 0 only that many initial connections are wrapped.
+func Listener(l net.Listener, cfg *NetConfig) net.Listener {
+	if !cfg.active() {
+		return l
+	}
+	return &faultListener{Listener: l, cfg: *cfg}
+}
+
+// DialTimeout returns a dial function shaped like net.DialTimeout whose
+// connections carry cfg's faults (the first cfg.FirstConns of them, when
+// set). With a nil or zero cfg it returns plain net.DialTimeout.
+func DialTimeout(cfg *NetConfig) func(network, addr string, timeout time.Duration) (net.Conn, error) {
+	if !cfg.active() {
+		return net.DialTimeout
+	}
+	c := *cfg
+	var dialed atomic.Int64
+	return func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout(network, addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if n := dialed.Add(1); c.FirstConns > 0 && n > int64(c.FirstConns) {
+			return conn, nil
+		}
+		return &faultConn{Conn: conn, cfg: c}, nil
+	}
+}
+
+type faultListener struct {
+	net.Listener
+	cfg      NetConfig
+	accepted atomic.Int64
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if n := l.accepted.Add(1); l.cfg.FirstConns > 0 && n > int64(l.cfg.FirstConns) {
+		return conn, nil
+	}
+	return &faultConn{Conn: conn, cfg: l.cfg}, nil
+}
+
+type faultConn struct {
+	net.Conn
+	cfg NetConfig
+
+	mu      sync.Mutex
+	written int64
+	writes  int
+	dead    bool
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.cfg.Latency > 0 {
+		time.Sleep(c.cfg.Latency)
+	}
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, syscall.ECONNRESET
+	}
+	c.writes++
+	kill, torn := false, 0
+	if c.cfg.ResetAfter > 0 && c.written+int64(len(p)) > c.cfg.ResetAfter {
+		kill = true
+		torn = c.cfg.Torn
+		if torn <= 0 {
+			torn = len(p) / 2
+		}
+		if torn > len(p) {
+			torn = len(p)
+		}
+	} else if c.cfg.DropEvery > 0 && c.writes%c.cfg.DropEvery == 0 {
+		kill = true
+	}
+	if kill {
+		c.dead = true
+		c.mu.Unlock()
+		netInjected.Add(1)
+		n := 0
+		if torn > 0 {
+			n, _ = c.Conn.Write(p[:torn])
+		}
+		_ = c.Conn.Close()
+		return n, syscall.ECONNRESET
+	}
+	c.written += int64(len(p))
+	c.mu.Unlock()
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseDiskSpec builds an Injector from a -fault-disk flag value: one or
+// more rules separated by ';', each 'kind:key=val,key=val'. Kinds:
+//
+//	fail-fsync:nth=N[,path=SUB][,times=T]     fail the Nth fsync with EIO
+//	torn-write:nth=N,keep=K[,path=SUB]        tear the Nth write after K bytes and crash
+//	enospc:after=BYTES[,times=T][,path=SUB]   ENOSPC on mutations once BYTES written; clears after T firings
+//	eio-read:nth=N[,path=SUB][,times=T]       fail the Nth read with EIO
+//	flaky:every=M[,times=T][,path=SUB]        fail every Mth mutation with EIO (transient chaos)
+//
+// An empty spec returns (nil, nil): no injection, callers keep the real
+// filesystem.
+func ParseDiskSpec(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	inj := NewInjector(nil)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, argstr, _ := strings.Cut(part, ":")
+		args, err := parseKVs(argstr)
+		if err != nil {
+			return nil, fmt.Errorf("fault: disk spec %q: %w", part, err)
+		}
+		r := Rule{
+			Path:  args["path"],
+			Nth:   atoiOr(args["nth"], 0),
+			Every: atoiOr(args["every"], 0),
+			Times: atoiOr(args["times"], 0),
+		}
+		switch kind {
+		case "fail-fsync":
+			r.Op, r.Err = OpSync, ErrIO
+			if r.Times == 0 {
+				r.Times = 1
+			}
+		case "torn-write":
+			r.Op, r.Torn, r.Crash = OpWrite, atoiOr(args["keep"], 0), true
+			r.Times = 1
+		case "enospc":
+			r.Op, r.Err = OpMutate, ErrNoSpace
+			r.AfterBytes = int64(atoiOr(args["after"], 0))
+			if r.AfterBytes <= 0 {
+				return nil, fmt.Errorf("fault: disk spec %q: enospc needs after=BYTES", part)
+			}
+		case "eio-read":
+			r.Op, r.Err = OpRead, ErrIO
+			if r.Times == 0 {
+				r.Times = 1
+			}
+		case "flaky":
+			r.Op, r.Err = OpMutate, ErrIO
+			if r.Every <= 0 {
+				return nil, fmt.Errorf("fault: disk spec %q: flaky needs every=M", part)
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown disk fault kind %q", kind)
+		}
+		inj.AddRule(r)
+	}
+	return inj, nil
+}
+
+// ParseNetSpec builds a NetConfig from a -fault-net flag value:
+// 'latency=2ms,reset-after=32768,torn=512,drop-every=40,first-conns=6'.
+// An empty spec returns (nil, nil).
+func ParseNetSpec(spec string) (*NetConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	args, err := parseKVs(spec)
+	if err != nil {
+		return nil, fmt.Errorf("fault: net spec %q: %w", spec, err)
+	}
+	cfg := &NetConfig{
+		ResetAfter: int64(atoiOr(args["reset-after"], 0)),
+		Torn:       atoiOr(args["torn"], 0),
+		DropEvery:  atoiOr(args["drop-every"], 0),
+		FirstConns: atoiOr(args["first-conns"], 0),
+	}
+	if v, ok := args["latency"]; ok {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, fmt.Errorf("fault: net spec latency: %w", err)
+		}
+		cfg.Latency = d
+	}
+	if !cfg.active() {
+		return nil, fmt.Errorf("fault: net spec %q injects nothing", spec)
+	}
+	return cfg, nil
+}
+
+func parseKVs(s string) (map[string]string, error) {
+	out := map[string]string{}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad key=value %q", kv)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func atoiOr(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}

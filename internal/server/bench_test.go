@@ -61,7 +61,7 @@ func BenchmarkConcurrentServe(b *testing.B) {
 func benchConcurrentServe(b *testing.B, collector *obs.Collector) {
 	const hot = 8
 	sys := demoSystem(b)
-	p := newPersister(b.TempDir(), sys, persist.SyncBatched, nil)
+	p := newPersister(b.TempDir(), sys, persist.SyncBatched, nil, nil)
 	m := newSessionManager(hot, time.Hour, 4, p)
 	m.traces = collector
 	b.Cleanup(func() { m.shutdown() })
@@ -188,7 +188,7 @@ func benchConcurrentServe(b *testing.B, collector *obs.Collector) {
 func BenchmarkRequestOverhead(b *testing.B) {
 	const hot = 4
 	sys := demoSystem(b)
-	p := newPersister(b.TempDir(), sys, persist.SyncBatched, nil)
+	p := newPersister(b.TempDir(), sys, persist.SyncBatched, nil, nil)
 	m := newSessionManager(hot, time.Hour, 4, p)
 	b.Cleanup(func() { m.shutdown() })
 	hotIDs, _ := benchSessions(b, m, hot)
@@ -233,7 +233,7 @@ func BenchmarkRequestOverhead(b *testing.B) {
 func BenchmarkSessionLookup(b *testing.B) {
 	const hot = 8
 	sys := demoSystem(b)
-	p := newPersister(b.TempDir(), sys, persist.SyncBatched, nil)
+	p := newPersister(b.TempDir(), sys, persist.SyncBatched, nil, nil)
 	m := newSessionManager(hot, time.Hour, 4, p)
 	b.Cleanup(func() { m.shutdown() })
 	hotIDs, _ := benchSessions(b, m, hot)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"justintime/internal/core"
+	"justintime/internal/fault"
 	"justintime/internal/sqldb"
 	"justintime/internal/sqldb/pager"
 	"justintime/internal/sqldb/persist"
@@ -48,6 +49,18 @@ var (
 	// metricCreatesRejected counts session creations refused with 429
 	// because the admission queue was full.
 	metricCreatesRejected = expvar.NewInt("jitd_creates_rejected")
+	// metricDegradedMode is 1 while the server is in read-only degraded
+	// mode (out-of-space data dir), 0 otherwise.
+	metricDegradedMode = expvar.NewInt("jitd_degraded_mode")
+	// metricDegradedRejects counts mutations refused with 503 while in
+	// degraded mode.
+	metricDegradedRejects = expvar.NewInt("jitd_degraded_rejected")
+	// metricSessionsQuarantined counts session stores whose snapshot or page
+	// file failed structural checks and were moved to <data-dir>/quarantine/.
+	metricSessionsQuarantined = expvar.NewInt("jitd_sessions_quarantined")
+	// metricCheckpointRetries counts checkpoint attempts that failed
+	// transiently and were retried under backoff.
+	metricCheckpointRetries = expvar.NewInt("jitd_checkpoint_retries")
 )
 
 // managerRegistry tracks the live session managers in the process so the
@@ -411,6 +424,11 @@ func init() {
 		}
 		return st
 	}))
+	// jitd_fault_disk_injected / jitd_fault_net_injected: process-wide counts
+	// of injected disk and network faults — zero in production, the chaos
+	// harness's evidence that its schedules actually fired.
+	expvar.Publish("jitd_fault_disk_injected", expvar.Func(func() interface{} { return fault.DiskInjected() }))
+	expvar.Publish("jitd_fault_net_injected", expvar.Func(func() interface{} { return fault.NetInjected() }))
 	// jitd_shard_sessions: resident sessions per shard, summed element-wise
 	// across the process's live session managers (one, outside of tests).
 	// Uneven counts reveal hash skew; a stuck shard reveals a lock problem.

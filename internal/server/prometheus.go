@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 
+	"justintime/internal/fault"
 	"justintime/internal/sqldb"
 )
 
@@ -35,6 +36,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("jitd_wal_bytes_total", "Bytes of WAL records written.", metricWALBytes.Value())
 	counter("jitd_checkpoints_total", "Snapshot checkpoints (WAL folds).", metricCheckpoints.Value())
 	counter("jitd_creates_rejected_total", "Session creations refused with 429 (admission queue full).", metricCreatesRejected.Value())
+	gauge("jitd_degraded_mode", "1 while the server is in read-only degraded mode (data dir not writable).", metricDegradedMode.Value())
+	counter("jitd_degraded_rejected_total", "Mutations refused with 503 while in degraded mode.", metricDegradedRejects.Value())
+	counter("jitd_sessions_quarantined_total", "Corrupt session stores moved to the quarantine directory.", metricSessionsQuarantined.Value())
+	counter("jitd_checkpoint_retries_total", "Checkpoint attempts retried after a transient failure.", metricCheckpointRetries.Value())
+	counter("jitd_fault_disk_injected_total", "Injected disk faults fired (chaos harness).", fault.DiskInjected())
+	counter("jitd_fault_net_injected_total", "Injected network faults fired (chaos harness).", fault.NetInjected())
 
 	labeledCounters(&b, "jitd_plan_shapes_total", "Query plans chosen, by access-path/join shape.", "shape", sqldb.PlanCounters())
 	labeledCounters(&b, "jitd_plan_cache_total", "Plan-cache events, by kind.", "event", sqldb.PlanCacheCounters())

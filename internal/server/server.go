@@ -13,11 +13,14 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"justintime/internal/constraints"
 	"justintime/internal/core"
 	"justintime/internal/dataset"
+	"justintime/internal/fault"
 	"justintime/internal/obs"
 	"justintime/internal/sqldb"
 	"justintime/internal/sqldb/pager"
@@ -90,6 +93,19 @@ type Config struct {
 	// happen. The standby replays continuously and can be promoted to
 	// primary after a failover.
 	ReplicateTo string
+	// FS, when non-nil, routes every durable write (snapshots, WAL, page
+	// files, the degraded-mode probe) through this I/O plane instead of the
+	// real filesystem. Tests and the chaos harness install a fault.Injector
+	// here; nil is the real disk at zero overhead.
+	FS fault.FS
+	// ReplicationDial, when non-nil, replaces net.DialTimeout for the
+	// replication shipper's connections to the standby — the seam the chaos
+	// harness uses to inject network faults into the replication link.
+	ReplicationDial persist.DialFunc
+	// DegradedProbeInterval is how often a server in read-only degraded
+	// mode (out-of-space data dir) re-attempts a durable write to detect
+	// recovery. <= 0 selects 1s.
+	DegradedProbeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceRingCap <= 0 {
 		c.TraceRingCap = 256
+	}
+	if c.DegradedProbeInterval <= 0 {
+		c.DegradedProbeInterval = time.Second
 	}
 	return c
 }
@@ -139,6 +158,11 @@ type Server struct {
 	// shipper streams the session tree to a warm standby (nil when
 	// Config.ReplicateTo is empty).
 	shipper *persist.Shipper
+	// degraded is the read-only mode flag (see degrade.go); stop ends the
+	// recovery probe goroutine when the server closes.
+	degraded atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 // New builds a Server around a configured system with default limits.
@@ -153,18 +177,19 @@ func NewWithConfig(sys *core.System, cfg Config) *Server {
 		registerPool(pool)
 	}
 	var p *persister
-	if cfg.DataDir != "" {
-		p = newPersister(cfg.DataDir, sys, cfg.WALSync, pool)
-	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.Default()
+	}
+	if cfg.DataDir != "" {
+		p = newPersister(cfg.DataDir, sys, cfg.WALSync, pool, cfg.FS)
+		p.logger = logger
 	}
 	var shipper *persist.Shipper
 	if p != nil && cfg.ReplicateTo != "" {
 		// Wired before the session manager exists, so no session's store can
 		// be created without its append hook.
-		shipper = persist.NewShipper(p.root, cfg.ReplicateTo, logger)
+		shipper = persist.NewShipperDialer(p.root, cfg.ReplicateTo, logger, cfg.ReplicationDial)
 		p.shipper = shipper
 		registerShipper(shipper)
 	}
@@ -181,12 +206,14 @@ func NewWithConfig(sys *core.System, cfg Config) *Server {
 		collector: collector,
 		logger:    logger,
 		shipper:   shipper,
+		stop:      make(chan struct{}),
 	}
 	// The manager is built by newSessionManager (whose signature tests
 	// depend on); observability and cluster seams are wired in afterwards.
 	s.sessions.traces = collector
 	s.sessions.logger = logger
 	s.sessions.keepID = cfg.KeepSessionID
+	s.sessions.onPersistError = s.notePersistError
 	mux := http.NewServeMux()
 	s.route(mux, "GET /api/schema", s.handleSchema)
 	s.route(mux, "GET /api/models", s.handleModels)
@@ -325,6 +352,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // current snapshot without a rewrite. Call it after draining in-flight
 // requests; it returns the number of sessions made durable.
 func (s *Server) Close() int {
+	s.stopOnce.Do(func() { close(s.stop) })
 	n := s.sessions.shutdown()
 	if s.shipper != nil {
 		// Shutdown checkpoints queued sync events behind it; give the standby
@@ -431,6 +459,12 @@ type createSessionRequest struct {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	// A read-only server rejects before reading the body: creation is the
+	// one endpoint that must write durably, and the Retry-After hint tells
+	// the client when the recovery probe could have cleared the mode.
+	if s.rejectDegraded(w) {
+		return
+	}
 	// Read the (size-capped) body before taking an admission slot: a slot
 	// held during the read would let slow-trickling clients pin every slot
 	// and starve creation outright. Decoding costs microseconds against
@@ -502,6 +536,14 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	id, err := s.sessions.add(sess, req.Constraints)
 	addSpan.End()
 	if err != nil {
+		// An out-of-space disk degrades the server instead of 500ing one
+		// request: this creation failed, but the response says when to retry
+		// and every later mutation short-circuits until the probe clears.
+		s.notePersistError(err)
+		if s.degraded.Load() {
+			s.rejectDegraded(w)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

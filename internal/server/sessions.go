@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"expvar"
 	"fmt"
 	"hash/maphash"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"justintime/internal/core"
+	"justintime/internal/fault"
 	"justintime/internal/obs"
 	"justintime/internal/sqldb/persist"
 )
@@ -149,6 +151,12 @@ type sessionManager struct {
 	// tests building bare managers leave them nil.
 	traces *obs.Collector
 	logger *slog.Logger
+
+	// onPersistError, when non-nil, receives every definitive durability
+	// failure (creation snapshot, checkpoint after its retries) so the
+	// owning Server can classify it — an ENOSPC flips the server into
+	// read-only degraded mode. Wired by the Server after construction.
+	onPersistError func(error)
 
 	// keepID, when non-nil, filters freshly minted session IDs: add retries
 	// until the predicate accepts one. It is how a cluster shard mints only
@@ -436,7 +444,7 @@ func (sh *sessionShard) rehydrate(id string, r *rehydration, span *obs.Span, loc
 	}
 	rs := span.StartChild("session.rehydrate")
 	sess, store, err := m.persist.open(id)
-	if err != nil && err != errSessionNotOnDisk {
+	if err != nil && !errors.Is(err, errSessionNotOnDisk) {
 		rs.SetAttr("error", err.Error())
 	}
 	rs.End()
@@ -463,7 +471,7 @@ func (sh *sessionShard) rehydrate(id string, r *rehydration, span *obs.Span, loc
 	}
 	if err != nil {
 		sh.mu.Unlock()
-		if err != errSessionNotOnDisk {
+		if !errors.Is(err, errSessionNotOnDisk) {
 			m.log().Error("session rehydration failed", "session_id", id, "err", err)
 		}
 		close(r.done)
@@ -889,14 +897,42 @@ func (m *sessionManager) evictGlobalLRU() bool {
 
 // checkpointIfDirty folds a session's WAL into a fresh snapshot, counting
 // it — unless the WAL is clean, in which case the snapshot on disk already
-// equals the live state and the write+fsync is skipped. When the manager
-// has a trace collector, the checkpoint runs under a background trace
-// (method "bg", route "session.checkpoint"), so eviction and shutdown I/O
-// shows up in /debug/requests with the same span detail as request work.
+// equals the live state and the write+fsync is skipped. A transient failure
+// (a flaky device, a momentarily full disk) is retried under a capped
+// jittered backoff before the error is declared definitive — the checkpoint
+// protocol is idempotent (tmp + fsync + atomic rename), so a half-written
+// attempt leaves nothing a retry can trip over. Corruption is not retried:
+// rewriting the same bytes cannot fix a failing checksum.
 func (m *sessionManager) checkpointIfDirty(id string, st *persist.Store) error {
 	if !st.Dirty() {
 		return nil
 	}
+	retry := fault.Backoff{Base: 50 * time.Millisecond, Max: time.Second}
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			metricCheckpointRetries.Add(1)
+			m.log().Warn("checkpoint failed; retrying",
+				"session_id", id, "attempt", attempt, "err", err)
+			time.Sleep(retry.Next())
+		}
+		if err = m.checkpointOnce(id, st); err == nil {
+			return nil
+		}
+		if persist.IsCorrupt(err) {
+			break
+		}
+	}
+	if m.onPersistError != nil {
+		m.onPersistError(err)
+	}
+	return err
+}
+
+// checkpointOnce is one checkpoint attempt under a background trace (method
+// "bg", route "session.checkpoint"), so eviction and shutdown I/O shows up
+// in /debug/requests with the same span detail as request work.
+func (m *sessionManager) checkpointOnce(id string, st *persist.Store) error {
 	ctx := context.Background()
 	var t *obs.Trace
 	if m.traces != nil {

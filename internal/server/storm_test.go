@@ -19,7 +19,7 @@ import (
 func stormManager(t *testing.T) (m *sessionManager, id string, advance func(time.Duration)) {
 	t.Helper()
 	sys := demoSystem(t)
-	p := newPersister(t.TempDir(), sys, persist.SyncAlways, nil)
+	p := newPersister(t.TempDir(), sys, persist.SyncAlways, nil, nil)
 	m = newSessionManager(8, time.Minute, 4, p)
 	t.Cleanup(func() { m.shutdown() })
 	// These tests script exact eviction/rehydration interleavings; the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"justintime/internal/fault"
 	"justintime/internal/sqldb/pager"
 )
 
@@ -25,13 +26,24 @@ type PagedTable struct {
 // NewPagedTable creates an empty paged store spilling dirty pages to
 // spillPath (the base page file appears at the first checkpoint).
 func NewPagedTable(pool *pager.Pool, spillPath string) *PagedTable {
-	return &PagedTable{file: pager.NewFile(pool, spillPath), starts: []int{0}}
+	return NewPagedTableFS(nil, pool, spillPath)
+}
+
+// NewPagedTableFS is NewPagedTable on an injectable filesystem (nil = the
+// real one).
+func NewPagedTableFS(fsys fault.FS, pool *pager.Pool, spillPath string) *PagedTable {
+	return &PagedTable{file: pager.NewFileFS(fsys, pool, spillPath), starts: []int{0}}
 }
 
 // OpenPagedTable opens a base page file written by CheckpointTo, with
 // pageRows giving each page's row count (recorded in the snapshot).
 func OpenPagedTable(pool *pager.Pool, basePath, spillPath string, pageRows []int) (*PagedTable, error) {
-	f, err := pager.OpenFile(pool, basePath, spillPath)
+	return OpenPagedTableFS(nil, pool, basePath, spillPath, pageRows)
+}
+
+// OpenPagedTableFS is OpenPagedTable on an injectable filesystem.
+func OpenPagedTableFS(fsys fault.FS, pool *pager.Pool, basePath, spillPath string, pageRows []int) (*PagedTable, error) {
+	f, err := pager.OpenFileFS(fsys, pool, basePath, spillPath)
 	if err != nil {
 		return nil, err
 	}
@@ -242,6 +254,11 @@ func (pt *PagedTable) Close() error { return pt.file.Close() }
 // Row ids are preserved, so existing secondary indexes stay valid. Converting
 // an already-paged table is a no-op.
 func (db *DB) PageTable(name string, pool *pager.Pool, spillPath string) error {
+	return db.PageTableFS(nil, name, pool, spillPath)
+}
+
+// PageTableFS is PageTable on an injectable filesystem (nil = the real one).
+func (db *DB) PageTableFS(fsys fault.FS, name string, pool *pager.Pool, spillPath string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	t, ok := db.tables[name]
@@ -255,7 +272,7 @@ func (db *DB) PageTable(name string, pool *pager.Pool, spillPath string) error {
 	if err != nil {
 		return err
 	}
-	pt := NewPagedTable(pool, spillPath)
+	pt := NewPagedTableFS(fsys, pool, spillPath)
 	if err := pt.Append(rows); err != nil {
 		pt.Close()
 		return err

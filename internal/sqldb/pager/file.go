@@ -5,9 +5,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"justintime/internal/fault"
 )
 
 // fileMagic identifies a page file; the trailing byte is the format version.
@@ -19,6 +22,12 @@ const fileHeaderLen = 16
 // errFileClosed is returned for reads against a closed File (e.g. a query
 // racing session shutdown); it surfaces as a query error, never corruption.
 var errFileClosed = errors.New("pager: file is closed")
+
+// ErrCorrupt marks structural damage in a page file (bad magic, wrong page
+// size, a file shorter than its header claims) as opposed to a transient
+// I/O error. Callers use errors.Is(err, ErrCorrupt) to decide whether a
+// session's on-disk state should be quarantined rather than retried.
+var ErrCorrupt = errors.New("pager: corrupt page file")
 
 // File is the paged backing store for one table: an immutable base page file
 // (written only by whole-file checkpoints) plus a volatile spill file
@@ -32,12 +41,13 @@ var errFileClosed = errors.New("pager: file is closed")
 // concurrency lives in the Pool.
 type File struct {
 	pool *Pool
+	fs   fault.FS
 
 	mu        sync.Mutex
-	base      *os.File
+	base      fault.File
 	basePages int
 	spillPath string
-	spill     *os.File
+	spill     fault.File
 	spillSize int64
 	loc       map[int]int64 // pageNo -> spill offset, overriding base
 	npages    int
@@ -47,43 +57,69 @@ type File struct {
 // NewFile creates an empty paged file with no base; pages exist only in the
 // pool and the spill at spillPath until the first CheckpointTo.
 func NewFile(pool *Pool, spillPath string) *File {
-	return &File{pool: pool, spillPath: spillPath, loc: make(map[int]int64)}
+	return NewFileFS(nil, pool, spillPath)
+}
+
+// NewFileFS is NewFile on an injectable filesystem (nil = the real one).
+func NewFileFS(fsys fault.FS, pool *Pool, spillPath string) *File {
+	return &File{pool: pool, fs: fault.Of(fsys), spillPath: spillPath, loc: make(map[int]int64)}
 }
 
 // OpenFile opens an existing base page file written by CheckpointTo. Any
 // stale spill at spillPath is truncated on first write.
 func OpenFile(pool *Pool, basePath, spillPath string) (*File, error) {
-	b, err := os.Open(basePath)
+	return OpenFileFS(nil, pool, basePath, spillPath)
+}
+
+// OpenFileFS is OpenFile on an injectable filesystem (nil = the real one).
+func OpenFileFS(fsys fault.FS, pool *Pool, basePath, spillPath string) (*File, error) {
+	fsys = fault.Of(fsys)
+	b, err := fsys.Open(basePath)
 	if err != nil {
 		return nil, fmt.Errorf("pager: %w", err)
 	}
-	hdr := make([]byte, fileHeaderLen)
-	if _, err := b.ReadAt(hdr, 0); err != nil {
+	n, err := checkFileHeader(b, basePath)
+	if err != nil {
 		b.Close()
-		return nil, fmt.Errorf("pager: %s: truncated header", basePath)
-	}
-	if string(hdr[:8]) != string(fileMagic) {
-		b.Close()
-		return nil, fmt.Errorf("pager: %s: not a page file (bad magic)", basePath)
-	}
-	if ps := binary.LittleEndian.Uint32(hdr[8:]); ps != PageSize {
-		b.Close()
-		return nil, fmt.Errorf("pager: %s: page size %d, want %d", basePath, ps, PageSize)
-	}
-	n := int(binary.LittleEndian.Uint32(hdr[12:]))
-	st, err := b.Stat()
-	if err != nil || st.Size() < int64(fileHeaderLen)+int64(n)*PageSize {
-		b.Close()
-		return nil, fmt.Errorf("pager: %s: file shorter than its %d-page header claims", basePath, n)
+		return nil, err
 	}
 	return &File{
 		pool:      pool,
+		fs:        fsys,
 		base:      b,
 		basePages: n,
 		spillPath: spillPath,
 		loc:       make(map[int]int64),
 		npages:    n,
 	}, nil
+}
+
+// checkFileHeader validates a base page file's header and length, returning
+// its page count. Structural damage comes back wrapping ErrCorrupt; a read
+// failing for transient reasons (EIO) keeps its own error.
+func checkFileHeader(b fault.File, path string) (int, error) {
+	hdr := make([]byte, fileHeaderLen)
+	if _, err := b.ReadAt(hdr, 0); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, fmt.Errorf("pager: %s: truncated header: %w", path, ErrCorrupt)
+		}
+		return 0, fmt.Errorf("pager: %s: header: %w", path, err)
+	}
+	if string(hdr[:8]) != string(fileMagic) {
+		return 0, fmt.Errorf("pager: %s: not a page file (bad magic): %w", path, ErrCorrupt)
+	}
+	if ps := binary.LittleEndian.Uint32(hdr[8:]); ps != PageSize {
+		return 0, fmt.Errorf("pager: %s: page size %d, want %d: %w", path, ps, PageSize, ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[12:]))
+	st, err := b.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("pager: %s: stat: %w", path, err)
+	}
+	if st.Size() < int64(fileHeaderLen)+int64(n)*PageSize {
+		return 0, fmt.Errorf("pager: %s: file shorter than its %d-page header claims: %w", path, n, ErrCorrupt)
+	}
+	return n, nil
 }
 
 // Pages returns the current page count.
@@ -158,7 +194,7 @@ func (f *File) writePage(pageNo int, buf []byte) error {
 		return nil
 	}
 	if f.spill == nil {
-		s, err := os.OpenFile(f.spillPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		s, err := f.fs.OpenFile(f.spillPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
 			return fmt.Errorf("pager: spill: %w", err)
 		}
@@ -195,7 +231,7 @@ func (f *File) CheckpointTo(path string) error {
 	f.mu.Unlock()
 
 	tmp := path + ".tmp"
-	out, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	out, err := f.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("pager: checkpoint: %w", err)
 	}
@@ -224,19 +260,19 @@ func (f *File) CheckpointTo(path string) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		f.fs.Remove(tmp)
 		return fmt.Errorf("pager: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := f.fs.Rename(tmp, path); err != nil {
+		f.fs.Remove(tmp)
 		return fmt.Errorf("pager: checkpoint: %w", err)
 	}
-	syncDir(filepath.Dir(path))
+	syncDir(f.fs, filepath.Dir(path))
 
 	// The new base now holds every page's current content; frames stop being
 	// dirty and the spill's overrides are obsolete.
 	f.pool.markFileClean(f)
-	nb, err := os.Open(path)
+	nb, err := f.fs.Open(path)
 	if err != nil {
 		return fmt.Errorf("pager: checkpoint reopen: %w", err)
 	}
@@ -296,7 +332,7 @@ func (f *File) Close() error {
 		}
 		f.spill = nil
 	}
-	os.Remove(f.spillPath)
+	f.fs.Remove(f.spillPath)
 	return err
 }
 
@@ -305,22 +341,20 @@ func (f *File) Close() error {
 // hosts that run without a buffer pool. The page buffer passed to fn is
 // reused between calls.
 func ReadFile(path string, fn func(pageNo int, page []byte) error) error {
-	f, err := os.Open(path)
+	return ReadFileFS(nil, path, fn)
+}
+
+// ReadFileFS is ReadFile on an injectable filesystem (nil = the real one).
+func ReadFileFS(fsys fault.FS, path string, fn func(pageNo int, page []byte) error) error {
+	f, err := fault.Of(fsys).Open(path)
 	if err != nil {
 		return fmt.Errorf("pager: %w", err)
 	}
 	defer f.Close()
-	hdr := make([]byte, fileHeaderLen)
-	if _, err := f.ReadAt(hdr, 0); err != nil {
-		return fmt.Errorf("pager: %s: truncated header", path)
+	n, err := checkFileHeader(f, path)
+	if err != nil {
+		return err
 	}
-	if string(hdr[:8]) != string(fileMagic) {
-		return fmt.Errorf("pager: %s: not a page file (bad magic)", path)
-	}
-	if ps := binary.LittleEndian.Uint32(hdr[8:]); ps != PageSize {
-		return fmt.Errorf("pager: %s: page size %d, want %d", path, ps, PageSize)
-	}
-	n := int(binary.LittleEndian.Uint32(hdr[12:]))
 	buf := make([]byte, PageSize)
 	for pageNo := 0; pageNo < n; pageNo++ {
 		if _, err := f.ReadAt(buf, int64(fileHeaderLen)+int64(pageNo)*PageSize); err != nil {
@@ -335,8 +369,8 @@ func ReadFile(path string, fn func(pageNo int, page []byte) error) error {
 
 // syncDir fsyncs a directory so a just-performed rename survives power loss;
 // filesystems rejecting directory fsync are tolerated.
-func syncDir(dir string) {
-	df, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) {
+	df, err := fsys.Open(dir)
 	if err != nil {
 		return
 	}

@@ -224,6 +224,9 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, io.EOF
 		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, err // a failing device, not a torn tail
+		}
 		return nil, errTorn
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
@@ -233,6 +236,9 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, err
+		}
 		return nil, errTorn
 	}
 	if crc32.ChecksumIEEE(payload) != want {

@@ -23,6 +23,8 @@ import (
 	"log/slog"
 	"net"
 	"os"
+
+	"justintime/internal/fault"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -557,7 +559,7 @@ func (r *Replica) applySync(id string, files []repFile) error {
 			return err
 		}
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fault.OS, dir); err != nil {
 		return err
 	}
 	r.syncs.Add(1)

@@ -1,0 +1,116 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"justintime/internal/fault"
+)
+
+// TestReplicaRejectsUnsafeWireNames pins the wire-name validation that keeps
+// a hostile or corrupt peer inside the replica root: session IDs and file
+// names are path components, so separators, leading dots and ".." must all
+// bounce before they touch the filesystem.
+func TestReplicaRejectsUnsafeWireNames(t *testing.T) {
+	good := []string{"s1", "a", "0", "session-42", "a.b_c-d", "x..", "a..b"}
+	// ".." never passes even embedded: the regexp allows dots, the explicit
+	// substring check vetoes the traversal shape.
+	good = good[:5]
+	bad := []string{
+		"", ".", "..", "../x", "a/../b", "a/b", `a\b`, ".hidden", "-dash",
+		"a/..", "..a", "a" + string(os.PathSeparator) + "b",
+		string(make([]byte, 130)),
+	}
+	for _, s := range good {
+		if !replSafeName(s) {
+			t.Errorf("replSafeName(%q) = false, want true", s)
+		}
+	}
+	for _, s := range bad {
+		if replSafeName(s) {
+			t.Errorf("replSafeName(%q) = true, want false", s)
+		}
+	}
+
+	root := filepath.Join(t.TempDir(), "sessions")
+	r, err := NewReplica(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Every apply path must reject a traversal id with an error — and leave
+	// the parent of the replica root untouched.
+	if err := r.applySync("../escape", []repFile{{name: SnapshotFile}}); err == nil {
+		t.Fatal("applySync accepted a traversal session id")
+	}
+	if err := r.applySync("ok", []repFile{{name: "../evil"}}); err == nil {
+		t.Fatal("applySync accepted a traversal file name")
+	}
+	if _, err := r.applyAppend("../escape", 1, 0, []byte("x")); err == nil {
+		t.Fatal("applyAppend accepted a traversal session id")
+	}
+	if err := r.applyDelete("../escape"); err == nil {
+		t.Fatal("applyDelete accepted a traversal session id")
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(root), "escape")); !os.IsNotExist(err) {
+		t.Fatal("a traversal id escaped the replica root")
+	}
+}
+
+// TestShipperOverflowRehandshakeUnderPartialWrites squeezes the shipper's
+// queue down to almost nothing and runs the replication link through a
+// dialer that tears writes mid-frame and resets the first connections: the
+// shipper must overflow (dropping the connection instead of growing without
+// bound), re-handshake its way through the faulty conns, and still converge
+// to a byte-identical standby once the storm passes.
+func TestShipperOverflowRehandshakeUnderPartialWrites(t *testing.T) {
+	replica, addr := startReplica(t)
+
+	// First 2 connections tear down after 2 KiB with a 7-byte torn tail —
+	// mid-frame partial writes; later connections are clean so the run
+	// converges.
+	dial := fault.DialTimeout(&fault.NetConfig{ResetAfter: 2048, Torn: 7, FirstConns: 2})
+
+	root := filepath.Join(t.TempDir(), "sessions")
+	ship := NewShipperDialer(root, addr, nil, dial)
+	defer ship.Close(time.Second)
+	ship.mu.Lock()
+	ship.maxQueueEvents = 1 // any back-to-back burst overflows
+	ship.mu.Unlock()
+
+	const id = "s1"
+	dir := filepath.Join(root, id)
+	db := fixtureDB(t)
+	st, err := Create(dir, db, Options{OnAppend: ship.OnAppend(id)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ship.NoteSync(id)
+
+	for i := 0; i < 150; i++ {
+		db.MustExec("INSERT INTO items VALUES (500, 'storm', 1.0, TRUE)")
+	}
+	waitLagZero(t, ship)
+
+	stats := ship.Stats()
+	if stats.Overflows == 0 {
+		t.Fatalf("burst through a 1-event queue never overflowed: %+v", stats)
+	}
+	if stats.Reconnects == 0 {
+		t.Fatalf("shipper never re-handshook through the faulty conns: %+v", stats)
+	}
+
+	// Convergence despite the storm: byte-identical files, and the standby
+	// copy opens to the primary's exact state.
+	sameSessionFiles(t, dir, filepath.Join(replica.Root(), id))
+	db2, st2, err := Open(filepath.Join(replica.Root(), id), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sameDump(t, db, db2)
+}

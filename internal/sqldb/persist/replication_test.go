@@ -94,6 +94,18 @@ func TestReplicationStreamsAndLagDrains(t *testing.T) {
 	defer st.Close()
 	ship.NoteSync(id)
 
+	// Let the handshake sync land before writing: otherwise the file-set
+	// ship can already contain the inserts' WAL records and the streamed
+	// appends all skip as idempotent duplicates (AppliedRecords would
+	// legitimately read 0).
+	syncDeadline := time.Now().Add(5 * time.Second)
+	for replica.Stats().Syncs == 0 {
+		if time.Now().After(syncDeadline) {
+			t.Fatal("initial sync never reached the replica")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	for i := 0; i < 25; i++ {
 		db.MustExec("INSERT INTO items VALUES (100, 'streamed', 1.0, TRUE)")
 	}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"justintime/internal/fault"
 )
 
 // Shipper queue bounds. Overflowing either drops the connection and
@@ -72,7 +74,16 @@ type Shipper struct {
 	logger *slog.Logger
 
 	dialTimeout time.Duration
-	backoff     time.Duration
+	// retry paces reconnects: jittered capped-exponential backoff that
+	// resets once a handshake completes, so a flapping link is probed
+	// gently while a brief blip reconnects fast.
+	retry fault.Backoff
+	dial  DialFunc
+
+	// Queue bounds (settable in tests); overflow drops the connection and
+	// re-handshakes.
+	maxQueueEvents int
+	maxQueueBytes  int64
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -105,15 +116,32 @@ type Shipper struct {
 // NewShipper creates a shipper for the session tree at root targeting a
 // standby's replication listener, and starts its connection loop.
 func NewShipper(root, target string, logger *slog.Logger) *Shipper {
+	return NewShipperDialer(root, target, logger, nil)
+}
+
+// DialFunc is the shape of net.DialTimeout — the shipper's injectable
+// connection seam (fault.DialTimeout produces one wrapping faulty conns).
+type DialFunc = func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// NewShipperDialer is NewShipper with an injectable dialer (nil = plain
+// net.DialTimeout) — the hook the network fault plane wraps to exercise the
+// replication link under latency, partial writes and mid-stream resets.
+func NewShipperDialer(root, target string, logger *slog.Logger, dial DialFunc) *Shipper {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	if dial == nil {
+		dial = net.DialTimeout
+	}
 	s := &Shipper{
-		root:        root,
-		target:      target,
-		logger:      logger,
-		dialTimeout: 3 * time.Second,
-		backoff:     500 * time.Millisecond,
+		root:           root,
+		target:         target,
+		logger:         logger,
+		dialTimeout:    3 * time.Second,
+		retry:          fault.Backoff{Base: 250 * time.Millisecond, Max: 10 * time.Second},
+		dial:           dial,
+		maxQueueEvents: shipMaxQueueEvents,
+		maxQueueBytes:  shipMaxQueueBytes,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
@@ -202,7 +230,7 @@ func (s *Shipper) enqueue(ev shipEvent) {
 	if !s.accepting || s.closed || s.overflowed {
 		return
 	}
-	if len(s.queue) >= shipMaxQueueEvents || s.queuedBytes+int64(len(ev.data)) > shipMaxQueueBytes {
+	if len(s.queue) >= s.maxQueueEvents || s.queuedBytes+int64(len(ev.data)) > s.maxQueueBytes {
 		s.overflowed = true
 		s.overflows.Add(1)
 		s.cond.Broadcast()
@@ -227,7 +255,7 @@ func (s *Shipper) run() {
 			s.sleepBackoff()
 		}
 		first = false
-		conn, err := net.DialTimeout("tcp", s.target, s.dialTimeout)
+		conn, err := s.dial("tcp", s.target, s.dialTimeout)
 		if err != nil {
 			continue
 		}
@@ -248,7 +276,7 @@ func (s *Shipper) run() {
 }
 
 func (s *Shipper) sleepBackoff() {
-	deadline := time.Now().Add(s.backoff)
+	deadline := time.Now().Add(s.retry.Next())
 	for time.Now().Before(deadline) {
 		s.mu.Lock()
 		closed := s.closed
@@ -287,6 +315,7 @@ func (s *Shipper) feed(conn net.Conn) {
 	s.overflowed = false
 	s.mu.Unlock()
 	s.connected.Store(true)
+	s.retry.Reset() // the link works; future redials start from the base delay
 	s.logger.Info("shipper: connected", "target", s.target, "standby_sessions", len(standby))
 
 	// Ack reader: retires outstanding frames, turns resync requests into

@@ -4,14 +4,28 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"justintime/internal/fault"
 	"justintime/internal/sqldb"
 	"justintime/internal/sqldb/pager"
 )
+
+// ErrCorrupt marks structural damage in a snapshot or page file — a failed
+// checksum, bad magic, torn record or undecodable row — as opposed to a
+// transient I/O error. The server quarantines a session whose store is
+// corrupt; it retries one whose device merely errored.
+var ErrCorrupt = errors.New("persist: corrupt store")
+
+// IsCorrupt reports whether err is structural corruption in a session's
+// durable state (snapshot, WAL header, or page file).
+func IsCorrupt(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, pager.ErrCorrupt)
+}
 
 // snapshotMagic identifies a snapshot file; the trailing byte is the format
 // version.
@@ -62,15 +76,20 @@ type pagedTableRef struct {
 // and the stale WAL — whose effects the snapshot already contains — is
 // discarded instead of double-applied.
 func WriteSnapshot(path string, d *sqldb.Dump, epoch uint64) (err error) {
+	return writeSnapshotFS(fault.OS, path, d, epoch)
+}
+
+// writeSnapshotFS is WriteSnapshot on an injectable filesystem.
+func writeSnapshotFS(fsys fault.FS, path string, d *sqldb.Dump, epoch uint64) (err error) {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: snapshot: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			f.Close()
-			os.Remove(tmp) // never leave an orphaned temp file behind
+			fsys.Remove(tmp) // never leave an orphaned temp file behind
 		}
 	}()
 	w := bufio.NewWriterSize(f, 1<<16)
@@ -149,10 +168,10 @@ func WriteSnapshot(path string, d *sqldb.Dump, epoch uint64) (err error) {
 	if err = f.Close(); err != nil {
 		return err
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err = fsys.Rename(tmp, path); err != nil {
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return syncDir(fsys, filepath.Dir(path))
 }
 
 // ReadSnapshot loads a snapshot written by WriteSnapshot, returning the dump
@@ -162,13 +181,13 @@ func WriteSnapshot(path string, d *sqldb.Dump, epoch uint64) (err error) {
 // sibling page files — the wire format stays fully readable without a buffer
 // pool (Store.Open with a pool attaches the page files instead).
 func ReadSnapshot(path string) (*sqldb.Dump, uint64, error) {
-	d, refs, epoch, err := readSnapshotRefs(path)
+	d, refs, epoch, err := readSnapshotRefs(fault.OS, path)
 	if err != nil {
 		return nil, 0, err
 	}
 	dir := filepath.Dir(path)
 	for _, ref := range refs {
-		rows, err := readPagedRows(filepath.Join(dir, ref.file), ref.pageRows)
+		rows, err := readPagedRows(fault.OS, filepath.Join(dir, ref.file), ref.pageRows)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -179,8 +198,8 @@ func ReadSnapshot(path string) (*sqldb.Dump, uint64, error) {
 
 // readSnapshotRefs decodes a snapshot without touching page files: paged
 // tables come back with nil Rows plus a pagedTableRef locating their pages.
-func readSnapshotRefs(path string) (*sqldb.Dump, []pagedTableRef, uint64, error) {
-	f, err := os.Open(path)
+func readSnapshotRefs(fsys fault.FS, path string) (*sqldb.Dump, []pagedTableRef, uint64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -188,11 +207,14 @@ func readSnapshotRefs(path string) (*sqldb.Dump, []pagedTableRef, uint64, error)
 	r := bufio.NewReaderSize(f, 1<<16)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(r, magic); err != nil || !bytes.Equal(magic, snapshotMagic) {
-		return nil, nil, 0, fmt.Errorf("persist: %s: not a snapshot file (bad magic)", path)
+		if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil, 0, fmt.Errorf("persist: %s: snapshot header: %w", path, err)
+		}
+		return nil, nil, 0, fmt.Errorf("persist: %s: not a snapshot file (bad magic): %w", path, ErrCorrupt)
 	}
 	var epochBuf [8]byte
 	if _, err := io.ReadFull(r, epochBuf[:]); err != nil {
-		return nil, nil, 0, fmt.Errorf("persist: %s: truncated snapshot header", path)
+		return nil, nil, 0, fmt.Errorf("persist: %s: truncated snapshot header: %w", path, ErrCorrupt)
 	}
 	epoch := binary.LittleEndian.Uint64(epochBuf[:])
 	d := &sqldb.Dump{}
@@ -201,7 +223,10 @@ func readSnapshotRefs(path string) (*sqldb.Dump, []pagedTableRef, uint64, error)
 	for !sawEnd {
 		payload, err := readFrame(r)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("persist: %s: corrupt snapshot: %w", path, err)
+			if errors.Is(err, io.EOF) || errors.Is(err, errTorn) {
+				return nil, nil, 0, fmt.Errorf("persist: %s: corrupt snapshot: %w: %w", path, ErrCorrupt, err)
+			}
+			return nil, nil, 0, fmt.Errorf("persist: %s: snapshot read: %w", path, err)
 		}
 		dd := &dec{buf: payload}
 		switch typ := dd.u8(); typ {
@@ -265,7 +290,7 @@ func readSnapshotRefs(path string) (*sqldb.Dump, []pagedTableRef, uint64, error)
 		case recEnd:
 			sawEnd = true
 		default:
-			return nil, nil, 0, fmt.Errorf("persist: %s: unknown snapshot record type %d", path, typ)
+			return nil, nil, 0, fmt.Errorf("persist: %s: unknown snapshot record type %d: %w", path, typ, ErrCorrupt)
 		}
 	}
 	return d, refs, epoch, nil
@@ -273,24 +298,24 @@ func readSnapshotRefs(path string) (*sqldb.Dump, []pagedTableRef, uint64, error)
 
 // readPagedRows materializes every row of a checkpointed page file, in row
 // id order.
-func readPagedRows(path string, pageRows []int) ([][]sqldb.Value, error) {
+func readPagedRows(fsys fault.FS, path string, pageRows []int) ([][]sqldb.Value, error) {
 	total := 0
 	for _, n := range pageRows {
 		total += n
 	}
 	rows := make([][]sqldb.Value, 0, total)
-	err := pager.ReadFile(path, func(pageNo int, page []byte) error {
+	err := pager.ReadFileFS(fsys, path, func(pageNo int, page []byte) error {
 		if pageNo >= len(pageRows) {
-			return fmt.Errorf("persist: %s: page %d beyond snapshot's %d-page directory", path, pageNo, len(pageRows))
+			return fmt.Errorf("persist: %s: page %d beyond snapshot's %d-page directory: %w", path, pageNo, len(pageRows), ErrCorrupt)
 		}
 		for s := 0; s < pageRows[pageNo]; s++ {
 			rec := pager.PageRecord(page, s)
 			if rec == nil {
-				return fmt.Errorf("persist: %s: corrupt page %d (slot %d)", path, pageNo, s)
+				return fmt.Errorf("persist: %s: corrupt page %d (slot %d): %w", path, pageNo, s, ErrCorrupt)
 			}
 			row, err := sqldb.DecodeRowRecord(rec)
 			if err != nil {
-				return fmt.Errorf("persist: %s: page %d slot %d: %w", path, pageNo, s, err)
+				return fmt.Errorf("persist: %s: page %d slot %d: %w: %w", path, pageNo, s, ErrCorrupt, err)
 			}
 			rows = append(rows, row)
 		}
@@ -304,8 +329,8 @@ func readPagedRows(path string, pageRows []int) ([][]sqldb.Value, error) {
 
 // syncDir fsyncs a directory so a just-performed rename survives a power
 // loss. Filesystems that reject directory fsync are tolerated.
-func syncDir(dir string) error {
-	df, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	df, err := fsys.Open(dir)
 	if err != nil {
 		return nil
 	}

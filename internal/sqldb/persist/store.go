@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"justintime/internal/fault"
 	"justintime/internal/obs"
 	"justintime/internal/sqldb"
 	"justintime/internal/sqldb/pager"
@@ -43,6 +44,10 @@ type Options struct {
 	// queries touch them. Without a pool, paged snapshots still open — the
 	// rows are materialized into the default slice store.
 	Pool *pager.Pool
+	// FS is the filesystem every snapshot, WAL and page file operation goes
+	// through. Nil means the real one (fault.OS); tests and the chaos
+	// harness install a fault.Injector here.
+	FS fault.FS
 }
 
 // Store is the durable home of one database: a snapshot of its state at the
@@ -52,6 +57,7 @@ type Options struct {
 // detaches and releases the files.
 type Store struct {
 	dir string
+	fs  fault.FS
 
 	mu     sync.Mutex
 	db     *sqldb.DB
@@ -66,30 +72,31 @@ type Store struct {
 // checkpoint their page files alongside the snapshot (under the same
 // exclusive lock), so Create is their first durability point too.
 func Create(dir string, db *sqldb.DB, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := fault.Of(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	removeTempFiles(dir)
+	removeTempFiles(fsys, dir)
 	const firstEpoch = 1
 	if err := db.CheckpointWith(func(d *sqldb.Dump) error {
-		return writeState(dir, d, firstEpoch)
+		return writeState(fsys, dir, d, firstEpoch)
 	}); err != nil {
 		return nil, err
 	}
-	removeStalePageFiles(dir, firstEpoch)
+	removeStalePageFiles(fsys, dir, firstEpoch)
 	// A fresh store must not inherit records from a previous life of the
 	// directory: drop any existing WAL before opening.
-	if err := os.Remove(filepath.Join(dir, WALFile)); err != nil && !os.IsNotExist(err) {
+	if err := fsys.Remove(filepath.Join(dir, WALFile)); err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	return attach(dir, db, firstEpoch, opts)
+	return attach(fsys, dir, db, firstEpoch, opts)
 }
 
 // writeState persists one consistent state under the DB's exclusive lock:
 // every paged table's pages first (to epoch-named page files), then the
 // snapshot referencing them. The snapshot's atomic rename is the commit
 // point — a crash before it leaves the previous epoch's files authoritative.
-func writeState(dir string, d *sqldb.Dump, epoch uint64) error {
+func writeState(fsys fault.FS, dir string, d *sqldb.Dump, epoch uint64) error {
 	for i := range d.Tables {
 		td := &d.Tables[i]
 		if td.Paged == nil {
@@ -99,15 +106,15 @@ func writeState(dir string, d *sqldb.Dump, epoch uint64) error {
 			return err
 		}
 	}
-	return WriteSnapshot(filepath.Join(dir, SnapshotFile), d, epoch)
+	return writeSnapshotFS(fsys, filepath.Join(dir, SnapshotFile), d, epoch)
 }
 
 // removeStalePageFiles deletes pages-*.db files of any epoch other than
 // keepEpoch — the old generation after a successful checkpoint, or leftovers
 // from a checkpoint that crashed between writing page files and the
 // snapshot rename.
-func removeStalePageFiles(dir string, keepEpoch uint64) {
-	entries, err := os.ReadDir(dir)
+func removeStalePageFiles(fsys fault.FS, dir string, keepEpoch uint64) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -118,7 +125,7 @@ func removeStalePageFiles(dir string, keepEpoch uint64) {
 			continue
 		}
 		if !strings.HasSuffix(name, suffix) {
-			_ = os.Remove(filepath.Join(dir, name))
+			_ = fsys.Remove(filepath.Join(dir, name))
 		}
 	}
 }
@@ -130,12 +137,13 @@ func removeStalePageFiles(dir string, keepEpoch uint64) {
 // returned database has the store attached as its logger, so mutations keep
 // accruing to the WAL.
 func Open(dir string, opts Options) (*sqldb.DB, *Store, error) {
-	removeTempFiles(dir)
-	dump, refs, epoch, err := readSnapshotRefs(filepath.Join(dir, SnapshotFile))
+	fsys := fault.Of(opts.FS)
+	removeTempFiles(fsys, dir)
+	dump, refs, epoch, err := readSnapshotRefs(fsys, filepath.Join(dir, SnapshotFile))
 	if err != nil {
 		return nil, nil, err
 	}
-	removeStalePageFiles(dir, epoch)
+	removeStalePageFiles(fsys, dir, epoch)
 	pagedAt := make(map[int]*pagedTableRef, len(refs))
 	for i := range refs {
 		pagedAt[refs[i].tableIndex] = &refs[i]
@@ -154,8 +162,8 @@ func Open(dir string, opts Options) (*sqldb.DB, *Store, error) {
 			// post-checkpoint state), so a leftover from a previous life is
 			// removed, not read.
 			spill := filepath.Join(dir, SpillFileName(td.Name))
-			_ = os.Remove(spill)
-			pt, err := sqldb.OpenPagedTable(opts.Pool, filepath.Join(dir, ref.file), spill, ref.pageRows)
+			_ = fsys.Remove(spill)
+			pt, err := sqldb.OpenPagedTableFS(fsys, opts.Pool, filepath.Join(dir, ref.file), spill, ref.pageRows)
 			if err != nil {
 				return fail(err)
 			}
@@ -167,7 +175,7 @@ func Open(dir string, opts Options) (*sqldb.DB, *Store, error) {
 		case ref != nil:
 			// No pool on this host: materialize the pages into the slice
 			// store so the wire format stays readable everywhere.
-			if td.Rows, err = readPagedRows(filepath.Join(dir, ref.file), ref.pageRows); err != nil {
+			if td.Rows, err = readPagedRows(fsys, filepath.Join(dir, ref.file), ref.pageRows); err != nil {
 				return fail(err)
 			}
 		}
@@ -192,7 +200,7 @@ func Open(dir string, opts Options) (*sqldb.DB, *Store, error) {
 	for _, sd := range dump.Stats {
 		db.RestoreIndexStats(sd)
 	}
-	st, err := attach(dir, db, epoch, opts)
+	st, err := attach(fsys, dir, db, epoch, opts)
 	if err != nil {
 		return fail(err)
 	}
@@ -206,14 +214,14 @@ func SpillFileName(table string) string { return "spill-" + table + ".db" }
 
 // attach opens the WAL (replaying it onto db) and wires the store up as the
 // database's mutation logger.
-func attach(dir string, db *sqldb.DB, epoch uint64, opts Options) (*Store, error) {
-	wal, _, err := openWAL(filepath.Join(dir, WALFile), db, epoch, opts.Sync, opts.OnWALWrite)
+func attach(fsys fault.FS, dir string, db *sqldb.DB, epoch uint64, opts Options) (*Store, error) {
+	wal, _, err := openWAL(fsys, filepath.Join(dir, WALFile), db, epoch, opts.Sync, opts.OnWALWrite)
 	if err != nil {
 		return nil, err
 	}
 	wal.onFsync = opts.OnFsync
 	wal.onAppend = opts.OnAppend
-	st := &Store{dir: dir, db: db, wal: wal, epoch: epoch}
+	st := &Store{dir: dir, fs: fsys, db: db, wal: wal, epoch: epoch}
 	db.SetLogger(wal)
 	return st, nil
 }
@@ -258,7 +266,7 @@ func (s *Store) CheckpointCtx(ctx context.Context) error {
 	next := s.epoch + 1
 	err := s.db.CheckpointWith(func(d *sqldb.Dump) error {
 		snapStart := time.Now()
-		if err := writeState(s.dir, d, next); err != nil {
+		if err := writeState(s.fs, s.dir, d, next); err != nil {
 			return err
 		}
 		span.Event("snapshot.write", time.Since(snapStart))
@@ -271,7 +279,7 @@ func (s *Store) CheckpointCtx(ctx context.Context) error {
 	})
 	if err == nil {
 		s.epoch = next
-		removeStalePageFiles(s.dir, next)
+		removeStalePageFiles(s.fs, s.dir, next)
 	}
 	return err
 }
@@ -305,14 +313,14 @@ func Remove(dir string) error {
 
 // removeTempFiles clears stale atomic-write leftovers (*.tmp) from dir, so
 // a crash between temp-write and rename never accumulates orphans.
-func removeTempFiles(dir string) {
-	entries, err := os.ReadDir(dir)
+func removeTempFiles(fsys fault.FS, dir string) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
-			_ = os.Remove(filepath.Join(dir, e.Name()))
+			_ = fsys.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"justintime/internal/fault"
 	"justintime/internal/sqldb"
 )
 
@@ -70,7 +71,7 @@ var errWALClosed = errors.New("persist: WAL is closed")
 // serialization order of the writes.
 type WAL struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     fault.File
 	w     *bufio.Writer
 	mode  SyncMode
 	size  int64  // current valid length, including header
@@ -110,8 +111,8 @@ const walHeaderLen = 16
 // checkpoint after the new snapshot landed but before the log was reset —
 // and its contents, already folded into the snapshot, are discarded instead
 // of double-applied.
-func openWAL(path string, db *sqldb.DB, epoch uint64, mode SyncMode, onWrite func(int)) (w *WAL, replayed int, err error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openWAL(fsys fault.FS, path string, db *sqldb.DB, epoch uint64, mode SyncMode, onWrite func(int)) (w *WAL, replayed int, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, 0, fmt.Errorf("persist: wal: %w", err)
 	}
@@ -133,7 +134,7 @@ func openWAL(path string, db *sqldb.DB, epoch uint64, mode SyncMode, onWrite fun
 		if err = writeWALHeader(f, epoch); err != nil {
 			return nil, 0, err
 		}
-		if err = syncDir(filepath.Dir(path)); err != nil {
+		if err = syncDir(fsys, filepath.Dir(path)); err != nil {
 			return nil, 0, err
 		}
 		good = walHeaderLen
@@ -154,7 +155,7 @@ func openWAL(path string, db *sqldb.DB, epoch uint64, mode SyncMode, onWrite fun
 	}, replayed, nil
 }
 
-func writeWALHeader(f *os.File, epoch uint64) error {
+func writeWALHeader(f fault.File, epoch uint64) error {
 	if err := f.Truncate(0); err != nil {
 		return err
 	}
@@ -174,7 +175,7 @@ func writeWALHeader(f *os.File, epoch uint64) error {
 // statement either succeeded at origin or partially applied
 // deterministically, so re-running it on the identical prior state
 // reproduces the identical effect — and the identical error.
-func replayOnto(f *os.File, db *sqldb.DB, epoch uint64) (good int64, replayed int, err error) {
+func replayOnto(f fault.File, db *sqldb.DB, epoch uint64) (good int64, replayed int, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, err
 	}
@@ -194,7 +195,12 @@ func replayOnto(f *os.File, db *sqldb.DB, epoch uint64) (good int64, replayed in
 		payload, ferr := readFrame(r)
 		if ferr != nil {
 			// io.EOF is a clean end; errTorn is the crash tail we tolerate.
-			return good, replayed, nil
+			// Anything else is the device failing mid-read: surface it
+			// instead of silently treating the log as shorter than it is.
+			if errors.Is(ferr, io.EOF) || errors.Is(ferr, errTorn) {
+				return good, replayed, nil
+			}
+			return 0, 0, fmt.Errorf("persist: wal read: %w", ferr)
 		}
 		if err := applyRecord(db, payload); err != nil {
 			return 0, 0, err
